@@ -1,0 +1,44 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the SOTER paper's
+evaluation (Section V) on a scaled-down workload and prints the rows it
+measured next to the values the paper reports, so the qualitative shape
+can be compared at a glance.  EXPERIMENTS.md records one full set of
+measured numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+
+import pathlib
+
+#: Every table a benchmark prints is also appended here, so the regenerated
+#: rows survive pytest's output capturing and can be pasted into EXPERIMENTS.md.
+TABLE_LOG = pathlib.Path(__file__).resolve().parent.parent / "benchmark_tables.txt"
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a small aligned table and append it to ``benchmark_tables.txt``."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    lines = [f"\n=== {title} ===", line, "-" * len(line)]
+    lines.extend(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in rows
+    )
+    text = "\n".join(lines)
+    print(text)
+    with TABLE_LOG.open("a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture handing benchmarks the table printer."""
+    return print_table

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Design-time systematic testing of a SOTER program (the tool chain's backend).
+
+Before deploying, the SOTER tool chain explores executions of the discrete
+model of the program — replacing untrusted components by nondeterministic
+abstractions and permuting the interleaving of simultaneously-scheduled
+nodes under bounded asynchrony — while safety monitors check every step.
+This example tests a small RTA module twice: once with a correct φ_safer
+choice (no violations are found) and once with a deliberately broken DM
+configuration (the tester finds a counterexample execution).
+
+Run with:  python examples/systematic_testing.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    FunctionNode,
+    InvariantMonitor,
+    Program,
+    RTAModuleSpec,
+    SafetySpec,
+    SoterCompiler,
+    Topic,
+)
+from repro.core.monitor import MonitorSuite
+from repro.testing import (
+    AbstractEnvironment,
+    RandomStrategy,
+    SystematicTester,
+    TestHarness,
+)
+
+CLIFF = 9.0
+MAX_SPEED = 1.0
+DELTA = 0.1
+
+
+def _controllers():
+    advanced = FunctionNode(
+        "ac", lambda now, inputs: {"cmd": MAX_SPEED},
+        subscribes=("state",), publishes=("cmd",), period=0.05,
+    )
+    safe = FunctionNode(
+        "sc", lambda now, inputs: {"cmd": -MAX_SPEED},
+        subscribes=("state",), publishes=("cmd",), period=0.05,
+    )
+    return advanced, safe
+
+
+def build_harness(broken_ttf: bool) -> TestHarness:
+    advanced, safe = _controllers()
+    two_delta = 2.0 * DELTA
+    lookahead = 0.0 if broken_ttf else two_delta * MAX_SPEED
+    module = RTAModuleSpec(
+        name="rover",
+        advanced=advanced,
+        safe=safe,
+        delta=DELTA,
+        safe_spec=SafetySpec("safe", lambda x: x < CLIFF),
+        safer_spec=SafetySpec("safer", lambda x: x < CLIFF - two_delta * MAX_SPEED - 0.2),
+        # The broken variant "forgets" the 2Δ lookahead in ttf — a classic
+        # mistake the systematic tester should expose.
+        ttf=lambda x: x + lookahead >= CLIFF,
+        state_topics=("state",),
+    )
+    program = Program(
+        name="rover-testing",
+        topics=[Topic("state", float), Topic("cmd", float, 0.0)],
+        modules=[module],
+    )
+    system = SoterCompiler(strict=False).compile(program).system
+    # The monitor checks Theorem 3.1's inductive invariant φ_Inv: whenever the
+    # advanced controller is in control, the plant must not be able to leave
+    # φ_safe within Δ.  A DM whose ttf check "forgot" the lookahead violates
+    # it on boundary states, which the tester should expose.
+    monitors = MonitorSuite(
+        [
+            InvariantMonitor(
+                module=system.modules[0],
+                may_leave_within=lambda x, horizon: x + MAX_SPEED * horizon >= CLIFF,
+            )
+        ]
+    )
+    # The abstract environment nondeterministically reports plant states,
+    # including states right at the switching boundary.
+    environment = AbstractEnvironment(
+        menus={"state": [2.0, CLIFF - 0.6, CLIFF - 0.25, CLIFF - 0.05]}, period=DELTA
+    )
+    return TestHarness(system=system, monitors=monitors, environment=environment, horizon=2.0)
+
+
+def explore(label: str, broken_ttf: bool) -> None:
+    tester = SystematicTester(
+        lambda: build_harness(broken_ttf),
+        strategy=RandomStrategy(seed=0, max_executions=50),
+    )
+    report = tester.explore(stop_at_first_violation=True)
+    print(f"{label}: {report.summary()}")
+    counterexample = report.first_counterexample()
+    if counterexample is not None:
+        violation = counterexample.violations[0]
+        print(f"  counterexample in execution {counterexample.index}: "
+              f"{violation.message} at t={violation.time:.2f}s (state={violation.state})")
+
+
+def main() -> None:
+    explore("well-formed module   ", broken_ttf=False)
+    explore("broken ttf_2Δ variant", broken_ttf=True)
+
+
+if __name__ == "__main__":
+    main()

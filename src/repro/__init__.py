@@ -1,0 +1,48 @@
+"""SOTER reproduction: a runtime assurance framework for programming safe robotics systems.
+
+The package reproduces Desai et al., "SOTER: A Runtime Assurance Framework
+for Programming Safe Robotics Systems" (DSN 2019): a publish/subscribe
+programming model with calendar-automata semantics, Simplex-style RTA
+modules with provably-safe bidirectional switching, a compiler with
+well-formedness checking, and the drone-surveillance case study the paper
+evaluates (motion primitives, battery safety, motion planner), together
+with the simulation, planning, control, and reachability substrates they
+run on.
+
+Typical entry points:
+
+* :mod:`repro.core` — the SOTER language/runtime primitives
+  (:class:`~repro.core.Node`, :class:`~repro.core.RTAModuleSpec`,
+  :class:`~repro.core.SoterCompiler`, :class:`~repro.core.SemanticsEngine`).
+* :mod:`repro.apps` — the drone case study
+  (:func:`~repro.apps.build_stack`, :func:`~repro.apps.run_mission`).
+"""
+
+from . import (
+    apps,
+    control,
+    core,
+    dynamics,
+    geometry,
+    planning,
+    reachability,
+    runtime,
+    simulation,
+    testing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "control",
+    "core",
+    "dynamics",
+    "geometry",
+    "planning",
+    "reachability",
+    "runtime",
+    "simulation",
+    "testing",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""The drone surveillance case study built on the SOTER public API."""
+
+from .metrics import CampaignMetrics, MissionMetrics, metrics_from_result
+from .modules import (
+    BatteryModule,
+    BatteryModuleConfig,
+    DroneClosedLoopModel,
+    MotionPrimitiveModule,
+    MotionPrimitiveModuleConfig,
+    PlannerModule,
+    PlannerModuleConfig,
+    build_battery_safety,
+    build_safe_motion_planner,
+    build_safe_motion_primitive,
+)
+from .nodes import (
+    PlanForwardNode,
+    PlannerNode,
+    SafeLandingPlannerNode,
+    StraightLinePlanner,
+    SurveillanceNode,
+)
+from .stack import BuiltStack, StackConfig, build_stack, run_mission
+from .topics import (
+    ACTIVE_PLAN_TOPIC,
+    BATTERY_TOPIC,
+    COMMAND_TOPIC,
+    GOAL_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+    standard_topics,
+)
+
+__all__ = [
+    "CampaignMetrics",
+    "MissionMetrics",
+    "metrics_from_result",
+    "BatteryModule",
+    "BatteryModuleConfig",
+    "DroneClosedLoopModel",
+    "MotionPrimitiveModule",
+    "MotionPrimitiveModuleConfig",
+    "PlannerModule",
+    "PlannerModuleConfig",
+    "build_battery_safety",
+    "build_safe_motion_planner",
+    "build_safe_motion_primitive",
+    "PlanForwardNode",
+    "PlannerNode",
+    "SafeLandingPlannerNode",
+    "StraightLinePlanner",
+    "SurveillanceNode",
+    "BuiltStack",
+    "StackConfig",
+    "build_stack",
+    "run_mission",
+    "ACTIVE_PLAN_TOPIC",
+    "BATTERY_TOPIC",
+    "COMMAND_TOPIC",
+    "GOAL_TOPIC",
+    "MOTION_PLAN_TOPIC",
+    "POSITION_TOPIC",
+    "standard_topics",
+]

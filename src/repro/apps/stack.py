@@ -1,0 +1,409 @@
+"""Builders for the full drone-surveillance software stack (Figure 8).
+
+``build_stack`` assembles, from one :class:`StackConfig`, the complete
+SOTER program — surveillance application, motion planner, battery module,
+motion primitives — in any of the configurations the evaluation needs:
+
+* the fully RTA-protected stack of Figure 8,
+* the unprotected stack (advanced controllers only) used as the Figure 5
+  baseline,
+* the SC-only stack (conservative controllers only) used in the Figure 12a
+  comparison,
+* fault-injected variants of the planner and the advanced tracker.
+
+The result bundles the compiled system with a ready-to-run co-simulation
+and the mission-metric extraction used by every benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..control import (
+    AggressiveTracker,
+    LearnedTracker,
+    MotionPrimitiveNode,
+    SafeWaypointTracker,
+    WaypointTracker,
+)
+from ..core.compiler import Program, SoterCompiler
+from ..core.monitor import InvariantMonitor, MonitorSuite, TopicSafetyMonitor
+from ..core.semantics import SchedulingPolicy
+from ..core.specs import SafetySpec
+from ..core.system import RTASystem
+from ..dynamics import (
+    BatteryModel,
+    BatteryParams,
+    BoundedDoubleIntegrator,
+    DoubleIntegratorParams,
+    DroneState,
+)
+from ..geometry import Vec3
+from ..planning import FaultyPlanner, GridAStarPlanner, PlannerBug, RRTStarPlanner
+from ..reachability import WorstCaseReachability, synthesize_safe_tracker
+from ..runtime.faults import FaultInjector, FaultSpec
+from ..simulation import (
+    BatterySensor,
+    DronePlant,
+    DroneSimulation,
+    MissionWorld,
+    SimulationConfig,
+    SimulationResult,
+    StateEstimator,
+    surveillance_city,
+)
+from .metrics import MissionMetrics, metrics_from_result
+from .modules import (
+    BatteryModule,
+    BatteryModuleConfig,
+    MotionPrimitiveModule,
+    MotionPrimitiveModuleConfig,
+    PlannerModule,
+    PlannerModuleConfig,
+    build_battery_safety,
+    build_safe_motion_planner,
+    build_safe_motion_primitive,
+)
+from .nodes import PlanForwardNode, PlannerNode, StraightLinePlanner, SurveillanceNode
+from .topics import (
+    ACTIVE_PLAN_TOPIC,
+    COMMAND_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+    standard_topics,
+)
+
+
+@dataclass
+class StackConfig:
+    """One configuration of the drone software stack."""
+
+    # world & mission ---------------------------------------------------- #
+    world: MissionWorld = field(default_factory=surveillance_city)
+    goals: Optional[Sequence[Vec3]] = None
+    random_goals: int = 0
+    loop_goals: bool = False
+    goal_tolerance: float = 1.2
+    start_position: Optional[Vec3] = None
+
+    # which parts of the stack are RTA-protected ------------------------- #
+    protect_motion_primitive: bool = True
+    protect_battery: bool = True
+    protect_planner: bool = False
+    sc_only: bool = False  # unprotected variant that uses the certified tracker directly
+
+    # controllers --------------------------------------------------------- #
+    tracker: str = "aggressive"  # "aggressive" | "learned"
+    cruise_speed: float = 3.5
+    max_speed: float = 4.0
+    max_acceleration: float = 6.0
+    tracker_fault: Optional[FaultSpec] = None
+
+    # planner -------------------------------------------------------------- #
+    planner: str = "straight"  # "straight" | "rrt" | "astar"
+    planner_clearance: float = 2.9
+    planner_bug: Optional[PlannerBug] = None
+    planner_bug_probability: float = 0.3
+
+    # timing ---------------------------------------------------------------- #
+    mp_delta: float = 0.1
+    mp_period: float = 0.05
+    planner_delta: float = 0.5
+    planner_period: float = 0.5
+    battery_delta: float = 1.0
+    battery_period: float = 0.2
+    surveillance_period: float = 0.5
+
+    # battery ----------------------------------------------------------------- #
+    initial_charge: float = 1.0
+    battery_params: Optional[BatteryParams] = None
+
+    # runtime / sensing --------------------------------------------------------- #
+    scheduler: Optional[SchedulingPolicy] = None
+    estimator_noise: float = 0.02
+    with_invariant_monitor: bool = True
+    safer_extra_margin: float = 0.5
+    safe_speed_fraction: float = 0.35
+    collision_margin: float = 0.05
+    seed: int = 0
+
+    def mission_goals(self) -> Sequence[Vec3]:
+        """The fixed goal sequence (the world's surveillance points by default)."""
+        if self.goals is not None:
+            return list(self.goals)
+        return list(self.world.surveillance_points)
+
+
+@dataclass
+class BuiltStack:
+    """A compiled stack plus its co-simulation and bookkeeping handles."""
+
+    config: StackConfig
+    program: Program
+    system: RTASystem
+    simulation: DroneSimulation
+    plant: DronePlant
+    surveillance: SurveillanceNode
+    monitors: MonitorSuite
+    motion_primitive: Optional[MotionPrimitiveModule] = None
+    battery: Optional[BatteryModule] = None
+    planner: Optional[PlannerModule] = None
+
+    def run(
+        self,
+        duration: float,
+        stop_on_complete: bool = True,
+        stop_on_crash: bool = True,
+    ) -> Tuple[MissionMetrics, SimulationResult]:
+        """Run the mission and return its metrics plus the raw simulation result."""
+
+        def stop(sim: DroneSimulation) -> bool:
+            if stop_on_complete and self.surveillance.mission_complete and not self.config.loop_goals:
+                return True
+            if self.battery is not None and self._battery_abort_finished():
+                return True
+            return False
+
+        result = self.simulation.run(duration, stop_when=stop, stop_on_crash=stop_on_crash)
+        metrics = metrics_from_result(result, self.system, surveillance=self.surveillance)
+        return metrics, result
+
+    def _battery_abort_finished(self) -> bool:
+        """True once a battery-triggered abort has ended with the drone on the ground."""
+        assert self.battery is not None
+        dm = self.system.module_named(self.battery.spec.name).decision
+        from ..core.decision import Mode
+
+        aborted = any(switch.is_disengagement for switch in dm.switches)
+        return aborted and self.plant.landed
+
+
+def _make_tracker(config: StackConfig) -> WaypointTracker:
+    if config.tracker == "aggressive":
+        return AggressiveTracker(
+            cruise_speed=config.cruise_speed, max_acceleration=config.max_acceleration
+        )
+    if config.tracker == "learned":
+        return LearnedTracker(
+            cruise_speed=min(config.cruise_speed, 3.5),
+            max_acceleration=config.max_acceleration,
+            seed=config.seed,
+        )
+    raise ValueError(f"unknown tracker {config.tracker!r} (expected 'aggressive' or 'learned')")
+
+
+def _make_planner(config: StackConfig):
+    workspace = config.world.workspace
+    altitude = config.world.cruise_altitude
+    if config.planner == "straight":
+        planner = StraightLinePlanner(altitude=altitude)
+    elif config.planner == "rrt":
+        planner = RRTStarPlanner(
+            workspace=workspace,
+            clearance=config.planner_clearance,
+            altitude=altitude,
+            seed=config.seed,
+        )
+    elif config.planner == "astar":
+        planner = GridAStarPlanner(
+            workspace=workspace, clearance=config.planner_clearance, altitude=altitude
+        )
+    else:
+        raise ValueError(f"unknown planner {config.planner!r}")
+    if config.planner_bug is not None:
+        planner = FaultyPlanner(
+            inner=planner,
+            bug=config.planner_bug,
+            probability=config.planner_bug_probability,
+            seed=config.seed,
+        )
+    return planner
+
+
+def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
+    """Assemble, compile, and wire the drone software stack described by ``config``."""
+    config = config or StackConfig()
+    world = config.world
+    workspace = world.workspace
+    model = BoundedDoubleIntegrator(
+        DoubleIntegratorParams(max_speed=config.max_speed, max_acceleration=config.max_acceleration)
+    )
+    battery_model = BatteryModel(config.battery_params or BatteryParams())
+
+    program = Program(name="drone-surveillance", topics=standard_topics())
+
+    # ----------------------------------------------------------------- #
+    # application layer
+    # ----------------------------------------------------------------- #
+    surveillance = SurveillanceNode(
+        goals=config.mission_goals(),
+        workspace=workspace,
+        period=config.surveillance_period,
+        goal_tolerance=config.goal_tolerance,
+        loop=config.loop_goals,
+        random_goals=config.random_goals,
+        altitude=world.cruise_altitude,
+        seed=config.seed,
+    )
+    program.add_node(surveillance)
+
+    # ----------------------------------------------------------------- #
+    # motion planner (plain or RTA-protected)
+    # ----------------------------------------------------------------- #
+    planner_module: Optional[PlannerModule] = None
+    advanced_planner = _make_planner(config)
+    if config.protect_planner:
+        certified_planner = GridAStarPlanner(
+            workspace=workspace,
+            clearance=config.planner_clearance,
+            altitude=world.cruise_altitude,
+        )
+        planner_module = build_safe_motion_planner(
+            workspace=workspace,
+            advanced_planner=advanced_planner,
+            certified_planner=certified_planner,
+            config=PlannerModuleConfig(
+                delta=config.planner_delta,
+                node_period=config.planner_period,
+                plan_clearance=max(0.5, config.planner_clearance - 0.6),
+            ),
+        )
+        program.add_module(planner_module.spec)
+    else:
+        program.add_node(
+            PlannerNode(name="motionPlanner", planner=advanced_planner, period=config.planner_period)
+        )
+
+    # ----------------------------------------------------------------- #
+    # battery module (plain relay or RTA-protected)
+    # ----------------------------------------------------------------- #
+    battery_module: Optional[BatteryModule] = None
+    if config.protect_battery:
+        battery_module = build_battery_safety(
+            battery_model=battery_model,
+            config=BatteryModuleConfig(
+                delta=config.battery_delta, node_period=config.battery_period
+            ),
+        )
+        program.add_module(battery_module.spec)
+    else:
+        program.add_node(PlanForwardNode(name="planRelay", period=config.battery_period))
+
+    # ----------------------------------------------------------------- #
+    # motion primitives (plain or RTA-protected)
+    # ----------------------------------------------------------------- #
+    mp_module: Optional[MotionPrimitiveModule] = None
+    advanced_tracker: WaypointTracker = _make_tracker(config)
+    if config.protect_motion_primitive:
+        mp_module = build_safe_motion_primitive(
+            workspace=workspace,
+            model=model,
+            advanced_tracker=advanced_tracker,
+            config=MotionPrimitiveModuleConfig(
+                delta=config.mp_delta,
+                node_period=config.mp_period,
+                collision_margin=config.collision_margin,
+                safer_extra_margin=config.safer_extra_margin,
+                safe_speed_fraction=config.safe_speed_fraction,
+            ),
+        )
+        if config.tracker_fault is not None:
+            faulty_ac = FaultInjector(
+                mp_module.advanced_node, config.tracker_fault, rename=f"{mp_module.spec.name}.ac.faulty"
+            )
+            mp_module.spec.advanced = faulty_ac
+            mp_module.advanced_node = faulty_ac  # type: ignore[assignment]
+        program.add_module(mp_module.spec)
+    else:
+        if config.sc_only:
+            params, _certificate = synthesize_safe_tracker(
+                model, workspace, safe_speed_fraction=config.safe_speed_fraction
+            )
+            tracker: WaypointTracker = SafeWaypointTracker(params=params, workspace=workspace)
+        else:
+            tracker = advanced_tracker
+        primitive = MotionPrimitiveNode(
+            name="motionPrimitive",
+            tracker=tracker,
+            plan_topic=ACTIVE_PLAN_TOPIC,
+            position_topic=POSITION_TOPIC,
+            command_topic=COMMAND_TOPIC,
+            period=config.mp_period,
+        )
+        if config.tracker_fault is not None:
+            primitive = FaultInjector(primitive, config.tracker_fault, rename="motionPrimitive.faulty")
+        program.add_node(primitive)
+
+    # ----------------------------------------------------------------- #
+    # compile and wire the co-simulation
+    # ----------------------------------------------------------------- #
+    compiled = SoterCompiler(strict=True).compile(program)
+    system = compiled.system
+
+    start = config.start_position or world.home
+    plant = DronePlant(
+        model=model,
+        workspace=workspace,
+        battery_model=battery_model,
+        initial_state=DroneState(position=start),
+        initial_charge=config.initial_charge,
+        collision_margin=0.0,
+    )
+    monitors = MonitorSuite()
+    monitors.add(
+        TopicSafetyMonitor(
+            name="phi_obs(estimated)",
+            topic=POSITION_TOPIC,
+            spec=SafetySpec(
+                name="phi_obs",
+                predicate=lambda state: workspace.clearance(state.position) > 0.0,
+            ),
+        )
+    )
+    if config.with_invariant_monitor and mp_module is not None:
+        reach = WorstCaseReachability(model)
+        monitors.add(
+            InvariantMonitor(
+                module=system.module_named(mp_module.spec.name),
+                may_leave_within=lambda state, horizon: reach.may_leave_safe(
+                    state, workspace, horizon, margin=config.collision_margin
+                ),
+            )
+        )
+    simulation = DroneSimulation(
+        system=system,
+        plant=plant,
+        estimator=StateEstimator(
+            position_noise=config.estimator_noise,
+            velocity_noise=config.estimator_noise,
+            seed=config.seed,
+        ),
+        battery_sensor=BatterySensor(seed=config.seed + 1),
+        scheduler=config.scheduler,
+        monitors=monitors,
+        config=SimulationConfig(),
+    )
+    return BuiltStack(
+        config=config,
+        program=program,
+        system=system,
+        simulation=simulation,
+        plant=plant,
+        surveillance=surveillance,
+        monitors=monitors,
+        motion_primitive=mp_module,
+        battery=battery_module,
+        planner=planner_module,
+    )
+
+
+def run_mission(
+    config: Optional[StackConfig] = None,
+    duration: float = 120.0,
+    stop_on_complete: bool = True,
+) -> Tuple[MissionMetrics, SimulationResult]:
+    """Convenience wrapper: build the stack and run one mission."""
+    stack = build_stack(config)
+    return stack.run(duration, stop_on_complete=stop_on_complete)

@@ -1,0 +1,41 @@
+"""Topic names and declarations of the drone surveillance software stack.
+
+The stack of Figure 3 / Figure 8 uses a small set of topics; declaring
+them in one place keeps the node wiring consistent and gives the compiler
+typed declarations to validate against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.topics import Topic
+from ..dynamics import ControlCommand, DroneState
+from ..geometry import Vec3
+from ..planning import Plan
+from ..simulation.drone import BatteryStatus
+
+#: Estimated drone state published by the (trusted) state estimator.
+POSITION_TOPIC = "localPosition"
+#: Battery sensor reading (state of charge + altitude).
+BATTERY_TOPIC = "batteryStatus"
+#: Next surveillance goal chosen by the application layer.
+GOAL_TOPIC = "surveillanceGoal"
+#: Motion plan produced by the (RTA-protected) motion planner.
+MOTION_PLAN_TOPIC = "motionPlan"
+#: Plan actually handed to the motion primitives (battery module output).
+ACTIVE_PLAN_TOPIC = "activePlan"
+#: Low-level control command produced by the motion-primitive module.
+COMMAND_TOPIC = "controlCommand"
+
+
+def standard_topics() -> List[Topic]:
+    """The typed topic declarations of the surveillance stack."""
+    return [
+        Topic(POSITION_TOPIC, DroneState, description="estimated drone state"),
+        Topic(BATTERY_TOPIC, BatteryStatus, description="battery charge and altitude"),
+        Topic(GOAL_TOPIC, Vec3, description="next surveillance goal"),
+        Topic(MOTION_PLAN_TOPIC, Plan, description="motion plan toward the goal"),
+        Topic(ACTIVE_PLAN_TOPIC, Plan, description="plan forwarded to the motion primitives"),
+        Topic(COMMAND_TOPIC, ControlCommand, description="low-level control command"),
+    ]

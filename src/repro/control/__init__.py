@@ -1,0 +1,22 @@
+"""Controllers: untrusted advanced trackers, certified safe trackers, and primitive nodes."""
+
+from .base import HoverController, WaypointTracker, pd_acceleration
+from .aggressive import AggressiveTracker
+from .learned import LearnedTracker
+from .pd_tracker import BrakingController, SafeWaypointTracker
+from .safe_land import SafeLandingController
+from .primitives import MotionPrimitiveLibrary, MotionPrimitiveNode, PrimitiveProgress
+
+__all__ = [
+    "HoverController",
+    "WaypointTracker",
+    "pd_acceleration",
+    "AggressiveTracker",
+    "LearnedTracker",
+    "BrakingController",
+    "SafeWaypointTracker",
+    "SafeLandingController",
+    "MotionPrimitiveLibrary",
+    "MotionPrimitiveNode",
+    "PrimitiveProgress",
+]

@@ -1,0 +1,88 @@
+"""A "data-driven" tracker with occasional unsafe excursions.
+
+Figure 5 (left) of the paper evaluates a low-level controller designed
+with a data-driven approach on a figure-eight loop: it follows the loop
+well most of the time but occasionally deviates dangerously.  Training a
+neural-network controller is outside the scope of an offline reproduction,
+so this class emulates the *behavioural envelope* that matters to SOTER: a
+nominally competent tracker whose policy sporadically produces sustained,
+large command errors (as a misgeneralising network does in off-nominal
+states).  The misbehaviour is seeded and therefore reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dynamics import ControlCommand, DroneState
+from ..geometry import Vec3
+from .base import WaypointTracker, pd_acceleration
+
+
+class LearnedTracker(WaypointTracker):
+    """Competent-most-of-the-time tracker with seeded, sustained error bursts."""
+
+    name = "learned-tracker"
+
+    def __init__(
+        self,
+        cruise_speed: float = 3.5,
+        max_acceleration: float = 6.0,
+        position_gain: float = 1.6,
+        velocity_gain: float = 2.5,
+        glitch_probability: float = 0.01,
+        glitch_duration: float = 0.8,
+        glitch_magnitude: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= glitch_probability <= 1.0:
+            raise ValueError("glitch_probability must be in [0, 1]")
+        if glitch_duration < 0.0 or glitch_magnitude < 0.0:
+            raise ValueError("glitch duration and magnitude must be non-negative")
+        self.cruise_speed = cruise_speed
+        self.max_acceleration = max_acceleration
+        self.position_gain = position_gain
+        self.velocity_gain = velocity_gain
+        self.glitch_probability = glitch_probability
+        self.glitch_duration = glitch_duration
+        self.glitch_magnitude = glitch_magnitude
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._glitch_until = -1.0
+        self._glitch_direction = Vec3.zero()
+        self.glitch_count = 0
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._glitch_until = -1.0
+        self._glitch_direction = Vec3.zero()
+        self.glitch_count = 0
+
+    def command(self, state: DroneState, target: Vec3, now: float) -> ControlCommand:
+        nominal = pd_acceleration(
+            state,
+            target,
+            position_gain=self.position_gain,
+            velocity_gain=self.velocity_gain,
+            max_speed=self.cruise_speed,
+            max_acceleration=self.max_acceleration,
+        )
+        if now < self._glitch_until:
+            # During a glitch the policy pushes hard in a wrong, fixed direction,
+            # as a misbehaving learned policy does once it leaves its training
+            # distribution.
+            biased = nominal * 0.2 + self._glitch_direction * self.glitch_magnitude
+            return ControlCommand(acceleration=biased.clamp_norm(self.max_acceleration))
+        if self._rng.random() < self.glitch_probability:
+            self.glitch_count += 1
+            self._glitch_until = now + self.glitch_duration
+            self._glitch_direction = self._random_direction()
+        return ControlCommand(acceleration=nominal)
+
+    def _random_direction(self) -> Vec3:
+        while True:
+            candidate = Vec3(
+                self._rng.uniform(-1.0, 1.0), self._rng.uniform(-1.0, 1.0), self._rng.uniform(-0.2, 0.2)
+            )
+            if candidate.norm() > 1e-6:
+                return candidate.unit()

@@ -1,0 +1,166 @@
+"""The certified safe tracker (the SC of the motion-primitive RTA module).
+
+The paper synthesises its safe controller with FaSTrack; the substitute
+here is a conservative PD tracker with:
+
+* a hard cap on commanded speed (far below the plant limit),
+* obstacle-aware braking and repulsion: when the clearance to the nearest
+  obstacle falls below the certified margin, the tracker prioritises
+  increasing clearance over making progress toward the waypoint.
+
+Together with the analytic :class:`~repro.reachability.TrackingErrorCertificate`
+this gives the module its P2a (never leaves φ_safe once inside) and P2b
+(recovers into φ_safer) evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dynamics import ControlCommand, DroneState
+from ..geometry import Vec3, Workspace
+from ..reachability.fastrack import SafeTrackerParams
+from .base import WaypointTracker, pd_acceleration
+
+
+class SafeWaypointTracker(WaypointTracker):
+    """Conservative, obstacle-aware waypoint tracker (certified safe controller)."""
+
+    name = "safe-tracker"
+
+    def __init__(
+        self,
+        params: SafeTrackerParams,
+        workspace: Optional[Workspace] = None,
+        recovery_clearance: Optional[float] = None,
+        lookahead: float = 2.0,
+    ) -> None:
+        self.params = params
+        self.workspace = workspace
+        # Clearance below which the tracker actively retreats from obstacles;
+        # chosen so the SC pushes the drone back into φ_safer (property P2b).
+        self.recovery_clearance = (
+            recovery_clearance if recovery_clearance is not None else params.obstacle_margin * 2.0
+        )
+        self.lookahead = lookahead
+        self._reference = None
+
+    def set_plan(self, plan: object) -> None:
+        """Follow the plan's collision-free reference trajectory when available."""
+        reference = getattr(plan, "reference", None)
+        self._reference = reference() if callable(reference) else None
+
+    def reset(self) -> None:
+        self._reference = None
+
+    # ------------------------------------------------------------------ #
+    # control law
+    # ------------------------------------------------------------------ #
+    def command(self, state: DroneState, target: Vec3, now: float) -> ControlCommand:
+        if self._reference is not None:
+            # Carrot-following along the reference: the target handed in by
+            # the primitive node may lie behind an obstacle corner relative
+            # to the drone's (deviated) position, whereas the reference
+            # polyline is collision-free by construction.
+            target = self._reference.advance_from(state.position, self.lookahead)
+        tracking = pd_acceleration(
+            state,
+            target,
+            position_gain=self.params.position_gain,
+            velocity_gain=self.params.velocity_gain,
+            max_speed=self.params.max_speed,
+            max_acceleration=self.params.max_acceleration,
+        )
+        urgency = self._urgency(state)
+        if urgency <= 0.0:
+            acceleration = tracking
+        else:
+            # Blend between making progress and retreating from the obstacle:
+            # the deeper the drone is inside the recovery band, the more the
+            # repulsive/braking terms dominate.  This keeps property P2b
+            # (clearance keeps increasing until φ_safer) while still letting
+            # the safe controller track waypoints that pass near obstacles.
+            away = self._away_direction(state.position)
+            # Slide along the obstacle face toward the target instead of
+            # pushing straight back — the classic potential-field fix that
+            # prevents the controller from dead-locking behind a corner.
+            to_target = (target - state.position).with_z(0.0)
+            if to_target.norm() > 1e-6:
+                to_target = to_target.unit()
+                tangential = to_target - away * to_target.dot(away)
+            else:
+                tangential = Vec3.zero()
+            escape = away + tangential * 0.8
+            escape = escape.unit() if escape.norm() > 1e-6 else away
+            repulsion = escape * self.params.max_acceleration
+            braking = state.velocity * (-self.params.velocity_gain)
+            acceleration = (
+                tracking * (1.0 - 0.8 * urgency)
+                + repulsion * (0.7 * urgency)
+                + braking * (0.3 * urgency)
+            )
+        acceleration = acceleration.clamp_norm(self.params.max_acceleration)
+        return ControlCommand(acceleration=acceleration)
+
+    def _urgency(self, state: DroneState) -> float:
+        """0 when comfortably clear of obstacles, 1 at the certified margin."""
+        if self.workspace is None:
+            return 0.0
+        clearance = self.workspace.clearance(state.position)
+        if clearance >= self.recovery_clearance:
+            return 0.0
+        floor = self.params.obstacle_margin
+        band = max(self.recovery_clearance - floor, 1e-6)
+        return min(1.0, max(0.0, (self.recovery_clearance - clearance) / band))
+
+    def _away_direction(self, position: Vec3) -> Vec3:
+        """Unit vector pointing away from the nearest obstacle / boundary."""
+        assert self.workspace is not None
+        nearest_box = None
+        nearest_dist = float("inf")
+        for obstacle in self.workspace.obstacles:
+            dist = obstacle.distance_to_point(position)
+            if dist < nearest_dist:
+                nearest_dist = dist
+                nearest_box = obstacle
+        directions = []
+        if nearest_box is not None and nearest_dist < float("inf"):
+            closest = nearest_box.closest_point(position)
+            away = position - closest
+            if away.norm() < 1e-6:
+                away = position - nearest_box.center
+            directions.append(away.unit())
+        # Also push away from the workspace boundary if that is the nearest hazard.
+        boundary_dist = self.workspace.distance_to_boundary(position)
+        if boundary_dist < nearest_dist:
+            center = self.workspace.bounds.center
+            toward_center = (center - position).with_z(0.0)
+            if toward_center.norm() > 1e-6:
+                directions = [toward_center.unit()]
+        if not directions:
+            return Vec3.zero()
+        combined = Vec3.zero()
+        for direction in directions:
+            combined = combined + direction
+        return combined.unit() if combined.norm() > 1e-6 else Vec3.zero()
+
+
+class BrakingController(WaypointTracker):
+    """A minimal certified controller that simply brakes to a hover.
+
+    Used by the quickstart example and unit tests as the simplest possible
+    safe controller: bounded dynamics guarantee it stops within its
+    stopping distance, after which the state no longer changes.
+    """
+
+    name = "braking"
+
+    def __init__(self, max_acceleration: float, velocity_gain: float = 4.0) -> None:
+        if max_acceleration <= 0.0:
+            raise ValueError("max_acceleration must be positive")
+        self.max_acceleration = max_acceleration
+        self.velocity_gain = velocity_gain
+
+    def command(self, state: DroneState, target: Vec3, now: float) -> ControlCommand:
+        acceleration = (state.velocity * (-self.velocity_gain)).clamp_norm(self.max_acceleration)
+        return ControlCommand(acceleration=acceleration)

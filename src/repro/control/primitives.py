@@ -1,0 +1,153 @@
+"""Motion-primitive nodes: the SOTER nodes wrapping the waypoint trackers.
+
+A motion-primitive node (the ``MotionPrimitive`` node of Figure 4 in the
+paper) subscribes to the drone's estimated position and the current motion
+plan, tracks the plan waypoint by waypoint, and publishes the low-level
+control command.  Both the untrusted advanced primitive and the certified
+safe primitive are instances of the same node class parameterised with
+different trackers, which keeps their I/O signatures identical as the RTA
+module requires (property P1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..core.node import Node
+from ..dynamics import ControlCommand, DroneState
+from ..geometry import Vec3
+from ..planning import Plan
+from .base import WaypointTracker
+
+
+@dataclass
+class PrimitiveProgress:
+    """Mutable tracking state of a motion-primitive node."""
+
+    plan_id: Optional[int] = None
+    waypoint_index: int = 0
+    waypoints_reached: int = 0
+
+
+class MotionPrimitiveNode(Node):
+    """Tracks the active motion plan with a pluggable waypoint tracker."""
+
+    def __init__(
+        self,
+        name: str,
+        tracker: WaypointTracker,
+        plan_topic: str = "activePlan",
+        position_topic: str = "localPosition",
+        command_topic: str = "controlCommand",
+        period: float = 0.05,
+        capture_radius: float = 1.0,
+    ) -> None:
+        if capture_radius <= 0.0:
+            raise ValueError("capture_radius must be positive")
+        super().__init__(
+            name=name,
+            subscribes=(plan_topic, position_topic),
+            publishes=(command_topic,),
+            period=period,
+        )
+        self.tracker = tracker
+        self.plan_topic = plan_topic
+        self.position_topic = position_topic
+        self.command_topic = command_topic
+        self.capture_radius = capture_radius
+        self.progress = PrimitiveProgress()
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self.progress = PrimitiveProgress()
+
+    # ------------------------------------------------------------------ #
+    # the read → compute → publish step
+    # ------------------------------------------------------------------ #
+    def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        state = inputs.get(self.position_topic)
+        plan = inputs.get(self.plan_topic)
+        if not isinstance(state, DroneState):
+            # Without a position estimate the safest command is "no thrust".
+            return {self.command_topic: ControlCommand.hover()}
+        target = self._current_target(state, plan)
+        if target is None:
+            return {self.command_topic: ControlCommand.hover()}
+        command = self.tracker.command(state, target, now)
+        return {self.command_topic: command}
+
+    def _current_target(self, state: DroneState, plan: Any) -> Optional[Vec3]:
+        if not isinstance(plan, Plan):
+            return None
+        if plan.plan_id != self.progress.plan_id:
+            # A new plan arrived: restart tracking from its beginning.
+            self.progress = PrimitiveProgress(plan_id=plan.plan_id, waypoint_index=0)
+            self.tracker.set_plan(plan)
+        index = self.progress.waypoint_index
+        target = plan.waypoint_after(index)
+        # Advance through waypoints as they are captured.
+        while (
+            index < len(plan.waypoints) - 1
+            and state.position.distance_to(target) <= self.capture_radius
+        ):
+            index += 1
+            self.progress.waypoint_index = index
+            self.progress.waypoints_reached += 1
+            target = plan.waypoint_after(index)
+        return target
+
+    # ------------------------------------------------------------------ #
+    # progress queries (used by the surveillance application and metrics)
+    # ------------------------------------------------------------------ #
+    def tracking_plan(self) -> Optional[int]:
+        """The identifier of the plan currently being tracked."""
+        return self.progress.plan_id
+
+    def remaining_waypoints(self, plan: Optional[Plan]) -> int:
+        """How many waypoints of ``plan`` are still ahead of the drone."""
+        if plan is None or plan.plan_id != self.progress.plan_id:
+            return 0 if plan is None else len(plan.waypoints)
+        return max(0, len(plan.waypoints) - 1 - self.progress.waypoint_index)
+
+
+class MotionPrimitiveLibrary:
+    """A small registry of named trackers (the paper's "motion primitive library")."""
+
+    def __init__(self) -> None:
+        self._trackers: dict[str, WaypointTracker] = {}
+
+    def register(self, tracker: WaypointTracker, name: Optional[str] = None) -> None:
+        """Register a tracker under a name (defaults to the tracker's own name)."""
+        key = name or tracker.name
+        if key in self._trackers:
+            raise ValueError(f"a tracker named {key!r} is already registered")
+        self._trackers[key] = tracker
+
+    def get(self, name: str) -> WaypointTracker:
+        try:
+            return self._trackers[name]
+        except KeyError as exc:
+            raise KeyError(f"no tracker named {name!r} is registered") from exc
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._trackers.keys())
+
+    def make_node(
+        self,
+        tracker_name: str,
+        node_name: str,
+        plan_topic: str = "activePlan",
+        position_topic: str = "localPosition",
+        command_topic: str = "controlCommand",
+        period: float = 0.05,
+    ) -> MotionPrimitiveNode:
+        """Instantiate a motion-primitive node around a registered tracker."""
+        return MotionPrimitiveNode(
+            name=node_name,
+            tracker=self.get(tracker_name),
+            plan_topic=plan_topic,
+            position_topic=position_topic,
+            command_topic=command_topic,
+            period=period,
+        )

@@ -1,0 +1,62 @@
+"""The safe-landing controller (SC of the battery-safety RTA module).
+
+When the battery decision module determines that continuing the mission
+may leave too little charge to land (``bt - cost* < T_max``), it hands
+control to a certified planner that "safely lands the drone from its
+current position" (Section V-B).  This controller implements that
+behaviour: kill horizontal velocity, then descend at a fixed safe rate
+until touchdown.
+"""
+
+from __future__ import annotations
+
+from ..dynamics import ControlCommand, DroneState
+from ..geometry import Vec3
+from .base import WaypointTracker
+
+
+class SafeLandingController(WaypointTracker):
+    """Brings the drone to a hover and descends vertically at a safe rate."""
+
+    name = "safe-landing"
+
+    def __init__(
+        self,
+        descent_speed: float = 1.0,
+        max_acceleration: float = 4.0,
+        velocity_gain: float = 3.0,
+        touchdown_altitude: float = 0.15,
+    ) -> None:
+        if descent_speed <= 0.0:
+            raise ValueError("descent_speed must be positive")
+        if touchdown_altitude < 0.0:
+            raise ValueError("touchdown_altitude must be non-negative")
+        self.descent_speed = descent_speed
+        self.max_acceleration = max_acceleration
+        self.velocity_gain = velocity_gain
+        self.touchdown_altitude = touchdown_altitude
+
+    def landed(self, state: DroneState) -> bool:
+        """True once the drone has reached the ground and is (nearly) at rest."""
+        return state.altitude <= self.touchdown_altitude and state.speed <= 0.3
+
+    def command(self, state: DroneState, target: Vec3, now: float) -> ControlCommand:
+        # The target waypoint is ignored: landing happens at the current (x, y).
+        if self.landed(state):
+            return ControlCommand.hover()
+        horizontal_velocity = Vec3(state.velocity.x, state.velocity.y, 0.0)
+        if state.altitude > self.touchdown_altitude:
+            desired_vertical = -self.descent_speed
+        else:
+            desired_vertical = 0.0
+        desired_velocity = Vec3(0.0, 0.0, desired_vertical)
+        acceleration = (desired_velocity - state.velocity) * self.velocity_gain
+        # Slow the final metre of descent to avoid a hard touchdown.
+        if state.altitude < 1.0:
+            acceleration = Vec3(
+                acceleration.x,
+                acceleration.y,
+                acceleration.z * 0.6,
+            )
+        del horizontal_velocity  # documented intent; PD already damps it
+        return ControlCommand(acceleration=acceleration.clamp_norm(self.max_acceleration))

@@ -1,0 +1,93 @@
+"""SOTER core: the programming model, RTA modules, semantics, and compiler."""
+
+from .errors import (
+    CompilationError,
+    CompositionError,
+    ModuleError,
+    NodeError,
+    SchedulingError,
+    SimulationError,
+    SoterError,
+    TopicError,
+    WellFormednessError,
+)
+from .topics import Topic, TopicBoard, TopicRegistry
+from .node import ConstantNode, FunctionNode, Node, RelayNode, validate_outputs
+from .calendar import Calendar, CalendarEntry, hyperperiod
+from .specs import SafetySpec, always_safe, never_safe
+from .module import ModuleCertificate, RTAModuleInstance, RTAModuleSpec
+from .decision import DecisionModule, Mode, ModeSwitch
+from .regions import Region, classify_region, is_consistent
+from .wellformed import (
+    CheckResult,
+    CheckerOptions,
+    WellFormednessChecker,
+    WellFormednessReport,
+    structural_report,
+)
+from .system import RTASystem, compose_all
+from .semantics import EngineStatistics, SemanticsEngine
+from .monitor import (
+    InvariantMonitor,
+    MonitorResult,
+    MonitorSuite,
+    TopicSafetyMonitor,
+    Violation,
+)
+from .compiler import CompilationResult, Program, SoterCompiler, compile_program
+from .codegen import generate_c_source, generate_decision_module
+
+__all__ = [
+    "CompilationError",
+    "CompositionError",
+    "ModuleError",
+    "NodeError",
+    "SchedulingError",
+    "SimulationError",
+    "SoterError",
+    "TopicError",
+    "WellFormednessError",
+    "Topic",
+    "TopicBoard",
+    "TopicRegistry",
+    "ConstantNode",
+    "FunctionNode",
+    "Node",
+    "RelayNode",
+    "validate_outputs",
+    "Calendar",
+    "CalendarEntry",
+    "hyperperiod",
+    "SafetySpec",
+    "always_safe",
+    "never_safe",
+    "ModuleCertificate",
+    "RTAModuleInstance",
+    "RTAModuleSpec",
+    "DecisionModule",
+    "Mode",
+    "ModeSwitch",
+    "Region",
+    "classify_region",
+    "is_consistent",
+    "CheckResult",
+    "CheckerOptions",
+    "WellFormednessChecker",
+    "WellFormednessReport",
+    "structural_report",
+    "RTASystem",
+    "compose_all",
+    "EngineStatistics",
+    "SemanticsEngine",
+    "InvariantMonitor",
+    "MonitorResult",
+    "MonitorSuite",
+    "TopicSafetyMonitor",
+    "Violation",
+    "CompilationResult",
+    "Program",
+    "SoterCompiler",
+    "compile_program",
+    "generate_c_source",
+    "generate_decision_module",
+]

@@ -1,0 +1,154 @@
+"""Calendar (time-table) machinery for timeout-based discrete-event execution.
+
+The paper models each periodic node with a calendar of future firing times
+and uses timeout-based discrete event simulation [18] to execute the
+multi-rate periodic system as a discrete transition system.  The
+:class:`Calendar` here plays the role of ``CS`` in Section IV: it tracks
+the next firing time of every node, advances time to the earliest entry,
+and reports which nodes are enabled (the ``FN`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .errors import SchedulingError
+from .node import Node
+
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CalendarEntry:
+    """A single scheduled firing of a node."""
+
+    time: float
+    node_name: str
+
+
+class Calendar:
+    """Tracks the nominal and effective next firing time of each node.
+
+    The *nominal* schedule is the ideal periodic time-table (offset,
+    offset + period, ...).  The *effective* time is the nominal time plus
+    any release jitter injected by a scheduling policy; this is how the
+    runtime models OS-timer scheduling (Section V of the paper observed
+    crashes precisely because the safe controller was not scheduled in
+    time, and the endurance benchmark reproduces that with jitter).
+    """
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._periods: Dict[str, float] = {}
+        self._nominal_next: Dict[str, float] = {}
+        self._effective_next: Dict[str, float] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: Node) -> None:
+        """Register a node's periodic time-table."""
+        if node.name in self._periods:
+            raise SchedulingError(f"node {node.name!r} is already scheduled")
+        self._periods[node.name] = node.period
+        self._nominal_next[node.name] = node.offset
+        self._effective_next[node.name] = node.offset
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._periods
+
+    def __len__(self) -> int:
+        return len(self._periods)
+
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._periods.keys())
+
+    def period_of(self, node_name: str) -> float:
+        """The period of a scheduled node."""
+        return self._periods[node_name]
+
+    # ------------------------------------------------------------------ #
+    # schedule queries
+    # ------------------------------------------------------------------ #
+    def next_time(self) -> Optional[float]:
+        """The earliest effective firing time, or None if nothing is scheduled."""
+        if not self._effective_next:
+            return None
+        return min(self._effective_next.values())
+
+    def due_nodes(self, time: float) -> List[str]:
+        """Nodes whose effective firing time equals ``time`` (the FN set)."""
+        return [
+            name
+            for name, t in self._effective_next.items()
+            if abs(t - time) <= _TIME_EPS
+        ]
+
+    def nominal_time_of(self, node_name: str) -> float:
+        """The nominal (jitter-free) time of the node's next firing."""
+        return self._nominal_next[node_name]
+
+    def effective_time_of(self, node_name: str) -> float:
+        """The effective (possibly jittered) time of the node's next firing."""
+        return self._effective_next[node_name]
+
+    # ------------------------------------------------------------------ #
+    # schedule updates
+    # ------------------------------------------------------------------ #
+    def reschedule(self, node_name: str, jitter: float = 0.0, not_before: float = 0.0) -> None:
+        """Advance a node's schedule by one period after it fired (or was dropped).
+
+        ``not_before`` is the current time of the system: when a firing was
+        released late (jitter pushed it past one or more nominal activation
+        points), the skipped nominal activations are treated as missed and
+        the schedule catches up to the first activation not earlier than the
+        current time — which is how a periodic OS timer behaves when its
+        handler overruns.
+        """
+        if node_name not in self._periods:
+            raise SchedulingError(f"node {node_name!r} is not scheduled")
+        if jitter < 0.0:
+            raise SchedulingError("release jitter must be non-negative")
+        period = self._periods[node_name]
+        nominal = self._nominal_next[node_name] + period
+        while nominal < not_before - _TIME_EPS:
+            nominal += period
+        self._nominal_next[node_name] = nominal
+        self._effective_next[node_name] = nominal + jitter
+
+    def apply_jitter(self, node_name: str, jitter: float) -> None:
+        """Apply release jitter to the node's *current* pending firing."""
+        if jitter < 0.0:
+            raise SchedulingError("release jitter must be non-negative")
+        self._effective_next[node_name] = self._nominal_next[node_name] + jitter
+
+    def entries_until(self, horizon: float) -> List[CalendarEntry]:
+        """All nominal calendar entries up to ``horizon`` (for inspection/tests)."""
+        entries: List[CalendarEntry] = []
+        for name, period in self._periods.items():
+            t = self._nominal_next[name]
+            while t <= horizon + _TIME_EPS:
+                entries.append(CalendarEntry(time=round(t, 9), node_name=name))
+                t += period
+        entries.sort(key=lambda e: (e.time, e.node_name))
+        return entries
+
+
+def hyperperiod(periods: Iterable[float], resolution: float = 1e-3) -> float:
+    """Least common multiple of a set of periods, at a fixed resolution.
+
+    Used by the systematic testing engine to bound exploration depth to a
+    whole number of hyperperiods of the multi-rate system.
+    """
+    from math import gcd
+
+    ticks = []
+    for period in periods:
+        if period <= 0.0:
+            raise SchedulingError("periods must be positive")
+        ticks.append(max(1, round(period / resolution)))
+    if not ticks:
+        return 0.0
+    lcm = ticks[0]
+    for t in ticks[1:]:
+        lcm = lcm * t // gcd(lcm, t)
+    return lcm * resolution

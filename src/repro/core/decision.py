@@ -1,0 +1,155 @@
+"""The decision module (DM): the generated switching node of an RTA module.
+
+The SOTER compiler generates one DM per declared RTA module.  Every Δ the
+DM reads the monitored state and applies the switching logic of Figure 9:
+
+* in AC mode, if ``Reach(st, *, 2Δ) ⊄ φ_safe`` (i.e. ``ttf_2Δ`` holds) it
+  switches to SC;
+* in SC mode, if the state has recovered into ``φ_safer`` it hands control
+  back to AC (the novel reverse switch of the paper).
+
+The DM publishes on no topic; instead the semantics engine consults its
+``mode`` after every DM step to enable/disable the outputs of the AC and
+SC nodes (the ``OE`` map of Figure 11).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+from .module import RTAModuleSpec
+from .node import Node
+
+
+class Mode(enum.Enum):
+    """Operating mode of an RTA module."""
+
+    AC = "AC"
+    SC = "SC"
+
+
+@dataclass(frozen=True)
+class ModeSwitch:
+    """A recorded mode change, with the reason the DM took it."""
+
+    time: float
+    module: str
+    previous: Mode
+    new: Mode
+    reason: str
+    monitored_state: Any = None
+
+    @property
+    def is_disengagement(self) -> bool:
+        """True when the switch took control away from the advanced controller."""
+        return self.previous is Mode.AC and self.new is Mode.SC
+
+
+class DecisionModule(Node):
+    """The generated decision-module node of an RTA module."""
+
+    def __init__(self, spec: RTAModuleSpec, initial_mode: Mode = Mode.SC) -> None:
+        # The DM runs exactly every Δ (property P1a: δ(N_dm) = Δ) and
+        # subscribes to everything the AC/SC read plus the state topics.
+        super().__init__(
+            name=spec.decision_node_name,
+            subscribes=spec.dm_subscriptions(),
+            publishes=(),
+            period=spec.delta,
+            offset=0.0,
+        )
+        self.spec = spec
+        self._initial_mode = initial_mode
+        self.mode: Mode = initial_mode
+        self.switches: List[ModeSwitch] = []
+        self.evaluations: int = 0
+        self.missing_state_evaluations: int = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self.mode = self._initial_mode
+        self.switches = []
+        self.evaluations = 0
+        self.missing_state_evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # the switching logic of Figure 9
+    # ------------------------------------------------------------------ #
+    def decide(self, state: Any) -> tuple[Mode, str]:
+        """Pure switching decision given the monitored state."""
+        if state is None:
+            # Fail-safe: without a state estimate the DM cannot establish
+            # the AC-mode invariant, so it keeps (or takes) SC control.
+            return Mode.SC, "no state estimate available"
+        if self.mode is Mode.AC:
+            if self.spec.ttf(state):
+                return Mode.SC, "Reach(st, *, 2Δ) may leave φ_safe (ttf_2Δ)"
+            return Mode.AC, "φ_safe guaranteed for the next 2Δ"
+        # mode is SC
+        if self.spec.safer_spec.contains(state):
+            return Mode.AC, "state recovered into φ_safer"
+        return Mode.SC, "state not yet in φ_safer"
+
+    def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        self.evaluations += 1
+        state = self.spec.monitored_state(inputs)
+        if state is None:
+            self.missing_state_evaluations += 1
+        new_mode, reason = self.decide(state)
+        if new_mode is not self.mode:
+            self.switches.append(
+                ModeSwitch(
+                    time=now,
+                    module=self.spec.name,
+                    previous=self.mode,
+                    new=new_mode,
+                    reason=reason,
+                    monitored_state=state,
+                )
+            )
+            self.mode = new_mode
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # statistics used by the evaluation benchmarks
+    # ------------------------------------------------------------------ #
+    @property
+    def disengagements(self) -> List[ModeSwitch]:
+        """All AC→SC switches (the paper's "disengagements")."""
+        return [switch for switch in self.switches if switch.is_disengagement]
+
+    @property
+    def reengagements(self) -> List[ModeSwitch]:
+        """All SC→AC switches (control returned to the advanced controller)."""
+        return [switch for switch in self.switches if not switch.is_disengagement]
+
+    def mode_intervals(self, start_time: float, end_time: float) -> List[tuple[float, float, Mode]]:
+        """Time intervals spent in each mode between ``start_time`` and ``end_time``."""
+        if end_time < start_time:
+            raise ValueError("end_time must not precede start_time")
+        intervals: List[tuple[float, float, Mode]] = []
+        current_mode = self._initial_mode
+        current_start = start_time
+        for switch in self.switches:
+            t = min(max(switch.time, start_time), end_time)
+            if t > current_start:
+                intervals.append((current_start, t, current_mode))
+            current_mode = switch.new
+            current_start = t
+        if end_time > current_start:
+            intervals.append((current_start, end_time, current_mode))
+        return intervals
+
+    def time_fraction_in_mode(self, mode: Mode, start_time: float, end_time: float) -> float:
+        """Fraction of the interval spent in ``mode`` (0 if the interval is empty)."""
+        total = end_time - start_time
+        if total <= 0.0:
+            return 0.0
+        in_mode = sum(
+            b - a for a, b, m in self.mode_intervals(start_time, end_time) if m is mode
+        )
+        return in_mode / total

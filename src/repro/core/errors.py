@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SOTER framework."""
+
+from __future__ import annotations
+
+
+class SoterError(Exception):
+    """Base class for all errors raised by the framework."""
+
+
+class TopicError(SoterError):
+    """A topic was declared, published, or subscribed to incorrectly."""
+
+
+class NodeError(SoterError):
+    """A node declaration violates the programming model (Section III-A)."""
+
+
+class ModuleError(SoterError):
+    """An RTA module declaration is malformed (Section III-B)."""
+
+
+class WellFormednessError(SoterError):
+    """A declared RTA module failed the well-formedness checks (Section III-C)."""
+
+
+class CompositionError(SoterError):
+    """A set of RTA modules is not composable (Section IV)."""
+
+
+class CompilationError(SoterError):
+    """The SOTER compiler rejected a program."""
+
+    def __init__(self, message: str, diagnostics: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
+class SchedulingError(SoterError):
+    """The runtime scheduler was configured or used incorrectly."""
+
+
+class SimulationError(SoterError):
+    """The co-simulation of the plant and the SOTER program failed."""

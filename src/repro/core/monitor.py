@@ -1,0 +1,166 @@
+"""Safety and invariant monitors.
+
+Monitors observe the running system (its topic valuation and module modes)
+and record violations.  They serve two purposes in the reproduction:
+
+* validating Theorem 3.1's invariant ``φ_Inv`` online (the
+  :class:`InvariantMonitor`), and
+* measuring how often the *unprotected* stack violates φ_safe (Figure 5)
+  versus the RTA-protected stack (Figures 12a–c, Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from .decision import Mode
+from .module import RTAModuleInstance
+from .semantics import SemanticsEngine
+from .specs import SafetySpec
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A recorded violation of a monitored property."""
+
+    time: float
+    monitor: str
+    message: str
+    state: Any = None
+
+
+@dataclass
+class MonitorResult:
+    """Violations accumulated by one monitor."""
+
+    name: str
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def count(self) -> int:
+        return len(self.violations)
+
+
+class TopicSafetyMonitor:
+    """Checks a :class:`SafetySpec` against the value of a topic every sample."""
+
+    def __init__(
+        self,
+        name: str,
+        topic: str,
+        spec: SafetySpec,
+        ignore_missing: bool = True,
+    ) -> None:
+        self.name = name
+        self.topic = topic
+        self.spec = spec
+        self.ignore_missing = ignore_missing
+        self.result = MonitorResult(name=name)
+
+    def check(self, engine: SemanticsEngine) -> Optional[Violation]:
+        """Evaluate the property on the current topic value; record any violation."""
+        value = engine.read_topic(self.topic)
+        if value is None and self.ignore_missing:
+            return None
+        if self.spec.contains(value):
+            return None
+        violation = Violation(
+            time=engine.current_time,
+            monitor=self.name,
+            message=f"topic {self.topic!r} violates {self.spec.name}",
+            state=value,
+        )
+        self.result.violations.append(violation)
+        return violation
+
+
+class InvariantMonitor:
+    """Checks Theorem 3.1's invariant ``φ_Inv(mode, s)`` for one module.
+
+    ``φ_Inv`` holds when either the module is in SC mode and the monitored
+    state is in φ_safe, or the module is in AC mode and every state
+    reachable within Δ (under any controller) is in φ_safe.  The caller
+    supplies ``may_leave_within(state, horizon)`` — a sound
+    over-approximate check that Reach(state, *, horizon) escapes φ_safe —
+    typically built from :class:`repro.reachability.WorstCaseReachability`.
+    """
+
+    def __init__(
+        self,
+        module: RTAModuleInstance,
+        may_leave_within: Callable[[Any, float], bool],
+        state_topic: Optional[str] = None,
+    ) -> None:
+        self.module = module
+        self.may_leave_within = may_leave_within
+        self.state_topic = state_topic or module.spec.state_topics[0]
+        self.name = f"phi_inv[{module.name}]"
+        self.result = MonitorResult(name=self.name)
+        self.samples = 0
+
+    def holds(self, mode: Mode, state: Any) -> bool:
+        """Evaluate φ_Inv on a (mode, state) pair."""
+        if state is None:
+            return True  # nothing to check yet
+        if mode is Mode.SC:
+            return self.module.spec.safe_spec.contains(state)
+        return not self.may_leave_within(state, self.module.spec.delta)
+
+    def check(self, engine: SemanticsEngine) -> Optional[Violation]:
+        """Evaluate φ_Inv on the running system."""
+        self.samples += 1
+        state = engine.read_topic(self.state_topic)
+        mode = self.module.decision.mode
+        if self.holds(mode, state):
+            return None
+        violation = Violation(
+            time=engine.current_time,
+            monitor=self.name,
+            message=f"φ_Inv violated in mode {mode.value}",
+            state=state,
+        )
+        self.result.violations.append(violation)
+        return violation
+
+
+class MonitorSuite:
+    """A collection of monitors evaluated together after every sampling instant."""
+
+    def __init__(self, monitors: Optional[List[Any]] = None) -> None:
+        self.monitors: List[Any] = list(monitors or [])
+
+    def add(self, monitor: Any) -> None:
+        self.monitors.append(monitor)
+
+    def check_all(self, engine: SemanticsEngine) -> List[Violation]:
+        """Run every monitor once; returns the new violations."""
+        new: List[Violation] = []
+        for monitor in self.monitors:
+            violation = monitor.check(engine)
+            if violation is not None:
+                new.append(violation)
+        return new
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All violations recorded so far, across monitors, in time order."""
+        everything: List[Violation] = []
+        for monitor in self.monitors:
+            everything.extend(monitor.result.violations)
+        return sorted(everything, key=lambda v: v.time)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = ["monitor summary:"]
+        for monitor in self.monitors:
+            status = "ok" if monitor.result.ok else f"{monitor.result.count} violation(s)"
+            lines.append(f"  {monitor.name}: {status}")
+        return "\n".join(lines)

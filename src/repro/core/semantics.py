@@ -1,0 +1,242 @@
+"""Operational semantics of an RTA system (Figure 11 of the paper).
+
+The engine executes the timeout-based discrete-event semantics over
+configurations ``(L, OE, ct, FN, Topics)``:
+
+* **ENVIRONMENT-INPUT** — :meth:`SemanticsEngine.set_input` updates an
+  environment topic at any time;
+* **DISCRETE-TIME-PROGRESS-STEP** — when no node is pending, time advances
+  to the earliest calendar entry and the due nodes become pending;
+* **DM-STEP** — a pending decision module reads the monitored state, runs
+  the switching logic, and the engine updates the output-enable map ``OE``
+  for its AC and SC;
+* **AC-OR-SC-STEP** — a pending ordinary node steps; its outputs are
+  published only if its output is enabled in ``OE`` (non-controlled nodes
+  are always enabled).
+
+Local node state ``L`` lives on the node objects themselves; the engine
+holds everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from .calendar import Calendar
+from .decision import DecisionModule, Mode
+from .errors import SimulationError
+from .node import Node, validate_outputs
+from .system import RTASystem
+from .topics import TopicBoard
+
+
+class SchedulingPolicy(Protocol):
+    """How node firings are released relative to their nominal calendar times.
+
+    The perfect policy releases every firing exactly on time; the jittery
+    OS-timer policy of :mod:`repro.runtime.scheduler` adds release delay
+    and occasionally drops a firing, which is how the reproduction models
+    the paper's observation that crashes occurred when the SC "was not
+    scheduled in time".
+    """
+
+    def release_jitter(self, node: Node, nominal_time: float) -> float:
+        """Extra delay (seconds ≥ 0) before the node's next firing is released."""
+
+    def drops_execution(self, node: Node, nominal_time: float) -> bool:
+        """True if this firing is skipped entirely (overrun / missed activation)."""
+
+
+class _PerfectPolicy:
+    """Default policy: no jitter, no drops."""
+
+    def release_jitter(self, node: Node, nominal_time: float) -> float:
+        return 0.0
+
+    def drops_execution(self, node: Node, nominal_time: float) -> bool:
+        return False
+
+
+class EngineListener(Protocol):
+    """Observer hooks for tracing and metrics collection."""
+
+    def on_node_fired(self, time: float, node: Node, outputs: Mapping[str, Any], enabled: bool) -> None:
+        ...
+
+    def on_mode_switch(self, time: float, module_name: str, previous: Mode, new: Mode, reason: str) -> None:
+        ...
+
+    def on_environment_input(self, time: float, topic: str, value: Any) -> None:
+        ...
+
+
+@dataclass
+class EngineStatistics:
+    """Counters the benchmarks and tests read after a run."""
+
+    node_firings: int = 0
+    dropped_firings: int = 0
+    suppressed_publishes: int = 0
+    environment_inputs: int = 0
+    mode_switches: int = 0
+    time_progress_steps: int = 0
+
+
+class SemanticsEngine:
+    """Executes an :class:`~repro.core.system.RTASystem` per Figure 11."""
+
+    def __init__(
+        self,
+        system: RTASystem,
+        scheduler: Optional[SchedulingPolicy] = None,
+        listeners: Sequence[EngineListener] = (),
+        start_time: float = 0.0,
+    ) -> None:
+        self.system = system
+        self.scheduler: SchedulingPolicy = scheduler or _PerfectPolicy()
+        self.listeners: List[EngineListener] = list(listeners)
+        self.current_time = start_time
+        self.board = TopicBoard(registry=system.topics)
+        self.calendar: Calendar = system.build_calendar()
+        self.stats = EngineStatistics()
+        self._nodes: Dict[str, Node] = {node.name: node for node in system.all_nodes()}
+        self._dm_for: Dict[str, DecisionModule] = {}
+        # Output-enable map OE: SC nodes start enabled, AC nodes disabled
+        # (every module boots in SC mode), everything else always enabled.
+        self.output_enabled: Dict[str, bool] = {}
+        for module in system.modules:
+            self._dm_for[module.decision.name] = module.decision
+            self.output_enabled[module.spec.advanced.name] = False
+            self.output_enabled[module.spec.safe.name] = True
+        for node in system.all_nodes():
+            node.reset()
+
+    # ------------------------------------------------------------------ #
+    # ENVIRONMENT-INPUT
+    # ------------------------------------------------------------------ #
+    def set_input(self, topic: str, value: Any) -> None:
+        """Environment transition: update an input topic at the current time."""
+        self.board.publish(topic, value)
+        self.stats.environment_inputs += 1
+        for listener in self.listeners:
+            listener.on_environment_input(self.current_time, topic, value)
+
+    def read_topic(self, topic: str) -> Any:
+        """Read the current global value of a topic."""
+        return self.board.read(topic)
+
+    # ------------------------------------------------------------------ #
+    # time progress and node firing
+    # ------------------------------------------------------------------ #
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next scheduled discrete step (None if nothing is scheduled)."""
+        return self.calendar.next_time()
+
+    def step(self) -> Tuple[float, List[str]]:
+        """Advance time to the next calendar entry and fire every due node.
+
+        Returns the new current time and the names of the nodes that fired.
+        Firing order within a time instant is deterministic (calendar
+        insertion order restricted to the due set) unless a systematic
+        testing scheduler permutes it via :meth:`fire_due_nodes`.
+        """
+        next_time = self.calendar.next_time()
+        if next_time is None:
+            raise SimulationError("the system has no scheduled nodes")
+        if next_time < self.current_time - 1e-9:
+            raise SimulationError(
+                f"calendar time {next_time} went backwards from {self.current_time}"
+            )
+        self.current_time = max(self.current_time, next_time)
+        self.stats.time_progress_steps += 1
+        due = self.calendar.due_nodes(next_time)
+        fired = self.fire_due_nodes(due)
+        return self.current_time, fired
+
+    def fire_due_nodes(self, due: Sequence[str], order: Optional[Sequence[str]] = None) -> List[str]:
+        """Fire the due nodes (DM-STEP / AC-OR-SC-STEP) in the given order."""
+        ordering = list(order) if order is not None else list(due)
+        if set(ordering) != set(due):
+            raise SimulationError("firing order must be a permutation of the due nodes")
+        fired: List[str] = []
+        for name in ordering:
+            node = self._nodes[name]
+            nominal = self.calendar.nominal_time_of(name)
+            if self.scheduler.drops_execution(node, nominal):
+                self.stats.dropped_firings += 1
+                self._reschedule(node)
+                continue
+            self._fire(node)
+            fired.append(name)
+            self._reschedule(node)
+        return fired
+
+    def _reschedule(self, node: Node) -> None:
+        jitter = max(0.0, self.scheduler.release_jitter(node, self.calendar.nominal_time_of(node.name)))
+        self.calendar.reschedule(node.name, jitter=jitter, not_before=self.current_time)
+
+    def _fire(self, node: Node) -> None:
+        inputs = self.board.read_many(node.subscribes)
+        outputs = validate_outputs(node, node.step(self.current_time, inputs) or {})
+        self.stats.node_firings += 1
+        if isinstance(node, DecisionModule):
+            self._apply_decision(node)
+            enabled = True
+        else:
+            enabled = self.output_enabled.get(node.name, True)
+            if enabled:
+                self.board.publish_many(outputs)
+            elif outputs:
+                self.stats.suppressed_publishes += 1
+        for listener in self.listeners:
+            listener.on_node_fired(self.current_time, node, outputs, enabled)
+
+    def _apply_decision(self, dm: DecisionModule) -> None:
+        """DM-STEP: propagate the DM's mode into the output-enable map."""
+        module_spec = dm.spec
+        ac_enabled = dm.mode is Mode.AC
+        self.output_enabled[module_spec.advanced.name] = ac_enabled
+        self.output_enabled[module_spec.safe.name] = not ac_enabled
+        if dm.switches and abs(dm.switches[-1].time - self.current_time) <= 1e-9:
+            switch = dm.switches[-1]
+            self.stats.mode_switches += 1
+            for listener in self.listeners:
+                listener.on_mode_switch(
+                    self.current_time, switch.module, switch.previous, switch.new, switch.reason
+                )
+
+    # ------------------------------------------------------------------ #
+    # convenience drivers
+    # ------------------------------------------------------------------ #
+    def run_until(
+        self,
+        end_time: float,
+        environment: Optional[Callable[["SemanticsEngine", float], None]] = None,
+        stop_when: Optional[Callable[["SemanticsEngine"], bool]] = None,
+    ) -> None:
+        """Run the system until ``end_time`` (exclusive of later events).
+
+        ``environment`` is called before each discrete step with the engine
+        and the upcoming step time; it models the ENVIRONMENT-INPUT
+        transitions (the plant co-simulation uses it to publish sensor
+        values).  ``stop_when`` allows early termination (mission complete,
+        collision, ...).
+        """
+        while True:
+            next_time = self.peek_next_time()
+            if next_time is None or next_time > end_time + 1e-12:
+                break
+            if environment is not None:
+                environment(self, next_time)
+            self.step()
+            if stop_when is not None and stop_when(self):
+                break
+
+    def mode_of(self, module_name: str) -> Mode:
+        """Current mode of a module."""
+        return self.system.module_named(module_name).decision.mode
+
+    def dm_of(self, module_name: str) -> DecisionModule:
+        """The decision module of a module."""
+        return self.system.module_named(module_name).decision

@@ -1,0 +1,166 @@
+"""RTA systems: compositions of RTA modules and plain nodes (Section IV).
+
+An RTA *system* is a set of composable RTA modules plus any unprotected
+nodes (e.g. the application layer and trusted state estimators).  Two
+modules are composable when their node names are disjoint and their output
+topics are disjoint; Theorem 4.1 then lifts the per-module invariants to
+the composite system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .calendar import Calendar
+from .decision import DecisionModule
+from .errors import CompositionError
+from .module import RTAModuleInstance
+from .node import Node
+from .topics import Topic, TopicRegistry
+
+
+@dataclass
+class RTASystem:
+    """A composed system of RTA modules, plain nodes, and topic declarations."""
+
+    modules: List[RTAModuleInstance] = field(default_factory=list)
+    nodes: List[Node] = field(default_factory=list)
+    topics: TopicRegistry = field(default_factory=TopicRegistry)
+    name: str = "rta-system"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # composability (Section IV)
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check node-name uniqueness and output disjointness of all modules."""
+        names: Set[str] = set()
+        for node in self.all_nodes():
+            if node.name in names:
+                raise CompositionError(
+                    f"node name {node.name!r} is used more than once in system {self.name!r}"
+                )
+            names.add(node.name)
+        self._check_output_disjointness()
+
+    def _check_output_disjointness(self) -> None:
+        seen: Dict[str, str] = {}
+        for module in self.modules:
+            for topic in module.output_topics:
+                if topic in seen and seen[topic] != module.name:
+                    raise CompositionError(
+                        f"modules {seen[topic]!r} and {module.name!r} both publish on topic {topic!r}"
+                    )
+                seen[topic] = module.name
+        for node in self.nodes:
+            for topic in node.publishes:
+                if topic in seen:
+                    raise CompositionError(
+                        f"node {node.name!r} and module {seen[topic]!r} both publish on topic {topic!r}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # derived attributes (Section IV's ACNodes, SCNodes, Nodes, OS, IS, CS)
+    # ------------------------------------------------------------------ #
+    def all_nodes(self) -> List[Node]:
+        """Every node of the system: module ACs, SCs, DMs, and plain nodes."""
+        result: List[Node] = []
+        for module in self.modules:
+            result.extend(module.nodes)
+        result.extend(self.nodes)
+        return result
+
+    def node_named(self, name: str) -> Node:
+        """Look up any node by name."""
+        for node in self.all_nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r} in system {self.name!r}")
+
+    def module_named(self, name: str) -> RTAModuleInstance:
+        """Look up a module by name."""
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"no module named {name!r} in system {self.name!r}")
+
+    def decision_modules(self) -> List[DecisionModule]:
+        """All generated decision modules."""
+        return [module.decision for module in self.modules]
+
+    def ac_nodes(self) -> Dict[str, str]:
+        """Map DM node name → AC node name (the paper's ``ACNodes``)."""
+        return {module.decision.name: module.spec.advanced.name for module in self.modules}
+
+    def sc_nodes(self) -> Dict[str, str]:
+        """Map DM node name → SC node name (the paper's ``SCNodes``)."""
+        return {module.decision.name: module.spec.safe.name for module in self.modules}
+
+    def controlled_nodes(self) -> Set[str]:
+        """Names of all nodes whose outputs are gated by some DM."""
+        names: Set[str] = set()
+        for module in self.modules:
+            names.update(module.spec.controlled_node_names)
+        return names
+
+    def output_topics(self) -> Set[str]:
+        """All topics published by some node of the system (the paper's ``OS``)."""
+        topics: Set[str] = set()
+        for node in self.all_nodes():
+            topics.update(node.publishes)
+        return topics
+
+    def input_topics(self) -> Set[str]:
+        """Topics read by the system but produced by the environment (``IS``)."""
+        subscribed: Set[str] = set()
+        for node in self.all_nodes():
+            subscribed.update(node.subscribes)
+        return subscribed - self.output_topics()
+
+    def build_calendar(self) -> Calendar:
+        """The system calendar ``CS`` over all nodes."""
+        return Calendar(self.all_nodes())
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "RTASystem", name: Optional[str] = None) -> "RTASystem":
+        """Parallel composition of two RTA systems (Theorem 4.1).
+
+        The constructor re-validates composability (disjoint node names and
+        disjoint outputs); a :class:`CompositionError` is raised otherwise.
+        """
+        merged_topics = TopicRegistry(list(self.topics) )
+        for topic in other.topics:
+            if topic.name not in merged_topics:
+                merged_topics.declare(topic)
+        return RTASystem(
+            modules=self.modules + other.modules,
+            nodes=self.nodes + other.nodes,
+            topics=merged_topics,
+            name=name or f"{self.name}||{other.name}",
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the system."""
+        lines = [f"RTA system {self.name!r}:"]
+        for module in self.modules:
+            lines.append(f"  module {module.spec.describe()}")
+        for node in self.nodes:
+            lines.append(f"  node   {node.describe()}")
+        lines.append(f"  env inputs: {sorted(self.input_topics())}")
+        return "\n".join(lines)
+
+
+def compose_all(systems: Sequence[RTASystem], name: str = "composed") -> RTASystem:
+    """Compose a sequence of RTA systems into one."""
+    if not systems:
+        raise CompositionError("cannot compose an empty collection of systems")
+    result = systems[0]
+    for system in systems[1:]:
+        result = result.compose(system)
+    result.name = name
+    return result

@@ -1,0 +1,124 @@
+"""Topics: the publish/subscribe channels of a SOTER program.
+
+Following Section III-A of the paper, a topic is a named channel with a
+value domain; nodes communicate exclusively by publishing values on topics
+and reading the (globally visible) latest value of the topics they
+subscribe to.  For simplicity of the formal model the paper replaces the
+per-node buffers with a single global valuation per topic, and this
+implementation does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .errors import TopicError
+
+
+@dataclass(frozen=True)
+class Topic:
+    """Declaration of a topic: a unique name, an optional type, and a default value."""
+
+    name: str
+    value_type: type = object
+    default: Any = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise TopicError("topic names must be non-empty strings")
+
+    def accepts(self, value: Any) -> bool:
+        """True if ``value`` is admissible for this topic."""
+        if value is None:
+            return True
+        if self.value_type is object:
+            return True
+        return isinstance(value, self.value_type)
+
+
+class TopicRegistry:
+    """A set of topic declarations with uniqueness checking."""
+
+    def __init__(self, topics: Iterable[Topic] = ()) -> None:
+        self._topics: Dict[str, Topic] = {}
+        for topic in topics:
+            self.declare(topic)
+
+    def declare(self, topic: Topic) -> Topic:
+        """Register a topic declaration; duplicate names are rejected."""
+        if topic.name in self._topics:
+            raise TopicError(f"topic {topic.name!r} is declared more than once")
+        self._topics[topic.name] = topic
+        return topic
+
+    def declare_name(self, name: str, value_type: type = object, default: Any = None) -> Topic:
+        """Convenience wrapper declaring a topic from its components."""
+        return self.declare(Topic(name=name, value_type=value_type, default=default))
+
+    def get(self, name: str) -> Topic:
+        """Look up a declaration by name."""
+        try:
+            return self._topics[name]
+        except KeyError as exc:
+            raise TopicError(f"topic {name!r} is not declared") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics
+
+    def __iter__(self) -> Iterator[Topic]:
+        return iter(self._topics.values())
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def names(self) -> Tuple[str, ...]:
+        """All declared topic names."""
+        return tuple(self._topics.keys())
+
+    def defaults(self) -> Dict[str, Any]:
+        """Initial valuation: every topic at its declared default."""
+        return {name: topic.default for name, topic in self._topics.items()}
+
+
+@dataclass
+class TopicBoard:
+    """The global valuation of all topics (the ``Topics`` map of Figure 11)."""
+
+    registry: Optional[TopicRegistry] = None
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.registry is not None:
+            defaults = self.registry.defaults()
+            defaults.update(self.values)
+            self.values = defaults
+
+    def read(self, name: str) -> Any:
+        """Current value of a topic (None if never published)."""
+        return self.values.get(name)
+
+    def read_many(self, names: Iterable[str]) -> Dict[str, Any]:
+        """Valuation of a set of topics (the node's input valuation Vals(I))."""
+        return {name: self.values.get(name) for name in names}
+
+    def publish(self, name: str, value: Any) -> None:
+        """Publish ``value`` on topic ``name`` (type-checked when declared)."""
+        if self.registry is not None and name in self.registry:
+            topic = self.registry.get(name)
+            if not topic.accepts(value):
+                raise TopicError(
+                    f"value of type {type(value).__name__} is not admissible "
+                    f"for topic {name!r} (expects {topic.value_type.__name__})"
+                )
+        self.values[name] = value
+
+    def publish_many(self, outputs: Mapping[str, Any]) -> None:
+        """Publish several topic values at once."""
+        for name, value in outputs.items():
+            self.publish(name, value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A shallow copy of the current valuation."""
+        return dict(self.values)

@@ -1,0 +1,316 @@
+"""Well-formedness checking of RTA modules (Section III-C of the paper).
+
+A module ``(N_ac, N_sc, N_dm, Δ, φ_safe, φ_safer)`` is *well-formed* when:
+
+* **P1a** — the DM runs every Δ and the AC/SC run at least that fast;
+* **P1b** — the AC and SC publish on exactly the same output topics;
+* **P2a** — (safety of SC) from φ_safe, the closed loop under SC stays in
+  φ_safe forever;
+* **P2b** — (liveness of SC) from φ_safe, the closed loop under SC
+  eventually stays in φ_safer for at least Δ;
+* **P3** — from φ_safer, *any* controller keeps the system in φ_safe for
+  2Δ.
+
+P1a/P1b are purely structural.  P2a/P2b/P3 are semantic obligations that
+the paper discharges with external verification tools; here each module
+may carry an analytic :class:`~repro.core.module.ModuleCertificate`
+(produced e.g. by the FaSTrack-style synthesis in
+:mod:`repro.reachability.fastrack`), and/or the checker validates the
+obligations by sampling-based falsification against a closed-loop model of
+the plant.  A falsification pass is *evidence*, not proof — the report
+records which kind of evidence each check used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Protocol, Sequence
+
+from .decision import DecisionModule
+from .errors import WellFormednessError
+from .module import RTAModuleSpec
+
+
+class ClosedLoopModel(Protocol):
+    """The plant-facing hooks the falsification-based checks require.
+
+    The monitored state type is opaque to the checker; only the module's
+    predicates and these hooks interpret it.
+    """
+
+    def sample_safe_state(self) -> Any:
+        """A random monitored state inside φ_safe."""
+
+    def sample_safer_state(self) -> Any:
+        """A random monitored state inside φ_safer."""
+
+    def rollout_under_safe_controller(self, state: Any, duration: float) -> Sequence[Any]:
+        """Monitored states visited when the SC alone controls the plant."""
+
+    def worst_case_stays_safe(self, state: Any, horizon: float) -> bool:
+        """True if Reach(state, *, horizon) ⊆ φ_safe (sound over-approximation)."""
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a single well-formedness check."""
+
+    name: str
+    passed: bool
+    evidence: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name} ({self.evidence}): {self.detail}"
+
+
+@dataclass
+class WellFormednessReport:
+    """Aggregated results of all checks for one module."""
+
+    module_name: str
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.passed]
+
+    def result_for(self, name: str) -> CheckResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no check named {name!r} in the report")
+
+    def summary(self) -> str:
+        lines = [f"well-formedness report for module {self.module_name!r}:"]
+        lines.extend(f"  {result}" for result in self.results)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.passed:
+            failed = ", ".join(result.name for result in self.failures)
+            raise WellFormednessError(
+                f"module {self.module_name!r} is not well-formed; failed checks: {failed}\n"
+                + self.summary()
+            )
+
+
+@dataclass
+class CheckerOptions:
+    """Tunables for the sampling-based checks."""
+
+    samples: int = 20
+    p2a_horizon: float = 20.0
+    p2b_max_time: float = 30.0
+    trust_certificates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("at least one sample is required")
+        if self.p2a_horizon <= 0.0 or self.p2b_max_time <= 0.0:
+            raise ValueError("check horizons must be positive")
+
+
+class WellFormednessChecker:
+    """Checks the well-formedness conditions of Section III-C."""
+
+    def __init__(
+        self,
+        closed_loop: Optional[ClosedLoopModel] = None,
+        options: Optional[CheckerOptions] = None,
+    ) -> None:
+        self.closed_loop = closed_loop
+        self.options = options or CheckerOptions()
+
+    # ------------------------------------------------------------------ #
+    # structural checks
+    # ------------------------------------------------------------------ #
+    def check_p1a(self, spec: RTAModuleSpec, decision: Optional[DecisionModule] = None) -> CheckResult:
+        """P1a: δ(N_dm) = Δ, δ(N_ac) ≤ Δ and δ(N_sc) ≤ Δ."""
+        problems = []
+        if spec.advanced.period > spec.delta + 1e-12:
+            problems.append(
+                f"AC period {spec.advanced.period} exceeds Δ={spec.delta}"
+            )
+        if spec.safe.period > spec.delta + 1e-12:
+            problems.append(f"SC period {spec.safe.period} exceeds Δ={spec.delta}")
+        if decision is not None and abs(decision.period - spec.delta) > 1e-12:
+            problems.append(
+                f"DM period {decision.period} differs from Δ={spec.delta}"
+            )
+        return CheckResult(
+            name="P1a",
+            passed=not problems,
+            evidence="structural",
+            detail="; ".join(problems) if problems else "periods respect Δ",
+        )
+
+    def check_p1b(self, spec: RTAModuleSpec) -> CheckResult:
+        """P1b: O(N_ac) = O(N_sc)."""
+        ac_out = set(spec.advanced.publishes)
+        sc_out = set(spec.safe.publishes)
+        passed = ac_out == sc_out and len(ac_out) > 0
+        if not ac_out:
+            detail = "the AC/SC publish no topics, so the DM has nothing to arbitrate"
+        elif passed:
+            detail = f"both publish {sorted(ac_out)}"
+        else:
+            detail = f"AC publishes {sorted(ac_out)} but SC publishes {sorted(sc_out)}"
+        return CheckResult(name="P1b", passed=passed, evidence="structural", detail=detail)
+
+    # ------------------------------------------------------------------ #
+    # semantic checks (certificate or falsification)
+    # ------------------------------------------------------------------ #
+    def check_p2a(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2a: Reach(φ_safe, N_sc, ∞) ⊆ φ_safe."""
+        if self.options.trust_certificates and spec.certificate and spec.certificate.proves_p2a:
+            return CheckResult(
+                name="P2a", passed=True, evidence="certificate",
+                detail=spec.certificate.p2a_justification,
+            )
+        if self.closed_loop is None:
+            return CheckResult(
+                name="P2a", passed=False, evidence="missing",
+                detail="no certificate and no closed-loop model supplied",
+            )
+        for index in range(self.options.samples):
+            start = self.closed_loop.sample_safe_state()
+            visited = self.closed_loop.rollout_under_safe_controller(
+                start, self.options.p2a_horizon
+            )
+            for state in visited:
+                if not spec.safe_spec.contains(state):
+                    return CheckResult(
+                        name="P2a", passed=False, evidence="falsification",
+                        detail=f"sample {index}: SC left φ_safe from {start!r}",
+                    )
+        return CheckResult(
+            name="P2a", passed=True, evidence="falsification",
+            detail=f"{self.options.samples} rollouts of {self.options.p2a_horizon}s stayed in φ_safe",
+        )
+
+    def check_p2b(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2b: from φ_safe the SC eventually keeps the system in φ_safer for ≥ Δ."""
+        if self.options.trust_certificates and spec.certificate and spec.certificate.proves_p2b:
+            return CheckResult(
+                name="P2b", passed=True, evidence="certificate",
+                detail=spec.certificate.p2b_justification,
+            )
+        if self.closed_loop is None:
+            return CheckResult(
+                name="P2b", passed=False, evidence="missing",
+                detail="no certificate and no closed-loop model supplied",
+            )
+        for index in range(self.options.samples):
+            start = self.closed_loop.sample_safe_state()
+            visited = list(
+                self.closed_loop.rollout_under_safe_controller(start, self.options.p2b_max_time)
+            )
+            if not visited:
+                return CheckResult(
+                    name="P2b", passed=False, evidence="falsification",
+                    detail=f"sample {index}: empty rollout",
+                )
+            if not self._eventually_stays_in_safer(spec, visited):
+                return CheckResult(
+                    name="P2b", passed=False, evidence="falsification",
+                    detail=(
+                        f"sample {index}: SC did not reach a φ_safer-invariant window "
+                        f"within {self.options.p2b_max_time}s from {start!r}"
+                    ),
+                )
+        return CheckResult(
+            name="P2b", passed=True, evidence="falsification",
+            detail=f"{self.options.samples} rollouts reached φ_safer and stayed ≥ Δ",
+        )
+
+    def _eventually_stays_in_safer(self, spec: RTAModuleSpec, visited: Sequence[Any]) -> bool:
+        """True if some suffix window of length ≥ Δ lies entirely in φ_safer."""
+        if len(visited) < 2:
+            return spec.safer_spec.contains(visited[0])
+        total = self.options.p2b_max_time
+        dt = total / (len(visited) - 1)
+        window = max(1, int(round(spec.delta / dt)))
+        run = 0
+        for state in visited:
+            if spec.safer_spec.contains(state):
+                run += 1
+                if run >= window:
+                    return True
+            else:
+                run = 0
+        return False
+
+    def check_p3(self, spec: RTAModuleSpec) -> CheckResult:
+        """P3: Reach(φ_safer, *, 2Δ) ⊆ φ_safe."""
+        if self.options.trust_certificates and spec.certificate and spec.certificate.proves_p3:
+            return CheckResult(
+                name="P3", passed=True, evidence="certificate",
+                detail=spec.certificate.p3_justification,
+            )
+        if self.closed_loop is None:
+            return CheckResult(
+                name="P3", passed=False, evidence="missing",
+                detail="no certificate and no closed-loop model supplied",
+            )
+        horizon = 2.0 * spec.delta
+        for index in range(self.options.samples):
+            state = self.closed_loop.sample_safer_state()
+            if not self.closed_loop.worst_case_stays_safe(state, horizon):
+                return CheckResult(
+                    name="P3", passed=False, evidence="falsification",
+                    detail=f"sample {index}: Reach(s, *, 2Δ) escapes φ_safe from {state!r}",
+                )
+        return CheckResult(
+            name="P3", passed=True, evidence="falsification",
+            detail=f"{self.options.samples} sampled φ_safer states stay safe for 2Δ",
+        )
+
+    def check_ttf_consistency(self, spec: RTAModuleSpec) -> CheckResult:
+        """φ_safer states must not trigger ttf_2Δ (otherwise the DM would oscillate)."""
+        if self.closed_loop is None:
+            return CheckResult(
+                name="ttf-consistency", passed=True, evidence="skipped",
+                detail="no closed-loop model supplied",
+            )
+        for index in range(self.options.samples):
+            state = self.closed_loop.sample_safer_state()
+            if spec.ttf(state):
+                return CheckResult(
+                    name="ttf-consistency", passed=False, evidence="falsification",
+                    detail=f"sample {index}: ttf_2Δ holds inside φ_safer at {state!r}",
+                )
+        return CheckResult(
+            name="ttf-consistency", passed=True, evidence="falsification",
+            detail="ttf_2Δ is false on all sampled φ_safer states",
+        )
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def check(
+        self, spec: RTAModuleSpec, decision: Optional[DecisionModule] = None
+    ) -> WellFormednessReport:
+        """Run every check and return the aggregated report."""
+        report = WellFormednessReport(module_name=spec.name)
+        report.results.append(self.check_p1a(spec, decision))
+        report.results.append(self.check_p1b(spec))
+        report.results.append(self.check_p2a(spec))
+        report.results.append(self.check_p2b(spec))
+        report.results.append(self.check_p3(spec))
+        report.results.append(self.check_ttf_consistency(spec))
+        return report
+
+
+def structural_report(spec: RTAModuleSpec, decision: Optional[DecisionModule] = None) -> WellFormednessReport:
+    """Run only the structural checks (P1a, P1b); used by the compiler's fast path."""
+    checker = WellFormednessChecker(closed_loop=None)
+    report = WellFormednessReport(module_name=spec.name)
+    report.results.append(checker.check_p1a(spec, decision))
+    report.results.append(checker.check_p1b(spec))
+    return report

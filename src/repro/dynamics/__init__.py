@@ -1,0 +1,32 @@
+"""Plant dynamics: drone models, battery model, and numeric integrators."""
+
+from .base import ControlCommand, DroneState, DynamicsModel
+from .battery import BatteryModel, BatteryParams, BatteryState
+from .double_integrator import (
+    BoundedDoubleIntegrator,
+    DoubleIntegratorParams,
+    conservative_drone_model,
+    default_drone_model,
+    worst_case_reach_radius,
+)
+from .integrators import euler_step, integrate, rk4_step
+from .quadrotor import LaggedQuadrotor, QuadrotorParams
+
+__all__ = [
+    "ControlCommand",
+    "DroneState",
+    "DynamicsModel",
+    "BatteryModel",
+    "BatteryParams",
+    "BatteryState",
+    "BoundedDoubleIntegrator",
+    "DoubleIntegratorParams",
+    "conservative_drone_model",
+    "default_drone_model",
+    "worst_case_reach_radius",
+    "euler_step",
+    "integrate",
+    "rk4_step",
+    "LaggedQuadrotor",
+    "QuadrotorParams",
+]

@@ -1,0 +1,109 @@
+"""Bounded double-integrator drone model.
+
+The motion-primitive safety argument in the SOTER paper only relies on the
+drone having bounded speed and bounded acceleration (that is what makes
+the 2Δ worst-case reachable set computable).  A double integrator with
+saturated acceleration and speed — the standard abstraction used by
+FaSTrack-style planners for multirotors — captures exactly that, so it is
+the primary plant model of this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Vec3
+from .base import ControlCommand, DroneState, DynamicsModel
+
+
+@dataclass
+class DoubleIntegratorParams:
+    """Physical limits and damping of the bounded double integrator."""
+
+    max_speed: float = 5.0
+    max_acceleration: float = 6.0
+    drag: float = 0.05
+    gravity_compensated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0.0:
+            raise ValueError("max_speed must be positive")
+        if self.max_acceleration <= 0.0:
+            raise ValueError("max_acceleration must be positive")
+        if self.drag < 0.0:
+            raise ValueError("drag must be non-negative")
+
+
+class BoundedDoubleIntegrator(DynamicsModel):
+    """Point-mass drone: commanded acceleration, saturated speed and acceleration."""
+
+    def __init__(self, params: DoubleIntegratorParams | None = None) -> None:
+        self.params = params or DoubleIntegratorParams()
+
+    @property
+    def max_speed(self) -> float:
+        return self.params.max_speed
+
+    @property
+    def max_acceleration(self) -> float:
+        return self.params.max_acceleration
+
+    def step(self, state: DroneState, command: ControlCommand, dt: float) -> DroneState:
+        """Trapezoidal step with acceleration and speed saturation.
+
+        The position advances with the *average* of the old and new
+        velocity, which is exact for constant acceleration; this keeps the
+        discrete plant inside the continuous-time worst-case displacement
+        bound the reachability analysis relies on.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        if not command.is_finite():
+            # A malformed command from an untrusted controller must not
+            # corrupt the plant state; treat it as "no thrust".
+            command = ControlCommand.hover()
+        accel = command.acceleration.clamp_norm(self.params.max_acceleration)
+        drag_accel = state.velocity * (-self.params.drag)
+        velocity = state.velocity + (accel + drag_accel) * dt
+        velocity = velocity.clamp_norm(self.params.max_speed)
+        position = state.position + (state.velocity + velocity) * (0.5 * dt)
+        return DroneState(position=position, velocity=velocity)
+
+    def brake_command(self, state: DroneState) -> ControlCommand:
+        """Command that decelerates the drone as fast as possible."""
+        if state.speed == 0.0:
+            return ControlCommand.hover()
+        direction = state.velocity.unit()
+        return ControlCommand(acceleration=direction * (-self.params.max_acceleration))
+
+    def time_to_stop(self, speed: float) -> float:
+        """Time needed to brake from ``speed`` to rest at full deceleration."""
+        speed = min(abs(speed), self.params.max_speed)
+        return speed / self.params.max_acceleration
+
+
+def default_drone_model() -> BoundedDoubleIntegrator:
+    """The drone model used by the case-study experiments (a 3DR-Iris-like multirotor)."""
+    return BoundedDoubleIntegrator(
+        DoubleIntegratorParams(max_speed=5.0, max_acceleration=6.0, drag=0.05)
+    )
+
+
+def conservative_drone_model(max_speed: float = 1.5) -> BoundedDoubleIntegrator:
+    """A slower model used when characterising the certified safe controller."""
+    return BoundedDoubleIntegrator(
+        DoubleIntegratorParams(max_speed=max_speed, max_acceleration=6.0, drag=0.05)
+    )
+
+
+def worst_case_reach_radius(
+    model: DynamicsModel, state: DroneState, horizon: float
+) -> float:
+    """Radius of a ball guaranteed to contain every position reachable in ``horizon``.
+
+    This is the sound over-approximation of Reach(s, *, horizon) used to
+    implement the ``ttf_2Δ`` check of the decision module (Figure 9): no
+    matter what the (possibly adversarial) advanced controller commands,
+    the drone cannot move further than this from its current position.
+    """
+    return model.max_displacement(state.speed, horizon)

@@ -1,0 +1,59 @@
+"""Fixed-step numeric integrators for the plant models.
+
+Simple explicit integrators are adequate: the plant models in the drone
+case study are smooth and the physics step (10–20 ms) is small relative to
+their time constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+StateVector = Tuple[float, ...]
+Derivative = Callable[[StateVector], StateVector]
+
+
+def _axpy(a: float, x: Sequence[float], y: Sequence[float]) -> StateVector:
+    """Return ``a * x + y`` component-wise."""
+    return tuple(a * xi + yi for xi, yi in zip(x, y))
+
+
+def euler_step(f: Derivative, state: StateVector, dt: float) -> StateVector:
+    """One explicit (forward) Euler step of size ``dt``."""
+    if dt < 0.0:
+        raise ValueError("step size must be non-negative")
+    return _axpy(dt, f(state), state)
+
+
+def rk4_step(f: Derivative, state: StateVector, dt: float) -> StateVector:
+    """One classical Runge–Kutta (RK4) step of size ``dt``."""
+    if dt < 0.0:
+        raise ValueError("step size must be non-negative")
+    k1 = f(state)
+    k2 = f(_axpy(dt / 2.0, k1, state))
+    k3 = f(_axpy(dt / 2.0, k2, state))
+    k4 = f(_axpy(dt, k3, state))
+    combined = tuple(
+        (a + 2.0 * b + 2.0 * c + d) / 6.0 for a, b, c, d in zip(k1, k2, k3, k4)
+    )
+    return _axpy(dt, combined, state)
+
+
+def integrate(
+    f: Derivative,
+    state: StateVector,
+    duration: float,
+    dt: float,
+    method: str = "rk4",
+) -> StateVector:
+    """Integrate ``f`` for ``duration`` seconds with fixed step ``dt``."""
+    if dt <= 0.0:
+        raise ValueError("step size must be positive")
+    stepper = rk4_step if method == "rk4" else euler_step
+    remaining = duration
+    current = state
+    while remaining > 1e-12:
+        step = min(dt, remaining)
+        current = stepper(f, current, step)
+        remaining -= step
+    return current

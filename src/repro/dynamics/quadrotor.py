@@ -1,0 +1,98 @@
+"""Simplified quadrotor model with first-order attitude lag.
+
+The Gazebo simulations in the SOTER paper run the PX4 firmware against a
+high-fidelity Iris model; the relevant effect for the safety argument is
+that the commanded acceleration is not realised instantaneously (attitude
+has to change first), which is what makes the aggressive controller
+overshoot.  This model captures that with a first-order lag on the
+realised acceleration on top of the bounded double integrator, providing a
+higher-fidelity (but still laptop-friendly) alternative plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Vec3
+from .base import ControlCommand, DroneState, DynamicsModel
+from .double_integrator import DoubleIntegratorParams
+
+
+@dataclass
+class QuadrotorParams:
+    """Parameters of the lagged quadrotor model."""
+
+    max_speed: float = 5.0
+    max_acceleration: float = 6.0
+    attitude_time_constant: float = 0.25
+    drag: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.attitude_time_constant <= 0.0:
+            raise ValueError("attitude_time_constant must be positive")
+        if self.max_speed <= 0.0 or self.max_acceleration <= 0.0:
+            raise ValueError("speed and acceleration limits must be positive")
+
+
+@dataclass
+class QuadrotorInternalState:
+    """Internal (non-kinematic) state: the currently realised acceleration."""
+
+    realized_acceleration: Vec3 = field(default_factory=Vec3)
+
+
+class LaggedQuadrotor(DynamicsModel):
+    """Quadrotor whose realised acceleration lags the commanded acceleration.
+
+    The lag state is kept inside the model instance (the simulator owns one
+    model per plant), so from the controllers' point of view the interface
+    is identical to the double integrator.
+    """
+
+    def __init__(self, params: QuadrotorParams | None = None) -> None:
+        self.params = params or QuadrotorParams()
+        self.internal = QuadrotorInternalState()
+
+    @property
+    def max_speed(self) -> float:
+        return self.params.max_speed
+
+    @property
+    def max_acceleration(self) -> float:
+        return self.params.max_acceleration
+
+    def reset(self) -> None:
+        """Clear the internal lag state (e.g. between missions)."""
+        self.internal = QuadrotorInternalState()
+
+    def step(self, state: DroneState, command: ControlCommand, dt: float) -> DroneState:
+        """Advance position/velocity with a first-order lag on acceleration."""
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        if not command.is_finite():
+            command = ControlCommand.hover()
+        commanded = command.acceleration.clamp_norm(self.params.max_acceleration)
+        # First-order lag: da/dt = (a_cmd - a) / tau
+        tau = self.params.attitude_time_constant
+        alpha = min(1.0, dt / tau)
+        realized = self.internal.realized_acceleration.lerp(commanded, alpha)
+        realized = realized.clamp_norm(self.params.max_acceleration)
+        self.internal = QuadrotorInternalState(realized_acceleration=realized)
+        drag_accel = state.velocity * (-self.params.drag)
+        velocity = state.velocity + (realized + drag_accel) * dt
+        velocity = velocity.clamp_norm(self.params.max_speed)
+        position = state.position + (state.velocity + velocity) * (0.5 * dt)
+        return DroneState(position=position, velocity=velocity)
+
+    def as_double_integrator_params(self) -> DoubleIntegratorParams:
+        """Conservative double-integrator abstraction of this model.
+
+        The abstraction shares the same speed/acceleration bounds, so any
+        worst-case reachability computed on the double integrator is also
+        sound for the lagged quadrotor (the lag only removes behaviours).
+        """
+        return DoubleIntegratorParams(
+            max_speed=self.params.max_speed,
+            max_acceleration=self.params.max_acceleration,
+            drag=self.params.drag,
+        )

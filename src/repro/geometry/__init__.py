@@ -1,0 +1,48 @@
+"""Geometric primitives: vectors, boxes, workspaces, occupancy grids, trajectories."""
+
+from .vec import (
+    Vec3,
+    closest_point_on_segment,
+    distance_point_to_polyline,
+    distance_point_to_segment,
+)
+from .shapes import AABB, Sphere, first_box_containing, min_distance_to_boxes
+from .workspace import (
+    Workspace,
+    corridor_workspace,
+    empty_workspace,
+    grid_city_workspace,
+    min_clearance_along,
+)
+from .occupancy import OccupancyGrid
+from .trajectory import (
+    ReferenceTrajectory,
+    Trajectory,
+    TrajectorySample,
+    Tube,
+    figure_eight,
+    mission_waypoint_square,
+)
+
+__all__ = [
+    "Vec3",
+    "closest_point_on_segment",
+    "distance_point_to_polyline",
+    "distance_point_to_segment",
+    "AABB",
+    "Sphere",
+    "first_box_containing",
+    "min_distance_to_boxes",
+    "Workspace",
+    "corridor_workspace",
+    "empty_workspace",
+    "grid_city_workspace",
+    "min_clearance_along",
+    "OccupancyGrid",
+    "ReferenceTrajectory",
+    "Trajectory",
+    "TrajectorySample",
+    "Tube",
+    "figure_eight",
+    "mission_waypoint_square",
+]

@@ -1,0 +1,171 @@
+"""3-D vector primitives used throughout the SOTER reproduction.
+
+The drone case study works in a small 3-D workspace, so a tiny immutable
+vector type is sufficient and keeps the rest of the code free of raw
+``numpy`` arrays for positions/velocities (arrays are still used in the
+numeric kernels where they pay off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3-D vector with the usual arithmetic operations."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zero() -> "Vec3":
+        """Return the zero vector."""
+        return Vec3(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_iterable(values: Iterable[float]) -> "Vec3":
+        """Build a vector from any iterable of three numbers."""
+        items = list(values)
+        if len(items) != 3:
+            raise ValueError(f"expected 3 components, got {len(items)}")
+        return Vec3(float(items[0]), float(items[1]), float(items[2]))
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        if scalar == 0.0:
+            raise ZeroDivisionError("division of Vec3 by zero")
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    def dot(self, other: "Vec3") -> float:
+        """Dot product with ``other``."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        """Cross product with ``other``."""
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.dot(self))
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids the sqrt)."""
+        return self.dot(self)
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).norm()
+
+    def horizontal_distance_to(self, other: "Vec3") -> float:
+        """Distance ignoring the z (altitude) component."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.hypot(dx, dy)
+
+    def unit(self) -> "Vec3":
+        """Unit vector in the same direction; zero vector maps to zero."""
+        n = self.norm()
+        if n == 0.0:
+            return Vec3.zero()
+        return self / n
+
+    def clamp_norm(self, max_norm: float) -> "Vec3":
+        """Scale the vector down so its norm does not exceed ``max_norm``."""
+        if max_norm < 0.0:
+            raise ValueError("max_norm must be non-negative")
+        n = self.norm()
+        if n <= max_norm or n == 0.0:
+            return self
+        return self * (max_norm / n)
+
+    def with_z(self, z: float) -> "Vec3":
+        """Copy of this vector with the z component replaced."""
+        return Vec3(self.x, self.y, float(z))
+
+    def lerp(self, other: "Vec3", alpha: float) -> "Vec3":
+        """Linear interpolation: ``self`` at alpha=0, ``other`` at alpha=1."""
+        return self + (other - self) * alpha
+
+    def is_finite(self) -> bool:
+        """True if all components are finite numbers."""
+        return all(math.isfinite(c) for c in self)
+
+    def almost_equal(self, other: "Vec3", tol: float = 1e-9) -> bool:
+        """Component-wise comparison within ``tol``."""
+        return (
+            abs(self.x - other.x) <= tol
+            and abs(self.y - other.y) <= tol
+            and abs(self.z - other.z) <= tol
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """Return ``(x, y, z)``."""
+        return (self.x, self.y, self.z)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vec3({self.x:.3f}, {self.y:.3f}, {self.z:.3f})"
+
+
+def distance_point_to_segment(point: Vec3, seg_a: Vec3, seg_b: Vec3) -> float:
+    """Distance from ``point`` to the segment ``[seg_a, seg_b]``."""
+    closest = closest_point_on_segment(point, seg_a, seg_b)
+    return point.distance_to(closest)
+
+
+def closest_point_on_segment(point: Vec3, seg_a: Vec3, seg_b: Vec3) -> Vec3:
+    """Closest point on the segment ``[seg_a, seg_b]`` to ``point``."""
+    direction = seg_b - seg_a
+    length_sq = direction.norm_sq()
+    if length_sq == 0.0:
+        return seg_a
+    t = (point - seg_a).dot(direction) / length_sq
+    t = max(0.0, min(1.0, t))
+    return seg_a + direction * t
+
+
+def distance_point_to_polyline(point: Vec3, waypoints: Iterable[Vec3]) -> float:
+    """Distance from ``point`` to the polyline through ``waypoints``."""
+    pts = list(waypoints)
+    if not pts:
+        raise ValueError("polyline must have at least one waypoint")
+    if len(pts) == 1:
+        return point.distance_to(pts[0])
+    best = math.inf
+    for a, b in zip(pts[:-1], pts[1:]):
+        best = min(best, distance_point_to_segment(point, a, b))
+    return best

@@ -1,0 +1,208 @@
+"""Workspaces: bounded regions with static obstacles.
+
+A :class:`Workspace` is the geometric model of the environment the drone
+operates in (the "city" of Figure 2 in the SOTER paper).  It provides the
+collision queries every other layer relies on: the safety predicate
+``φ_obs`` of the motion-primitive RTA module, plan validation for the
+motion-planner RTA module, and the backward-reachable-set computation used
+to derive ``ttf_2Δ`` and ``φ_safer``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .shapes import AABB, min_distance_to_boxes
+from .vec import Vec3
+
+
+@dataclass
+class Workspace:
+    """A bounded 3-D region containing static axis-aligned obstacles."""
+
+    bounds: AABB
+    obstacles: List[AABB] = field(default_factory=list)
+    name: str = "workspace"
+
+    def __post_init__(self) -> None:
+        for obstacle in self.obstacles:
+            self._check_obstacle(obstacle)
+
+    def _check_obstacle(self, obstacle: AABB) -> None:
+        if not self.bounds.intersects(obstacle):
+            raise ValueError(f"obstacle {obstacle} lies entirely outside the workspace bounds")
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def add_obstacle(self, obstacle: AABB) -> None:
+        """Add a static obstacle, validating that it overlaps the bounds."""
+        self._check_obstacle(obstacle)
+        self.obstacles.append(obstacle)
+
+    def with_margin(self, margin: float) -> "Workspace":
+        """Copy of the workspace with every obstacle inflated by ``margin``."""
+        inflated = [obstacle.inflate(margin) for obstacle in self.obstacles]
+        return Workspace(bounds=self.bounds, obstacles=inflated, name=f"{self.name}+{margin:.2f}m")
+
+    # ------------------------------------------------------------------ #
+    # collision queries
+    # ------------------------------------------------------------------ #
+    def in_bounds(self, point: Vec3, margin: float = 0.0) -> bool:
+        """True if ``point`` lies inside the workspace bounds shrunk by ``margin``."""
+        return (
+            self.bounds.lo.x + margin <= point.x <= self.bounds.hi.x - margin
+            and self.bounds.lo.y + margin <= point.y <= self.bounds.hi.y - margin
+            and self.bounds.lo.z + margin <= point.z <= self.bounds.hi.z - margin
+        )
+
+    def in_obstacle(self, point: Vec3, margin: float = 0.0) -> bool:
+        """True if ``point`` is inside (or within ``margin`` of) any obstacle."""
+        return any(obstacle.contains(point, margin=margin) for obstacle in self.obstacles)
+
+    def is_free(self, point: Vec3, margin: float = 0.0) -> bool:
+        """True if ``point`` is inside bounds and not within ``margin`` of an obstacle."""
+        return self.in_bounds(point) and not self.in_obstacle(point, margin=margin)
+
+    def segment_is_free(self, seg_a: Vec3, seg_b: Vec3, margin: float = 0.0) -> bool:
+        """True if the straight segment between the endpoints avoids all obstacles."""
+        if not (self.in_bounds(seg_a) and self.in_bounds(seg_b)):
+            return False
+        return not any(
+            obstacle.segment_intersects(seg_a, seg_b, margin=margin) for obstacle in self.obstacles
+        )
+
+    def distance_to_nearest_obstacle(self, point: Vec3) -> float:
+        """Distance to the nearest obstacle surface (inf if there are none)."""
+        return min_distance_to_boxes(point, self.obstacles)
+
+    def distance_to_boundary(self, point: Vec3, include_floor: bool = False) -> float:
+        """Distance from ``point`` to the workspace boundary (negative if outside).
+
+        By default the lower z face (the ground plane) is excluded: the
+        drone is supposed to fly close to — and land on — the ground, so
+        only the lateral walls and the ceiling count as hazards.
+        """
+        dx = min(point.x - self.bounds.lo.x, self.bounds.hi.x - point.x)
+        dy = min(point.y - self.bounds.lo.y, self.bounds.hi.y - point.y)
+        dz = self.bounds.hi.z - point.z
+        if include_floor:
+            dz = min(dz, point.z - self.bounds.lo.z)
+        return min(dx, dy, dz)
+
+    def clearance(self, point: Vec3) -> float:
+        """Minimum of obstacle distance and (floor-less) boundary distance.
+
+        This is the quantity the motion-primitive safety predicate and the
+        level-set substitute reason about: the drone is in ``φ_safe`` as
+        long as its clearance is positive.
+        """
+        return min(self.distance_to_nearest_obstacle(point), self.distance_to_boundary(point))
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def random_free_point(
+        self,
+        rng: random.Random,
+        margin: float = 0.0,
+        altitude_range: Optional[Tuple[float, float]] = None,
+        max_tries: int = 1000,
+    ) -> Vec3:
+        """Sample a collision-free point uniformly from the workspace.
+
+        ``margin`` is enforced as a *clearance* requirement — distance to
+        both obstacles and the lateral walls/ceiling — so sampled goals are
+        places a drone can actually be sent to.  ``altitude_range``
+        restricts the z component, which is how the surveillance
+        application keeps goals at flying altitude.
+        """
+        for _ in range(max_tries):
+            point = self.bounds.random_point(rng)
+            if altitude_range is not None:
+                point = point.with_z(rng.uniform(*altitude_range))
+            if self.is_free(point) and self.clearance(point) >= margin:
+                return point
+        raise RuntimeError(
+            f"could not sample a free point in workspace {self.name!r} after {max_tries} tries"
+        )
+
+    def clamp(self, point: Vec3) -> Vec3:
+        """Clamp ``point`` into the workspace bounds."""
+        return self.bounds.clamp(point)
+
+
+def grid_city_workspace(
+    width: float = 50.0,
+    depth: float = 50.0,
+    ceiling: float = 12.0,
+    building_rows: int = 3,
+    building_cols: int = 3,
+    building_size: float = 6.0,
+    building_height: float = 8.0,
+    street_margin: float = 6.0,
+    name: str = "city",
+) -> Workspace:
+    """Build a regular city-block workspace like the Gazebo city of Figure 2.
+
+    Buildings are laid out on a regular grid with streets between them; the
+    drone flies below the ceiling and between the buildings.  All parameters
+    are in metres.
+    """
+    if building_rows < 1 or building_cols < 1:
+        raise ValueError("the city must have at least one building row and column")
+    bounds = AABB(Vec3(0.0, 0.0, 0.0), Vec3(width, depth, ceiling))
+    workspace = Workspace(bounds=bounds, obstacles=[], name=name)
+    usable_w = width - 2 * street_margin
+    usable_d = depth - 2 * street_margin
+    step_x = usable_w / building_cols
+    step_y = usable_d / building_rows
+    if building_size >= min(step_x, step_y):
+        raise ValueError("buildings are too large for the requested grid spacing")
+    for row in range(building_rows):
+        for col in range(building_cols):
+            cx = street_margin + (col + 0.5) * step_x
+            cy = street_margin + (row + 0.5) * step_y
+            footprint_x = cx - building_size / 2.0
+            footprint_y = cy - building_size / 2.0
+            workspace.add_obstacle(
+                AABB.from_footprint(footprint_x, footprint_y, building_size, building_size, building_height)
+            )
+    return workspace
+
+
+def corridor_workspace(
+    length: float = 40.0,
+    width: float = 10.0,
+    ceiling: float = 8.0,
+    pillar_positions: Sequence[float] = (12.0, 24.0),
+    pillar_size: float = 2.5,
+    pillar_height: float = 6.0,
+    name: str = "corridor",
+) -> Workspace:
+    """A long corridor with pillars; used for the g1..g4 square-mission experiments."""
+    bounds = AABB(Vec3(0.0, 0.0, 0.0), Vec3(length, width, ceiling))
+    workspace = Workspace(bounds=bounds, obstacles=[], name=name)
+    for x in pillar_positions:
+        footprint_x = x - pillar_size / 2.0
+        footprint_y = width / 2.0 - pillar_size / 2.0
+        workspace.add_obstacle(
+            AABB.from_footprint(footprint_x, footprint_y, pillar_size, pillar_size, pillar_height)
+        )
+    return workspace
+
+
+def empty_workspace(side: float = 20.0, ceiling: float = 10.0, name: str = "empty") -> Workspace:
+    """An obstacle-free box, useful for unit tests and the quickstart example."""
+    return Workspace(bounds=AABB(Vec3(0.0, 0.0, 0.0), Vec3(side, side, ceiling)), obstacles=[], name=name)
+
+
+def min_clearance_along(points: Iterable[Vec3], workspace: Workspace) -> float:
+    """Minimum clearance of a sequence of points with respect to ``workspace``."""
+    best = math.inf
+    for point in points:
+        best = min(best, workspace.clearance(point))
+    return best

@@ -1,0 +1,19 @@
+"""Motion planning substrate: plans, A*, RRT*, validation, and fault injection."""
+
+from .plan import Plan, landing_plan, straight_line_plan
+from .astar import GridAStarPlanner
+from .rrt_star import RRTStarPlanner
+from .validation import PlanValidation, PlanValidator
+from .faulty import FaultyPlanner, PlannerBug
+
+__all__ = [
+    "Plan",
+    "landing_plan",
+    "straight_line_plan",
+    "GridAStarPlanner",
+    "RRTStarPlanner",
+    "PlanValidation",
+    "PlanValidator",
+    "FaultyPlanner",
+    "PlannerBug",
+]

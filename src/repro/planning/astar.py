@@ -1,0 +1,138 @@
+"""Grid A* planner: the certified motion planner (SC of the planner RTA module).
+
+Section V-C of the paper wraps the (buggy) third-party RRT* planner in an
+RTA module; the safe counterpart must be a planner that is simple enough
+to certify.  A deterministic A* search over an inflated occupancy grid,
+followed by plan validation, is that counterpart here: it always returns a
+plan whose every segment keeps the configured clearance, or reports that
+no such plan exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import OccupancyGrid, Vec3, Workspace
+from .plan import Plan
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class GridAStarPlanner:
+    """Deterministic A* over a 2-D occupancy grid at a fixed flight altitude."""
+
+    workspace: Workspace
+    resolution: float = 0.5
+    clearance: float = 1.0
+    altitude: float = 2.0
+    name: str = "grid-astar"
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        if self.clearance < 0.0:
+            raise ValueError("clearance must be non-negative")
+        self.grid = OccupancyGrid.from_workspace(
+            self.workspace, resolution=self.resolution, inflate=self.clearance, altitude=self.altitude
+        )
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(self, start: Vec3, goal: Vec3, created_at: float = 0.0) -> Optional[Plan]:
+        """Plan from ``start`` to ``goal``; returns None when no safe path exists."""
+        start_cell = self._nearest_free_cell(self.grid.world_to_cell(start))
+        goal_cell = self._nearest_free_cell(self.grid.world_to_cell(goal))
+        if start_cell is None or goal_cell is None:
+            return None
+        cells = self._search(start_cell, goal_cell)
+        if cells is None:
+            return None
+        waypoints = self._cells_to_waypoints(start, goal, cells)
+        return Plan(waypoints=tuple(waypoints), goal=goal, planner=self.name, created_at=created_at)
+
+    def _search(self, start: Cell, goal: Cell) -> Optional[List[Cell]]:
+        open_heap: List[Tuple[float, Cell]] = [(0.0, start)]
+        came_from: Dict[Cell, Cell] = {}
+        g_score: Dict[Cell, float] = {start: 0.0}
+        closed: set = set()
+        while open_heap:
+            _, current = heapq.heappop(open_heap)
+            if current in closed:
+                continue
+            if current == goal:
+                return self._reconstruct(came_from, current)
+            closed.add(current)
+            for neighbor in self.grid.neighbors(current, diagonal=True):
+                if self.grid.is_occupied_cell(neighbor) or neighbor in closed:
+                    continue
+                step = self._distance(current, neighbor)
+                tentative = g_score[current] + step
+                if tentative < g_score.get(neighbor, math.inf):
+                    g_score[neighbor] = tentative
+                    came_from[neighbor] = current
+                    priority = tentative + self._distance(neighbor, goal)
+                    heapq.heappush(open_heap, (priority, neighbor))
+        return None
+
+    def _distance(self, a: Cell, b: Cell) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1]) * self.resolution
+
+    @staticmethod
+    def _reconstruct(came_from: Dict[Cell, Cell], current: Cell) -> List[Cell]:
+        path = [current]
+        while current in came_from:
+            current = came_from[current]
+            path.append(current)
+        path.reverse()
+        return path
+
+    def _nearest_free_cell(self, cell: Cell, max_radius: int = 6) -> Optional[Cell]:
+        """The cell itself if free, otherwise the closest free cell nearby."""
+        if self.grid.in_grid(cell) and not self.grid.is_occupied_cell(cell):
+            return cell
+        best: Optional[Cell] = None
+        best_dist = math.inf
+        ci, cj = cell
+        for di in range(-max_radius, max_radius + 1):
+            for dj in range(-max_radius, max_radius + 1):
+                candidate = (ci + di, cj + dj)
+                if not self.grid.in_grid(candidate) or self.grid.is_occupied_cell(candidate):
+                    continue
+                dist = math.hypot(di, dj)
+                if dist < best_dist:
+                    best_dist = dist
+                    best = candidate
+        return best
+
+    # ------------------------------------------------------------------ #
+    # path post-processing
+    # ------------------------------------------------------------------ #
+    def _cells_to_waypoints(self, start: Vec3, goal: Vec3, cells: List[Cell]) -> List[Vec3]:
+        raw = [start.with_z(self.altitude)]
+        raw.extend(self.grid.cell_to_world(cell, altitude=self.altitude) for cell in cells)
+        raw.append(goal.with_z(self.altitude))
+        return self._shortcut(raw)
+
+    def _shortcut(self, waypoints: List[Vec3]) -> List[Vec3]:
+        """Greedy line-of-sight shortcutting that preserves the clearance margin."""
+        if len(waypoints) <= 2:
+            return waypoints
+        result = [waypoints[0]]
+        index = 0
+        while index < len(waypoints) - 1:
+            # Find the furthest waypoint reachable in a straight, safe segment.
+            next_index = index + 1
+            for candidate in range(len(waypoints) - 1, index, -1):
+                if self.workspace.segment_is_free(
+                    waypoints[index], waypoints[candidate], margin=self.clearance * 0.9
+                ):
+                    next_index = candidate
+                    break
+            result.append(waypoints[next_index])
+            index = next_index
+        return result

@@ -1,0 +1,88 @@
+"""Motion plans: the value exchanged between the planner and the primitives.
+
+The motion planner publishes a :class:`Plan` — an identified sequence of
+waypoints from the drone's current position toward a goal — on a topic the
+motion-primitive nodes subscribe to (Figure 3 of the paper).  Plans are
+immutable values: when the planner produces a new one it publishes a new
+object with a fresh identifier, which is how the primitives detect that
+their waypoint index must reset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..geometry import ReferenceTrajectory, Vec3, Workspace
+
+_plan_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An immutable motion plan: ordered waypoints toward a goal."""
+
+    waypoints: Tuple[Vec3, ...]
+    goal: Vec3
+    planner: str = "unknown"
+    plan_id: int = field(default_factory=lambda: next(_plan_counter))
+    created_at: float = 0.0
+    is_landing: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.waypoints:
+            raise ValueError("a plan must contain at least one waypoint")
+
+    def __len__(self) -> int:
+        return len(self.waypoints)
+
+    @property
+    def final_waypoint(self) -> Vec3:
+        return self.waypoints[-1]
+
+    def reference(self) -> ReferenceTrajectory:
+        """The piecewise-straight reference trajectory through the waypoints."""
+        return ReferenceTrajectory(self.waypoints)
+
+    def length(self) -> float:
+        """Total path length of the plan."""
+        return self.reference().length()
+
+    def is_collision_free(self, workspace: Workspace, margin: float = 0.0) -> bool:
+        """True if every plan segment keeps ``margin`` clearance from obstacles."""
+        return self.reference().is_collision_free(workspace, margin=margin)
+
+    def waypoint_after(self, index: int) -> Vec3:
+        """The waypoint at ``index``, clamped to the final waypoint."""
+        clamped = min(max(index, 0), len(self.waypoints) - 1)
+        return self.waypoints[clamped]
+
+    def with_prefix(self, start: Vec3) -> "Plan":
+        """A copy whose first waypoint is ``start`` (used to splice the current position)."""
+        return Plan(
+            waypoints=(start,) + self.waypoints,
+            goal=self.goal,
+            planner=self.planner,
+            created_at=self.created_at,
+            is_landing=self.is_landing,
+        )
+
+
+def straight_line_plan(
+    start: Vec3, goal: Vec3, planner: str = "straight-line", created_at: float = 0.0
+) -> Plan:
+    """The trivial single-segment plan from ``start`` to ``goal``."""
+    return Plan(waypoints=(start, goal), goal=goal, planner=planner, created_at=created_at)
+
+
+def landing_plan(position: Vec3, planner: str = "safe-landing", created_at: float = 0.0) -> Plan:
+    """A plan that descends vertically from ``position`` to the ground."""
+    touchdown = Vec3(position.x, position.y, 0.0)
+    return Plan(
+        waypoints=(position, touchdown),
+        goal=touchdown,
+        planner=planner,
+        created_at=created_at,
+        is_landing=True,
+    )

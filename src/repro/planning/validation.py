@@ -1,0 +1,61 @@
+"""Plan validation: the φ_plan safety predicate of the planner RTA module.
+
+``φ_plan`` (Section II-A of the paper) requires that "the motion planner
+must always generate a motion plan such that the reference trajectory does
+not collide with any obstacle".  The validator below evaluates exactly
+that on a :class:`~repro.planning.plan.Plan` value, and reports the first
+offending segment to make the fault-injection experiments explainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..geometry import Vec3, Workspace
+from .plan import Plan
+
+
+@dataclass(frozen=True)
+class PlanValidation:
+    """Result of validating a motion plan against a workspace."""
+
+    valid: bool
+    reason: str = ""
+    offending_segment: Optional[Tuple[Vec3, Vec3]] = None
+
+
+class PlanValidator:
+    """Checks that every plan segment keeps the required clearance."""
+
+    def __init__(self, workspace: Workspace, clearance: float = 0.5) -> None:
+        if clearance < 0.0:
+            raise ValueError("clearance must be non-negative")
+        self.workspace = workspace
+        self.clearance = clearance
+
+    def validate(self, plan: Optional[Plan]) -> PlanValidation:
+        """Validate a plan; ``None`` and empty plans are invalid."""
+        if plan is None:
+            return PlanValidation(valid=False, reason="no plan available")
+        waypoints = plan.waypoints
+        if len(waypoints) == 1:
+            if self.workspace.is_free(waypoints[0], margin=self.clearance):
+                return PlanValidation(valid=True, reason="single safe waypoint")
+            return PlanValidation(
+                valid=False,
+                reason="waypoint is inside (or too close to) an obstacle",
+                offending_segment=(waypoints[0], waypoints[0]),
+            )
+        for a, b in zip(waypoints[:-1], waypoints[1:]):
+            if not self.workspace.segment_is_free(a, b, margin=self.clearance):
+                return PlanValidation(
+                    valid=False,
+                    reason="segment intersects an obstacle (with clearance margin)",
+                    offending_segment=(a, b),
+                )
+        return PlanValidation(valid=True, reason="all segments keep the clearance margin")
+
+    def is_valid(self, plan: Optional[Plan]) -> bool:
+        """Boolean shorthand used by the planner module's φ_safe predicate."""
+        return self.validate(plan).valid

@@ -1,0 +1,29 @@
+"""Reachability substrates: worst-case intervals, grid level sets, FaSTrack-style synthesis."""
+
+from .intervals import (
+    ReachBall,
+    SampledControllerReachability,
+    WorstCaseReachability,
+    reach_ball_union,
+)
+from .levelset import BackwardReachableSet, LevelSetAnalysis
+from .fastrack import (
+    SafeTrackerParams,
+    TrackingErrorCertificate,
+    synthesize_safe_tracker,
+)
+from .sampling import StateSampler, grid_positions
+
+__all__ = [
+    "ReachBall",
+    "SampledControllerReachability",
+    "WorstCaseReachability",
+    "reach_ball_union",
+    "BackwardReachableSet",
+    "LevelSetAnalysis",
+    "SafeTrackerParams",
+    "TrackingErrorCertificate",
+    "synthesize_safe_tracker",
+    "StateSampler",
+    "grid_positions",
+]

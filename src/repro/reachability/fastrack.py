@@ -1,0 +1,119 @@
+"""FaSTrack-style safe-controller synthesis (tracking-error-bound certificate).
+
+The paper synthesises its safe controller with FaSTrack [19]: a controller
+plus a *tracking error bound* (TEB) such that, as long as the reference
+stays ``TEB`` away from obstacles, the closed loop never collides.  This
+module provides the same artefact for the bounded double-integrator plant:
+
+* a conservative tracking-controller parameterisation (speed cap, gains,
+  braking margin), and
+* an analytic :class:`TrackingErrorCertificate` giving the TEB and the
+  invariant margins the well-formedness checker (P2a/P2b/P3) can consume
+  without falsification.
+
+The derivation is standard worst-case analysis for a saturated
+double integrator: a controller that caps its speed at ``v_safe`` and
+brakes with acceleration ``a`` can always stop within
+``v_safe² / (2a)`` metres, so if it never commands motion toward an
+obstacle closer than the TEB it can never penetrate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dynamics import DynamicsModel
+from ..geometry import Workspace
+
+
+@dataclass(frozen=True)
+class SafeTrackerParams:
+    """Parameters of the certified conservative tracking controller."""
+
+    max_speed: float
+    max_acceleration: float
+    position_gain: float
+    velocity_gain: float
+    obstacle_margin: float
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0.0 or self.max_acceleration <= 0.0:
+            raise ValueError("speed and acceleration limits must be positive")
+        if self.position_gain <= 0.0 or self.velocity_gain <= 0.0:
+            raise ValueError("controller gains must be positive")
+        if self.obstacle_margin < 0.0:
+            raise ValueError("obstacle margin must be non-negative")
+
+
+@dataclass(frozen=True)
+class TrackingErrorCertificate:
+    """Analytic certificate for the safe controller (FaSTrack TEB substitute).
+
+    Attributes
+    ----------
+    tracking_error_bound:
+        Maximum distance the closed loop can stray from its reference.
+    stopping_distance:
+        Distance needed to come to rest from the capped speed.
+    invariant_clearance:
+        Clearance from obstacles that, once achieved, the safe controller
+        never loses (supports property P2a).
+    recovery_rate:
+        Lower bound on the speed at which the safe controller increases its
+        clearance while recovering (supports property P2b).
+    """
+
+    tracking_error_bound: float
+    stopping_distance: float
+    invariant_clearance: float
+    recovery_rate: float
+
+    def p2a_holds_for_clearance(self, clearance: float) -> bool:
+        """P2a: once the drone has this clearance, the SC keeps it in φ_safe."""
+        return clearance >= self.invariant_clearance
+
+    def recovery_time_bound(self, initial_clearance: float, target_clearance: float) -> float:
+        """Upper bound on the time (P2b's T) to recover the target clearance."""
+        deficit = max(0.0, target_clearance - initial_clearance)
+        if self.recovery_rate <= 0.0:
+            return float("inf")
+        return deficit / self.recovery_rate
+
+
+def synthesize_safe_tracker(
+    model: DynamicsModel,
+    workspace: Workspace,
+    safe_speed_fraction: float = 0.3,
+    obstacle_margin: float = 0.5,
+) -> tuple[SafeTrackerParams, TrackingErrorCertificate]:
+    """Derive safe-tracker parameters plus their certificate for a given plant.
+
+    The synthesis picks a conservative speed cap (a fraction of the plant's
+    maximum speed), PD gains that keep the closed loop overdamped, and an
+    obstacle margin at least as large as the stopping distance at the speed
+    cap — which is what makes the analytic certificate sound.
+    """
+    if not 0.0 < safe_speed_fraction <= 1.0:
+        raise ValueError("safe_speed_fraction must lie in (0, 1]")
+    v_safe = model.max_speed * safe_speed_fraction
+    a_max = model.max_acceleration
+    stopping = v_safe * v_safe / (2.0 * a_max)
+    # The margin must dominate the stopping distance plus numerical slack.
+    margin = max(obstacle_margin, stopping * 1.5 + 0.1)
+    params = SafeTrackerParams(
+        max_speed=v_safe,
+        max_acceleration=a_max,
+        position_gain=1.2,
+        velocity_gain=2.2,
+        obstacle_margin=margin,
+    )
+    certificate = TrackingErrorCertificate(
+        tracking_error_bound=margin,
+        stopping_distance=stopping,
+        invariant_clearance=max(stopping + 0.05, 0.1),
+        # While recovering, the SC travels away from obstacles at least at
+        # half its capped speed (the PD law is saturated toward the
+        # recovery waypoint for most of the manoeuvre).
+        recovery_rate=0.5 * v_safe,
+    )
+    return params, certificate

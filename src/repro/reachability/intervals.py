@@ -1,0 +1,178 @@
+"""Analytic worst-case (interval/box) reachability for the drone models.
+
+The decision module of a SOTER RTA module needs a *sound over-approximation*
+of ``Reach(s, *, 2Δ)`` — the set of states reachable in ``2Δ`` seconds when
+the controller is completely nondeterministic (Section III-B, Figure 9 of
+the paper).  For a plant with bounded speed and bounded acceleration, a
+ball (and hence a box) of radius equal to the worst-case displacement is
+such an over-approximation; this module computes it analytically, which is
+both fast enough to run inside the DM every period and provably
+conservative with respect to the double-integrator and lagged-quadrotor
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List
+
+from ..dynamics import ControlCommand, DroneState, DynamicsModel
+from ..geometry import AABB, Vec3, Workspace
+
+
+@dataclass(frozen=True)
+class ReachBall:
+    """A ball over-approximating the positions reachable within a horizon."""
+
+    center: Vec3
+    radius: float
+    horizon: float
+
+    def contains(self, point: Vec3) -> bool:
+        """True if ``point`` may be reached (lies inside the ball)."""
+        return self.center.distance_to(point) <= self.radius
+
+    def as_box(self) -> AABB:
+        """Axis-aligned bounding box of the ball."""
+        offset = Vec3(self.radius, self.radius, self.radius)
+        return AABB(self.center - offset, self.center + offset)
+
+
+class WorstCaseReachability:
+    """Worst-case reachability for any :class:`DynamicsModel` with bounded dynamics."""
+
+    def __init__(self, model: DynamicsModel) -> None:
+        self.model = model
+
+    def reach_ball(self, state: DroneState, horizon: float) -> ReachBall:
+        """Ball containing every position reachable within ``horizon`` seconds."""
+        radius = self.model.max_displacement(state.speed, horizon)
+        return ReachBall(center=state.position, radius=radius, horizon=horizon)
+
+    def may_leave_safe(
+        self,
+        state: DroneState,
+        workspace: Workspace,
+        horizon: float,
+        margin: float = 0.0,
+    ) -> bool:
+        """True if some reachable position within ``horizon`` is unsafe.
+
+        "Unsafe" means inside an (inflated) obstacle or outside the
+        workspace bounds; this is exactly the check
+        ``Reach(st, *, 2Δ) ⊄ φ_safe`` of Figure 9 when called with
+        ``horizon = 2Δ``.
+        """
+        ball = self.reach_ball(state, horizon)
+        # The ball escapes φ_safe iff the clearance at the center is
+        # smaller than the ball radius (clearance is a true metric
+        # distance to the unsafe set).
+        clearance = workspace.clearance(state.position) - margin
+        return clearance <= ball.radius
+
+    def unavoidable_travel_radius(self, state: DroneState, horizon: float) -> float:
+        """Worst-case travel before *any* certified braking manoeuvre can stop the plant.
+
+        The decision module must hand control to the safe controller early
+        enough that the safe controller can still avoid the obstacle.  With
+        bounded dynamics the sound bound is: the distance covered during
+        ``horizon`` seconds of adversarial control, plus the stopping
+        distance from the worst speed attainable at the end of that window.
+        This is the discrete-dynamics analogue of the value-function-based
+        switching surface a level-set computation yields.
+        """
+        travel = self.model.max_displacement(state.speed, horizon)
+        worst_speed = min(
+            self.model.max_speed, state.speed + self.model.max_acceleration * horizon
+        )
+        return travel + self.model.stopping_distance(worst_speed)
+
+    def must_switch(
+        self,
+        state: DroneState,
+        workspace: Workspace,
+        horizon: float,
+        margin: float = 0.0,
+    ) -> bool:
+        """True if the DM must switch now for the SC to be able to keep φ_safe."""
+        clearance = workspace.clearance(state.position) - margin
+        return clearance <= self.unavoidable_travel_radius(state, horizon)
+
+    def make_ttf_checker(
+        self,
+        workspace: Workspace,
+        two_delta: float,
+        margin: float = 0.0,
+        include_braking: bool = True,
+    ) -> Callable[[DroneState], bool]:
+        """Build the ``ttf_2Δ`` predicate used by the motion-primitive DM.
+
+        With ``include_braking`` (the default) the predicate also accounts
+        for the safe controller's stopping distance, so the switch happens
+        while recovery is still possible; without it the predicate is the
+        literal ``Reach(st, *, 2Δ) ⊄ φ_safe`` check of Figure 9.
+        """
+
+        def ttf(state: DroneState) -> bool:
+            if include_braking:
+                return self.must_switch(state, workspace, two_delta, margin=margin)
+            return self.may_leave_safe(state, workspace, two_delta, margin=margin)
+
+        return ttf
+
+
+class SampledControllerReachability:
+    """Under-approximate reachability for a *fixed* controller, by simulation.
+
+    Properties P2a and P2b of a well-formed RTA module quantify over the
+    closed-loop behaviour of the safe controller.  Absent an analytic
+    certificate, the well-formedness checker falsifies them by rolling the
+    closed loop forward from sampled states; this helper performs those
+    rollouts.
+    """
+
+    def __init__(self, model: DynamicsModel, dt: float = 0.02) -> None:
+        if dt <= 0.0:
+            raise ValueError("simulation step must be positive")
+        self.model = model
+        self.dt = dt
+
+    def rollout(
+        self,
+        state: DroneState,
+        controller: Callable[[DroneState, float], ControlCommand],
+        duration: float,
+    ) -> List[DroneState]:
+        """Simulate the closed loop for ``duration`` seconds; returns all visited states."""
+        if duration < 0.0:
+            raise ValueError("duration must be non-negative")
+        states = [state]
+        time = 0.0
+        current = state
+        while time < duration - 1e-12:
+            command = controller(current, time)
+            current = self.model.step(current, command, self.dt)
+            time += self.dt
+            states.append(current)
+        return states
+
+    def stays_within(
+        self,
+        state: DroneState,
+        controller: Callable[[DroneState, float], ControlCommand],
+        duration: float,
+        predicate: Callable[[DroneState], bool],
+    ) -> bool:
+        """True if every state visited during the rollout satisfies ``predicate``."""
+        return all(predicate(s) for s in self.rollout(state, controller, duration))
+
+
+def reach_ball_union(balls: Iterable[ReachBall]) -> AABB:
+    """Bounding box of a union of reach balls (used for region visualisation)."""
+    balls = list(balls)
+    if not balls:
+        raise ValueError("need at least one ball")
+    box = balls[0].as_box()
+    for ball in balls[1:]:
+        box = box.union(ball.as_box())
+    return box

@@ -1,0 +1,131 @@
+"""Grid-based backward reachable sets (Level-Set Toolbox substitute).
+
+Section V-A of the SOTER paper uses the Level-Set Toolbox to compute, over
+the 2-D workspace, the *backward reachable set* of the obstacle region
+within ``2Δ`` — the yellow region of Figure 12b from which the drone may
+leave ``φ_safe`` within ``2Δ`` — and defines ``φ_safer = R(φ_safe, 2Δ)``
+(the green region) as its complement within ``φ_safe``.
+
+For a plant whose worst-case displacement over a horizon ``t`` is a known
+scalar ``d(t)`` (bounded speed/acceleration), the backward reachable set of
+the obstacles within ``t`` is exactly the sub-level set
+``{x : dist(x, obstacles) ≤ d(t)}``.  This module computes that on an
+occupancy grid using the brushfire distance transform, which preserves the
+soundness the DM needs while replacing the external toolbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..dynamics import DroneState, DynamicsModel
+from ..geometry import OccupancyGrid, Vec3, Workspace
+
+
+@dataclass
+class BackwardReachableSet:
+    """Discrete backward reachable set of the unsafe region over a time horizon."""
+
+    grid: OccupancyGrid
+    distance: np.ndarray  # distance of each cell to the unsafe set
+    reach_radius: float  # worst-case displacement over the horizon
+    horizon: float
+
+    def contains(self, point: Vec3) -> bool:
+        """True if the unsafe set is reachable from ``point`` within the horizon."""
+        cell = self.grid.world_to_cell(point)
+        if not self.grid.in_grid(cell):
+            return True
+        return bool(self.distance[cell] <= self.reach_radius)
+
+    def clearance_margin(self, point: Vec3) -> float:
+        """How far (in metres) the point is from entering the reachable set."""
+        cell = self.grid.world_to_cell(point)
+        if not self.grid.in_grid(cell):
+            return float("-inf")
+        return float(self.distance[cell] - self.reach_radius)
+
+    def fraction_of_workspace(self) -> float:
+        """Fraction of grid cells inside the backward reachable set."""
+        total = self.distance.size
+        inside = int(np.count_nonzero(self.distance <= self.reach_radius))
+        return inside / float(total)
+
+
+class LevelSetAnalysis:
+    """Computes backward reachable sets and φ_safer regions over a workspace."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        model: DynamicsModel,
+        resolution: float = 0.5,
+        altitude: float = 2.0,
+        obstacle_inflation: float = 0.0,
+    ) -> None:
+        self.workspace = workspace
+        self.model = model
+        self.altitude = altitude
+        self.grid = OccupancyGrid.from_workspace(
+            workspace, resolution=resolution, inflate=obstacle_inflation, altitude=altitude
+        )
+        self._distance = self.grid.distance_to_occupied()
+
+    def worst_case_displacement(self, horizon: float, speed: float | None = None) -> float:
+        """Worst-case travel distance over ``horizon`` (at max speed unless given)."""
+        speed = self.model.max_speed if speed is None else speed
+        return self.model.max_displacement(speed, horizon)
+
+    def backward_reachable_set(self, horizon: float, speed: float | None = None) -> BackwardReachableSet:
+        """Cells from which the obstacle region may be entered within ``horizon``."""
+        radius = self.worst_case_displacement(horizon, speed)
+        return BackwardReachableSet(
+            grid=self.grid,
+            distance=self._distance,
+            reach_radius=radius,
+            horizon=horizon,
+        )
+
+    def safer_region_predicate(
+        self, two_delta: float, extra_margin: float = 0.0
+    ) -> Callable[[DroneState], bool]:
+        """Predicate for ``φ_safer = R(φ_safe, 2Δ)`` (Section V-A of the paper).
+
+        A state is in ``φ_safer`` when, from its position, the obstacle
+        region is *not* reachable within ``2Δ`` even under a fully
+        nondeterministic controller — plus an optional extra margin that
+        the ablation benchmarks sweep.
+        """
+        brs = self.backward_reachable_set(two_delta)
+
+        def in_safer(state: DroneState) -> bool:
+            return brs.clearance_margin(state.position) > extra_margin
+
+        return in_safer
+
+    def switching_region_predicate(self, two_delta: float) -> Callable[[DroneState], bool]:
+        """Predicate for the switching (AC→SC) region: ttf_2Δ based on the grid.
+
+        Unlike the analytic interval check, this version accounts for the
+        actual current speed of the drone, so it is less conservative when
+        the drone is flying slowly.
+        """
+
+        def ttf(state: DroneState) -> bool:
+            radius = self.model.max_displacement(state.speed, two_delta)
+            cell = self.grid.world_to_cell(state.position)
+            if not self.grid.in_grid(cell):
+                return True
+            return bool(self._distance[cell] <= radius)
+
+        return ttf
+
+    def distance_at(self, point: Vec3) -> float:
+        """Grid distance from ``point`` to the obstacle region."""
+        cell = self.grid.world_to_cell(point)
+        if not self.grid.in_grid(cell):
+            return 0.0
+        return float(self._distance[cell])

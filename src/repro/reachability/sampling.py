@@ -1,0 +1,93 @@
+"""State-space sampling utilities used by the well-formedness checker.
+
+Properties P2a, P2b and P3 of a well-formed RTA module quantify over sets
+of states (``φ_safe``, ``φ_safer``).  When no analytic certificate is
+supplied, the checker validates them by sampling states from those sets
+and simulating / over-approximating from the samples (a falsification-
+style check, documented as such in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..dynamics import DroneState
+from ..geometry import Vec3, Workspace
+
+
+@dataclass
+class StateSampler:
+    """Samples drone states (position + velocity) from a workspace region."""
+
+    workspace: Workspace
+    max_speed: float
+    altitude_range: Tuple[float, float] = (1.0, 4.0)
+    position_margin: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_speed < 0.0:
+            raise ValueError("max_speed must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def sample(self) -> DroneState:
+        """Draw a single random state with a free position and bounded speed."""
+        position = self.workspace.random_free_point(
+            self._rng, margin=self.position_margin, altitude_range=self.altitude_range
+        )
+        speed = self._rng.uniform(0.0, self.max_speed)
+        direction = self._random_direction()
+        return DroneState(position=position, velocity=direction * speed)
+
+    def sample_satisfying(
+        self,
+        predicate: Callable[[DroneState], bool],
+        count: int,
+        max_tries_per_sample: int = 200,
+    ) -> List[DroneState]:
+        """Draw ``count`` states satisfying ``predicate`` (rejection sampling)."""
+        states: List[DroneState] = []
+        for _ in range(count):
+            found: Optional[DroneState] = None
+            for _ in range(max_tries_per_sample):
+                candidate = self.sample()
+                if predicate(candidate):
+                    found = candidate
+                    break
+            if found is None:
+                raise RuntimeError(
+                    "could not sample a state satisfying the predicate; "
+                    "the region may be empty or extremely small"
+                )
+            states.append(found)
+        return states
+
+    def _random_direction(self) -> Vec3:
+        while True:
+            candidate = Vec3(
+                self._rng.uniform(-1.0, 1.0),
+                self._rng.uniform(-1.0, 1.0),
+                self._rng.uniform(-0.3, 0.3),
+            )
+            if candidate.norm() > 1e-6:
+                return candidate.unit()
+
+
+def grid_positions(
+    workspace: Workspace, spacing: float, altitude: float
+) -> Iterator[Vec3]:
+    """Deterministic grid of free positions over the workspace at an altitude."""
+    if spacing <= 0.0:
+        raise ValueError("spacing must be positive")
+    lo, hi = workspace.bounds.lo, workspace.bounds.hi
+    x = lo.x + spacing / 2.0
+    while x < hi.x:
+        y = lo.y + spacing / 2.0
+        while y < hi.y:
+            point = Vec3(x, y, altitude)
+            if workspace.is_free(point):
+                yield point
+            y += spacing
+        x += spacing

@@ -1,0 +1,22 @@
+"""Runtime: executors, scheduling policies, tracing, and fault injection."""
+
+from .executor import ExecutionResult, SimulatedTimeExecutor, WallClockExecutor
+from .faults import FaultInjector, FaultKind, FaultSpec
+from .scheduler import JitteryOSScheduler, OverloadScheduler, PerfectScheduler
+from .tracing import ExecutionTrace, FiringEvent, ModeSwitchEvent, SampleEvent
+
+__all__ = [
+    "ExecutionResult",
+    "SimulatedTimeExecutor",
+    "WallClockExecutor",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "JitteryOSScheduler",
+    "OverloadScheduler",
+    "PerfectScheduler",
+    "ExecutionTrace",
+    "FiringEvent",
+    "ModeSwitchEvent",
+    "SampleEvent",
+]

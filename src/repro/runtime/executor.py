@@ -1,0 +1,134 @@
+"""Executors: drive a compiled RTA system forward in (simulated or wall) time.
+
+The generated C runtime in the paper executes the program "according to
+the program's operational semantics" with OS timers providing the periodic
+behaviour.  The Python runtime offers two equivalents:
+
+* :class:`SimulatedTimeExecutor` — runs the discrete-event semantics as
+  fast as possible in virtual time (used by all tests and benchmarks);
+* :class:`WallClockExecutor` — paces the same semantics against the wall
+  clock (a thin demonstration of on-line execution; not used by the
+  benchmarks).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.monitor import MonitorSuite
+from ..core.semantics import SchedulingPolicy, SemanticsEngine
+from ..core.system import RTASystem
+from .tracing import ExecutionTrace
+
+EnvironmentHook = Callable[[SemanticsEngine, float], None]
+StopCondition = Callable[[SemanticsEngine], bool]
+
+
+@dataclass
+class ExecutionResult:
+    """What an executor run produced."""
+
+    engine: SemanticsEngine
+    trace: ExecutionTrace
+    monitors: MonitorSuite
+    wall_time: float
+    end_time: float
+
+    @property
+    def safe(self) -> bool:
+        """True if no monitor recorded a violation."""
+        return self.monitors.ok
+
+
+class SimulatedTimeExecutor:
+    """Runs an RTA system in virtual time with optional monitors and environment."""
+
+    def __init__(
+        self,
+        system: RTASystem,
+        scheduler: Optional[SchedulingPolicy] = None,
+        monitors: Optional[MonitorSuite] = None,
+        monitor_period: float = 0.05,
+    ) -> None:
+        if monitor_period <= 0.0:
+            raise ValueError("monitor_period must be positive")
+        self.system = system
+        self.scheduler = scheduler
+        self.monitors = monitors or MonitorSuite()
+        self.monitor_period = monitor_period
+
+    def run(
+        self,
+        duration: float,
+        environment: Optional[EnvironmentHook] = None,
+        stop_when: Optional[StopCondition] = None,
+    ) -> ExecutionResult:
+        """Execute for ``duration`` seconds of virtual time."""
+        trace = ExecutionTrace()
+        engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
+        started = _time.perf_counter()
+        next_monitor_time = 0.0
+
+        def hook(inner_engine: SemanticsEngine, upcoming: float) -> None:
+            nonlocal next_monitor_time
+            if environment is not None:
+                environment(inner_engine, upcoming)
+            while next_monitor_time <= upcoming + 1e-12:
+                self.monitors.check_all(inner_engine)
+                next_monitor_time += self.monitor_period
+
+        engine.run_until(duration, environment=hook, stop_when=stop_when)
+        wall = _time.perf_counter() - started
+        return ExecutionResult(
+            engine=engine,
+            trace=trace,
+            monitors=self.monitors,
+            wall_time=wall,
+            end_time=engine.current_time,
+        )
+
+
+class WallClockExecutor:
+    """Paces the discrete-event execution against the wall clock.
+
+    Every discrete step is delayed until its virtual time has elapsed in
+    real time (scaled by ``time_scale``).  This mirrors deploying the
+    generated program with OS timers; it exists for demonstration and for
+    the quickstart example, not for the benchmarks.
+    """
+
+    def __init__(
+        self,
+        system: RTASystem,
+        time_scale: float = 1.0,
+        scheduler: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        if time_scale <= 0.0:
+            raise ValueError("time_scale must be positive")
+        self.system = system
+        self.time_scale = time_scale
+        self.scheduler = scheduler
+
+    def run(self, duration: float, environment: Optional[EnvironmentHook] = None) -> ExecutionResult:
+        """Execute for ``duration`` seconds of virtual time, paced in real time."""
+        trace = ExecutionTrace()
+        engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
+        monitors = MonitorSuite()
+        start_wall = _time.perf_counter()
+        while True:
+            next_time = engine.peek_next_time()
+            if next_time is None or next_time > duration:
+                break
+            target_wall = start_wall + next_time / self.time_scale
+            delay = target_wall - _time.perf_counter()
+            if delay > 0:
+                _time.sleep(min(delay, 0.05))
+            if environment is not None:
+                environment(engine, next_time)
+            engine.step()
+        wall = _time.perf_counter() - start_wall
+        return ExecutionResult(
+            engine=engine, trace=trace, monitors=monitors, wall_time=wall, end_time=engine.current_time
+        )

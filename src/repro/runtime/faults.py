@@ -1,0 +1,117 @@
+"""Fault injection for untrusted components.
+
+Section V of the paper evaluates SOTER "in the presence of bugs introduced
+using fault injection in the advanced controller" and with bugs injected
+into the third-party RRT* planner.  The :class:`FaultInjector` wraps any
+node and perturbs its outputs according to a :class:`FaultSpec`, without
+the wrapped node being aware of it — exactly the situation the RTA module
+must tolerate.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.errors import NodeError
+from ..core.node import Node
+from ..dynamics import ControlCommand
+from ..geometry import Vec3
+
+
+class FaultKind(enum.Enum):
+    """Supported output fault classes."""
+
+    DROP = "drop"          # the output is silently not published
+    STUCK = "stuck"        # the last published value is repeated forever
+    BIAS = "bias"          # a constant offset is added (control commands only)
+    NOISE = "noise"        # random perturbation is added (control commands only)
+    INVERT = "invert"      # the commanded acceleration is negated (control commands only)
+
+
+@dataclass
+class FaultSpec:
+    """When and how a fault manifests."""
+
+    kind: FaultKind
+    probability: float = 1.0
+    magnitude: float = 1.0
+    start_time: float = 0.0
+    end_time: float = float("inf")
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.end_time < self.start_time:
+            raise ValueError("fault window must have end_time >= start_time")
+
+
+class FaultInjector(Node):
+    """Wraps a node and injects faults into its published outputs.
+
+    The injector preserves the wrapped node's interface (same name is NOT
+    reused — the injector gets ``<name>.faulty`` so traces can tell them
+    apart; subscriptions, publications, and period are identical, which
+    keeps well-formedness property P1 intact when the injector replaces
+    the AC inside an RTA module).
+    """
+
+    def __init__(self, inner: Node, spec: FaultSpec, rename: Optional[str] = None) -> None:
+        super().__init__(
+            name=rename or f"{inner.name}.faulty",
+            subscribes=inner.subscribes,
+            publishes=inner.publishes,
+            period=inner.period,
+            offset=inner.offset,
+        )
+        self.inner = inner
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._last_outputs: dict[str, Any] = {}
+        self.injected_faults = 0
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rng = random.Random(self.spec.seed)
+        self._last_outputs = {}
+        self.injected_faults = 0
+
+    def _active(self, now: float) -> bool:
+        if not self.spec.start_time <= now <= self.spec.end_time:
+            return False
+        return self._rng.random() < self.spec.probability
+
+    def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        outputs = dict(self.inner.step(now, inputs) or {})
+        if not self._active(now):
+            self._last_outputs = dict(outputs)
+            return outputs
+        self.injected_faults += 1
+        if self.spec.kind is FaultKind.DROP:
+            return {}
+        if self.spec.kind is FaultKind.STUCK:
+            return dict(self._last_outputs)
+        corrupted = {name: self._corrupt(value) for name, value in outputs.items()}
+        self._last_outputs = dict(corrupted)
+        return corrupted
+
+    def _corrupt(self, value: Any) -> Any:
+        """Apply the value-level fault; only control commands are perturbed."""
+        if not isinstance(value, ControlCommand):
+            return value
+        if self.spec.kind is FaultKind.BIAS:
+            offset = Vec3(self.spec.magnitude, 0.0, 0.0)
+            return ControlCommand(acceleration=value.acceleration + offset, yaw_rate=value.yaw_rate)
+        if self.spec.kind is FaultKind.NOISE:
+            noise = Vec3(
+                self._rng.uniform(-self.spec.magnitude, self.spec.magnitude),
+                self._rng.uniform(-self.spec.magnitude, self.spec.magnitude),
+                self._rng.uniform(-self.spec.magnitude, self.spec.magnitude) * 0.2,
+            )
+            return ControlCommand(acceleration=value.acceleration + noise, yaw_rate=value.yaw_rate)
+        if self.spec.kind is FaultKind.INVERT:
+            return ControlCommand(acceleration=-value.acceleration, yaw_rate=value.yaw_rate)
+        raise NodeError(f"unsupported fault kind {self.spec.kind}")

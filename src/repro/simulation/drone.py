@@ -1,0 +1,160 @@
+"""The simulated drone plant: kinematics, battery, and collision bookkeeping.
+
+This is the reproduction's stand-in for the Gazebo + PX4-in-the-loop plant
+of the paper's evaluation.  It advances the selected dynamics model with
+the currently commanded control, drains the battery, and detects
+collisions against the workspace — the ground truth the mission metrics
+are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dynamics import (
+    BatteryModel,
+    BatteryState,
+    ControlCommand,
+    DroneState,
+    DynamicsModel,
+)
+from ..geometry import Vec3, Workspace
+
+
+@dataclass(frozen=True)
+class BatteryStatus:
+    """The battery sensor reading published to the battery-safety RTA module."""
+
+    charge: float
+    altitude: float
+
+    @property
+    def depleted(self) -> bool:
+        return self.charge <= 0.0
+
+
+@dataclass
+class PlantStatus:
+    """A snapshot of everything the simulator knows about the plant."""
+
+    time: float
+    state: DroneState
+    battery: BatteryState
+    collided: bool
+    distance_flown: float
+
+
+class DronePlant:
+    """Ground-truth drone: dynamics + battery + collision detection."""
+
+    def __init__(
+        self,
+        model: DynamicsModel,
+        workspace: Workspace,
+        battery_model: Optional[BatteryModel] = None,
+        initial_state: Optional[DroneState] = None,
+        initial_charge: float = 1.0,
+        collision_margin: float = 0.0,
+        ground_altitude: float = 0.15,
+    ) -> None:
+        self.model = model
+        self.workspace = workspace
+        self.battery_model = battery_model or BatteryModel()
+        self.state = initial_state or DroneState(position=Vec3(1.0, 1.0, 2.0))
+        self.battery = BatteryState(charge=initial_charge)
+        self.collision_margin = collision_margin
+        self.ground_altitude = ground_altitude
+        self.collided = False
+        self.collision_position: Optional[Vec3] = None
+        self.battery_failed = False
+        self.distance_flown = 0.0
+        self.time = 0.0
+        self.min_clearance = workspace.clearance(self.state.position)
+
+    # ------------------------------------------------------------------ #
+    # plant evolution
+    # ------------------------------------------------------------------ #
+    def apply(self, command: Optional[ControlCommand], dt: float, disturbance: Vec3 = Vec3()) -> None:
+        """Advance the plant by ``dt`` seconds under ``command`` (None = no thrust)."""
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        self.time += dt
+        if self.collided:
+            # A collided drone stays where it hit; only the clock advances.
+            return
+        command = command or ControlCommand.hover()
+        if disturbance.norm() > 0.0:
+            command = ControlCommand(
+                acceleration=command.acceleration + disturbance, yaw_rate=command.yaw_rate
+            )
+        if self.battery.depleted and self.airborne:
+            # No charge left: the drone free-falls (modelled as strong descent).
+            command = ControlCommand(acceleration=Vec3(0.0, 0.0, -self.model.max_acceleration))
+        previous_position = self.state.position
+        self.state = self.model.step(self.state, command, dt)
+        # Keep the drone on or above the ground plane.
+        if self.state.position.z < 0.0:
+            self.state = DroneState(
+                position=self.state.position.with_z(0.0),
+                velocity=Vec3(self.state.velocity.x, self.state.velocity.y, 0.0),
+            )
+        self.distance_flown += previous_position.distance_to(self.state.position)
+        self.battery = self.battery_model.step(self.battery, command, dt)
+        if self.battery.depleted and self.airborne:
+            # Latch the failure: running out of charge in the air is a crash
+            # (φ_bat violation) even though the drone subsequently falls to
+            # the ground.
+            self.battery_failed = True
+        self._update_collision(previous_position)
+        self.min_clearance = min(self.min_clearance, self.clearance)
+
+    def _update_collision(self, previous_position: Vec3) -> None:
+        position = self.state.position
+        # Only collisions while airborne count: sitting on the ground is fine.
+        if not self.airborne:
+            return
+        hit_obstacle = self.workspace.in_obstacle(position, margin=self.collision_margin)
+        out_of_bounds = not self.workspace.in_bounds(position)
+        crossed = not self.workspace.segment_is_free(previous_position, position)
+        if hit_obstacle or out_of_bounds or crossed:
+            self.collided = True
+            self.collision_position = position
+            self.state = DroneState(position=position, velocity=Vec3.zero())
+
+    # ------------------------------------------------------------------ #
+    # derived observations
+    # ------------------------------------------------------------------ #
+    @property
+    def airborne(self) -> bool:
+        """True while the drone is above the ground-contact altitude."""
+        return self.state.position.z > self.ground_altitude
+
+    @property
+    def clearance(self) -> float:
+        """Current clearance to the nearest obstacle or boundary."""
+        return self.workspace.clearance(self.state.position)
+
+    @property
+    def crashed(self) -> bool:
+        """True if the drone collided or ran out of battery while airborne."""
+        return self.collided or self.battery_failed
+
+    @property
+    def landed(self) -> bool:
+        """True once the drone is on the ground and essentially at rest."""
+        return (not self.airborne) and self.state.speed < 0.3
+
+    def battery_status(self) -> BatteryStatus:
+        """The value published on the battery-status topic."""
+        return BatteryStatus(charge=self.battery.charge, altitude=self.state.position.z)
+
+    def status(self) -> PlantStatus:
+        """A snapshot for logging and metrics."""
+        return PlantStatus(
+            time=self.time,
+            state=self.state,
+            battery=self.battery,
+            collided=self.collided,
+            distance_flown=self.distance_flown,
+        )

@@ -1,0 +1,66 @@
+"""Environmental disturbances (wind).
+
+The paper's simplified case study assumes "no environment uncertainties
+like wind"; the reproduction keeps that default but provides wind models
+so the robustness of the RTA margins can be probed in the extension
+benchmarks and property tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..geometry import Vec3
+
+
+class NoWind:
+    """The paper's nominal assumption: no disturbance."""
+
+    def acceleration(self, time: float) -> Vec3:
+        return Vec3.zero()
+
+
+@dataclass
+class ConstantWind:
+    """A constant disturbance acceleration."""
+
+    direction: Vec3 = field(default_factory=lambda: Vec3(1.0, 0.0, 0.0))
+    strength: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.strength < 0.0:
+            raise ValueError("wind strength must be non-negative")
+        if self.direction.norm() == 0.0:
+            raise ValueError("wind direction must be non-zero")
+        self.direction = self.direction.unit()
+
+    def acceleration(self, time: float) -> Vec3:
+        return self.direction * self.strength
+
+
+@dataclass
+class GustyWind:
+    """Sinusoidal gusts with seeded random phase on top of a mean wind."""
+
+    mean: Vec3 = field(default_factory=lambda: Vec3(0.5, 0.0, 0.0))
+    gust_amplitude: float = 0.8
+    gust_period: float = 7.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gust_amplitude < 0.0 or self.gust_period <= 0.0:
+            raise ValueError("gust amplitude must be non-negative and period positive")
+        rng = random.Random(self.seed)
+        self._phase = rng.uniform(0.0, 2.0 * math.pi)
+        self._gust_direction = Vec3(
+            rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), 0.0
+        )
+        if self._gust_direction.norm() == 0.0:
+            self._gust_direction = Vec3(1.0, 0.0, 0.0)
+        self._gust_direction = self._gust_direction.unit()
+
+    def acceleration(self, time: float) -> Vec3:
+        gust = math.sin(2.0 * math.pi * time / self.gust_period + self._phase)
+        return self.mean + self._gust_direction * (self.gust_amplitude * gust)

@@ -1,0 +1,167 @@
+"""Co-simulation of the drone plant with a compiled SOTER system.
+
+This is the reproduction's Gazebo-with-firmware-in-the-loop: the SOTER
+program runs under its discrete-event semantics while, between discrete
+steps, the plant integrates the currently published control command at a
+fine physics step.  Before every discrete step the simulator publishes the
+(estimated) drone state and battery status on the program's sensor topics
+— those are the ENVIRONMENT-INPUT transitions of the formal semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.monitor import MonitorSuite
+from ..core.semantics import SchedulingPolicy, SemanticsEngine
+from ..core.system import RTASystem
+from ..dynamics import ControlCommand
+from ..geometry import Trajectory
+from ..runtime.tracing import ExecutionTrace
+from .drone import DronePlant
+from .environment import NoWind
+from .sensors import BatterySensor, StateEstimator
+
+
+@dataclass
+class SimulationConfig:
+    """Wiring and fidelity knobs of the co-simulation."""
+
+    physics_dt: float = 0.02
+    position_topic: str = "localPosition"
+    battery_topic: str = "batteryStatus"
+    command_topic: str = "controlCommand"
+    monitor_period: float = 0.1
+    record_trajectory: bool = True
+    record_signals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.physics_dt <= 0.0:
+            raise ValueError("physics_dt must be positive")
+        if self.monitor_period <= 0.0:
+            raise ValueError("monitor_period must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated mission produced."""
+
+    engine: SemanticsEngine
+    plant: DronePlant
+    trace: ExecutionTrace
+    monitors: MonitorSuite
+    trajectory: Trajectory
+    end_time: float
+    stop_reason: str
+
+    @property
+    def collided(self) -> bool:
+        return self.plant.collided
+
+    @property
+    def crashed(self) -> bool:
+        return self.plant.crashed
+
+    @property
+    def safe(self) -> bool:
+        return not self.plant.crashed and self.monitors.ok
+
+
+class DroneSimulation:
+    """Couples one :class:`DronePlant` with one compiled :class:`RTASystem`."""
+
+    def __init__(
+        self,
+        system: RTASystem,
+        plant: DronePlant,
+        estimator: Optional[StateEstimator] = None,
+        battery_sensor: Optional[BatterySensor] = None,
+        wind=None,
+        scheduler: Optional[SchedulingPolicy] = None,
+        monitors: Optional[MonitorSuite] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.system = system
+        self.plant = plant
+        self.estimator = estimator or StateEstimator()
+        self.battery_sensor = battery_sensor or BatterySensor()
+        self.wind = wind or NoWind()
+        self.scheduler = scheduler
+        self.monitors = monitors or MonitorSuite()
+        self.config = config or SimulationConfig()
+        self.trace = ExecutionTrace()
+        self.engine = SemanticsEngine(system, scheduler=scheduler, listeners=[self.trace])
+        self.trajectory = Trajectory()
+        self._last_physics_time = 0.0
+        self._next_monitor_time = 0.0
+        # Publish the initial sensor values so the very first node firings
+        # already see a state estimate.
+        self._publish_sensors()
+
+    # ------------------------------------------------------------------ #
+    # the environment hook (plant physics + sensor publication)
+    # ------------------------------------------------------------------ #
+    def _advance_plant(self, until: float) -> None:
+        until = max(until, self._last_physics_time)
+        command = self.engine.read_topic(self.config.command_topic)
+        if command is not None and not isinstance(command, ControlCommand):
+            command = None
+        while self._last_physics_time < until - 1e-12:
+            dt = min(self.config.physics_dt, until - self._last_physics_time)
+            disturbance = self.wind.acceleration(self._last_physics_time)
+            self.plant.apply(command, dt, disturbance=disturbance)
+            self._last_physics_time += dt
+        if self.config.record_trajectory:
+            self.trajectory.append(
+                time=until, position=self.plant.state.position, velocity=self.plant.state.velocity
+            )
+
+    def _publish_sensors(self) -> None:
+        estimate = self.estimator.estimate(self.plant.state)
+        self.engine.set_input(self.config.position_topic, estimate)
+        self.engine.set_input(self.config.battery_topic, self.battery_sensor.measure(self.plant))
+
+    def _environment(self, engine: SemanticsEngine, upcoming: float) -> None:
+        self._advance_plant(upcoming)
+        self._publish_sensors()
+        if self.config.record_signals:
+            self.trace.add_sample(upcoming, "clearance", self.plant.clearance)
+            self.trace.add_sample(upcoming, "battery", self.plant.battery.charge)
+            self.trace.add_sample(upcoming, "speed", self.plant.state.speed)
+        while self._next_monitor_time <= upcoming + 1e-12:
+            self.monitors.check_all(engine)
+            self._next_monitor_time += self.config.monitor_period
+
+    # ------------------------------------------------------------------ #
+    # running missions
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        duration: float,
+        stop_when: Optional[Callable[["DroneSimulation"], bool]] = None,
+        stop_on_crash: bool = True,
+    ) -> SimulationResult:
+        """Run the mission for up to ``duration`` seconds of simulated time."""
+        stop_reason = "duration elapsed"
+
+        def should_stop(engine: SemanticsEngine) -> bool:
+            nonlocal stop_reason
+            if stop_on_crash and self.plant.crashed:
+                stop_reason = "crash"
+                return True
+            if stop_when is not None and stop_when(self):
+                stop_reason = "stop condition"
+                return True
+            return False
+
+        self.engine.run_until(duration, environment=self._environment, stop_when=should_stop)
+        return SimulationResult(
+            engine=self.engine,
+            plant=self.plant,
+            trace=self.trace,
+            monitors=self.monitors,
+            trajectory=self.trajectory,
+            end_time=self.engine.current_time,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,143 @@
+"""The case-study worlds: the surveillance city and the g1..g4 test range.
+
+The paper's evaluation (Figure 2) uses a Gazebo city workspace with static
+buildings and a set of surveillance points the drone must visit
+repeatedly; Figure 5 / 12a use a smaller range with four goals g1..g4 laid
+out around obstacles.  These factory functions build the equivalent
+workspaces plus their mission points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..geometry import (
+    Vec3,
+    Workspace,
+    corridor_workspace,
+    grid_city_workspace,
+)
+
+
+@dataclass
+class MissionWorld:
+    """A workspace plus the mission-relevant points inside it."""
+
+    workspace: Workspace
+    surveillance_points: List[Vec3] = field(default_factory=list)
+    home: Vec3 = field(default_factory=lambda: Vec3(2.0, 2.0, 2.0))
+    cruise_altitude: float = 2.0
+
+    def random_goal(self, rng: random.Random, margin: float = 1.5) -> Vec3:
+        """A random surveillance goal at cruise altitude with safe clearance."""
+        return self.workspace.random_free_point(
+            rng,
+            margin=margin,
+            altitude_range=(self.cruise_altitude, self.cruise_altitude),
+        )
+
+    def goals_cycle(self, count: int) -> List[Vec3]:
+        """The first ``count`` goals cycling through the surveillance points."""
+        if not self.surveillance_points:
+            raise ValueError("this world has no predefined surveillance points")
+        return [self.surveillance_points[i % len(self.surveillance_points)] for i in range(count)]
+
+
+def surveillance_city(altitude: float = 2.0) -> MissionWorld:
+    """The city of Figure 2: a 50 m x 50 m block grid with nine buildings.
+
+    The surveillance points sit in the streets between buildings, so every
+    leg of the mission passes close to at least one obstacle — which is
+    what exercises the motion-primitive RTA module.
+    """
+    workspace = grid_city_workspace(
+        width=50.0,
+        depth=50.0,
+        ceiling=12.0,
+        building_rows=3,
+        building_cols=3,
+        building_size=5.0,
+        building_height=8.0,
+        street_margin=6.0,
+        name="surveillance-city",
+    )
+    points = [
+        Vec3(4.0, 4.0, altitude),
+        Vec3(25.0, 4.0, altitude),
+        Vec3(46.0, 4.0, altitude),
+        Vec3(46.0, 25.0, altitude),
+        Vec3(46.0, 46.0, altitude),
+        Vec3(25.0, 46.0, altitude),
+        Vec3(4.0, 46.0, altitude),
+        Vec3(4.0, 25.0, altitude),
+        Vec3(18.5, 25.0, altitude),
+    ]
+    return MissionWorld(
+        workspace=workspace,
+        surveillance_points=points,
+        home=Vec3(4.0, 4.0, altitude),
+        cruise_altitude=altitude,
+    )
+
+
+def waypoint_range(altitude: float = 2.0) -> MissionWorld:
+    """The g1..g4 range of Figure 5 / 12a: goals with obstacles just past the corners.
+
+    The four goals form a rectangle; obstacle blocks sit just outside the
+    corners in the direction an overshooting controller swings wide (the
+    red keep-out regions of Figure 5 right).  A time-optimised controller
+    that arrives at a corner at cruise speed overshoots into a block; a
+    conservative controller, or the RTA-protected primitive, does not.
+    """
+    from ..geometry import AABB
+
+    workspace = corridor_workspace(
+        length=40.0,
+        width=14.0,
+        ceiling=8.0,
+        pillar_positions=(),
+        name="g1-g4-range",
+    )
+    # Keep-out blocks just beyond the corners (overshoot directions).
+    workspace.add_obstacle(AABB.from_footprint(35.5, 2.5, 2.5, 2.5, 6.0))   # past g2, +x
+    workspace.add_obstacle(AABB.from_footprint(32.0, 11.0, 2.5, 2.5, 6.0))  # past g3, +y
+    workspace.add_obstacle(AABB.from_footprint(2.0, 2.5, 2.5, 2.5, 6.0))    # past g1, -x
+    goals = [
+        Vec3(6.0, 4.0, altitude),   # g1
+        Vec3(34.0, 4.0, altitude),  # g2
+        Vec3(34.0, 10.0, altitude), # g3
+        Vec3(6.0, 10.0, altitude),  # g4
+    ]
+    return MissionWorld(
+        workspace=workspace,
+        surveillance_points=goals,
+        home=goals[0],
+        cruise_altitude=altitude,
+    )
+
+
+def figure_eight_range(altitude: float = 2.0) -> MissionWorld:
+    """An open range for the figure-eight experiment of Figure 5 (left).
+
+    Two pylons sit inside the lobes of the eight so that a controller that
+    deviates from the loop risks hitting them.
+    """
+    workspace = corridor_workspace(
+        length=30.0,
+        width=20.0,
+        ceiling=8.0,
+        pillar_positions=(),
+        name="figure-eight-range",
+    )
+    from ..geometry import AABB
+
+    workspace.add_obstacle(AABB.from_footprint(9.0, 6.0, 2.0, 2.0, 6.0))
+    workspace.add_obstacle(AABB.from_footprint(19.0, 12.0, 2.0, 2.0, 6.0))
+    return MissionWorld(
+        workspace=workspace,
+        surveillance_points=[],
+        home=Vec3(15.0, 10.0, altitude),
+        cruise_altitude=altitude,
+    )

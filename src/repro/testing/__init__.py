@@ -1,0 +1,21 @@
+"""Systematic testing engine: strategies, abstractions, bounded-asynchrony exploration."""
+
+from .abstractions import AbstractEnvironment, NondeterministicNode, constant_environment
+from .explorer import ExecutionRecord, SystematicTester, TestHarness, TestReport
+from .scheduler import BoundedAsynchronyScheduler
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy
+
+__all__ = [
+    "AbstractEnvironment",
+    "NondeterministicNode",
+    "constant_environment",
+    "ExecutionRecord",
+    "SystematicTester",
+    "TestHarness",
+    "TestReport",
+    "BoundedAsynchronyScheduler",
+    "ChoiceStrategy",
+    "ExhaustiveStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+]

@@ -1,0 +1,153 @@
+"""The systematic testing engine: enumerate executions, check monitors.
+
+This is the reproduction of the SOTER tool chain's "backend systematic
+testing engine" (Section V): it executes the discrete model of the program
+many times, each time resolving scheduling and abstraction choices through
+a strategy (random or exhaustive), evaluates the safety monitors after
+every discrete step, and reports any execution that violates them together
+with the choice trail needed to replay it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.monitor import MonitorSuite, Violation
+from ..core.semantics import SemanticsEngine
+from ..core.system import RTASystem
+from .abstractions import AbstractEnvironment, NondeterministicNode
+from .scheduler import BoundedAsynchronyScheduler
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, record_trail
+
+
+@dataclass
+class TestHarness:
+    """One freshly-built instance of the model under test.
+
+    The factory passed to :class:`SystematicTester` must return a new
+    harness per execution so that executions are independent (node local
+    state is re-created, monitors start empty).
+    """
+
+    system: RTASystem
+    monitors: MonitorSuite
+    environment: Optional[AbstractEnvironment] = None
+    horizon: float = 5.0
+
+
+@dataclass
+class ExecutionRecord:
+    """Outcome of a single explored execution."""
+
+    index: int
+    steps: int
+    violations: List[Violation]
+    trail: Optional[List[int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class TestReport:
+    """Aggregated result of a systematic testing run."""
+
+    executions: List[ExecutionRecord] = field(default_factory=list)
+
+    @property
+    def execution_count(self) -> int:
+        return len(self.executions)
+
+    @property
+    def failing(self) -> List[ExecutionRecord]:
+        return [record for record in self.executions if not record.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(record.violations) for record in self.executions)
+
+    def first_counterexample(self) -> Optional[ExecutionRecord]:
+        failing = self.failing
+        return failing[0] if failing else None
+
+    def summary(self) -> str:
+        status = "all executions safe" if self.ok else f"{len(self.failing)} failing execution(s)"
+        return (
+            f"systematic testing: {self.execution_count} execution(s) explored, {status}, "
+            f"{self.total_violations} violation(s) recorded"
+        )
+
+
+class SystematicTester:
+    """Explores executions of a SOTER model under a choice strategy."""
+
+    def __init__(
+        self,
+        harness_factory: Callable[[], TestHarness],
+        strategy: Optional[ChoiceStrategy] = None,
+        max_permuted: int = 6,
+    ) -> None:
+        self.harness_factory = harness_factory
+        self.strategy: ChoiceStrategy = strategy or RandomStrategy()
+        self.max_permuted = max_permuted
+
+    # ------------------------------------------------------------------ #
+    # single execution
+    # ------------------------------------------------------------------ #
+    def _run_one(self, index: int) -> ExecutionRecord:
+        harness = self.harness_factory()
+        scheduler = BoundedAsynchronyScheduler(self.strategy, max_permuted=self.max_permuted)
+        self._bind_strategy(harness)
+        engine = SemanticsEngine(harness.system)
+        steps = 0
+        violations: List[Violation] = []
+        while True:
+            next_time = engine.peek_next_time()
+            if next_time is None or next_time > harness.horizon + 1e-12:
+                break
+            if harness.environment is not None:
+                harness.environment.apply(engine, next_time)
+            due = engine.calendar.due_nodes(next_time)
+            engine.current_time = max(engine.current_time, next_time)
+            engine.stats.time_progress_steps += 1
+            engine.fire_due_nodes(due, order=scheduler.order(due))
+            violations.extend(harness.monitors.check_all(engine))
+            steps += 1
+        return ExecutionRecord(
+            index=index,
+            steps=steps,
+            violations=violations,
+            trail=record_trail(self.strategy),
+        )
+
+    def _bind_strategy(self, harness: TestHarness) -> None:
+        if harness.environment is not None:
+            harness.environment.reset()
+            harness.environment.bind_strategy(self.strategy)
+        for node in harness.system.all_nodes():
+            if isinstance(node, NondeterministicNode):
+                node.bind_strategy(self.strategy)
+
+    # ------------------------------------------------------------------ #
+    # exploration loop
+    # ------------------------------------------------------------------ #
+    def explore(self, stop_at_first_violation: bool = False) -> TestReport:
+        """Run executions until the strategy is exhausted (or a bug is found)."""
+        report = TestReport()
+        index = 0
+        while self.strategy.has_more_executions():
+            self.strategy.begin_execution()
+            if isinstance(self.strategy, ExhaustiveStrategy) and self.strategy._exhausted:
+                break
+            record = self._run_one(index)
+            report.executions.append(record)
+            index += 1
+            if stop_at_first_violation and not record.ok:
+                break
+        return report

@@ -1,0 +1,41 @@
+"""Bounded-asynchrony exploration of node interleavings.
+
+A SOTER program is a multi-rate periodic system; the paper's testing
+backend uses a bounded-asynchronous scheduler [27] so that only schedules
+consistent with the periodic semantics are explored.  Concretely: the
+calendar fixes *when* nodes fire, and the only scheduling freedom is the
+*order* in which nodes that fire at the same instant are executed.  The
+:class:`BoundedAsynchronyScheduler` enumerates those permutations through
+the active :class:`~repro.testing.strategies.ChoiceStrategy`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .strategies import ChoiceStrategy
+
+
+class BoundedAsynchronyScheduler:
+    """Chooses the firing order of simultaneously-due nodes via a strategy."""
+
+    def __init__(self, strategy: ChoiceStrategy, max_permuted: int = 6) -> None:
+        if max_permuted < 1:
+            raise ValueError("max_permuted must be at least 1")
+        self.strategy = strategy
+        # Permuting very large simultaneous sets explodes the search space;
+        # beyond this size the scheduler keeps the default order.
+        self.max_permuted = max_permuted
+        self.orderings_chosen = 0
+
+    def order(self, due: Sequence[str]) -> List[str]:
+        """Return the execution order for the nodes due at the current instant."""
+        remaining = list(due)
+        if len(remaining) <= 1 or len(remaining) > self.max_permuted:
+            return remaining
+        ordered: List[str] = []
+        while remaining:
+            index = self.strategy.choose(len(remaining), label="schedule")
+            ordered.append(remaining.pop(index))
+            self.orderings_chosen += 1
+        return ordered

@@ -1,0 +1,146 @@
+"""Choice strategies for the systematic testing engine.
+
+The SOTER tool chain includes a backend systematic testing engine (built on
+P/DRONA) that enumerates executions of the discrete model by controlling
+the interleaving of nodes and the nondeterministic choices of abstracted
+components.  A *strategy* decides, at every choice point, which of the
+available options an execution takes:
+
+* :class:`RandomStrategy` — seeded random testing;
+* :class:`ExhaustiveStrategy` — depth-first enumeration of every choice
+  combination up to a bound (model-checking style);
+* :class:`ReplayStrategy` — replays a recorded choice sequence (used to
+  re-execute a counterexample).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+
+class ChoiceStrategy(Protocol):
+    """Resolves nondeterministic choices during one execution."""
+
+    def choose(self, options: int, label: str = "") -> int:
+        """Pick an option index in ``[0, options)``."""
+
+    def begin_execution(self) -> None:
+        """Called before each execution starts."""
+
+    def has_more_executions(self) -> bool:
+        """True if running another execution can explore new behaviour."""
+
+
+@dataclass
+class RandomStrategy:
+    """Seeded random choices; every execution is independent."""
+
+    seed: int = 0
+    max_executions: int = 100
+    _rng: random.Random = field(init=False, repr=False)
+    _executions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.max_executions < 1:
+            raise ValueError("max_executions must be at least 1")
+        self._rng = random.Random(self.seed)
+
+    def choose(self, options: int, label: str = "") -> int:
+        if options <= 0:
+            raise ValueError("a choice point needs at least one option")
+        return self._rng.randrange(options)
+
+    def begin_execution(self) -> None:
+        self._executions += 1
+
+    def has_more_executions(self) -> bool:
+        return self._executions < self.max_executions
+
+
+@dataclass
+class ExhaustiveStrategy:
+    """Depth-first enumeration of all choice combinations up to a depth bound.
+
+    Choices beyond ``max_depth`` per execution default to option 0, which
+    bounds the search the way bounded model checking does.
+    """
+
+    max_depth: int = 32
+    max_executions: int = 10_000
+    _trail: List[List[int]] = field(init=False, default_factory=list)
+    _position: int = field(init=False, default=0)
+    _executions: int = field(init=False, default=0)
+    _exhausted: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+
+    def begin_execution(self) -> None:
+        self._executions += 1
+        self._position = 0
+        # Advance the trail like an odometer: drop exhausted suffixes and
+        # bump the last remaining choice.
+        if self._trail:
+            while self._trail and self._trail[-1][0] + 1 >= self._trail[-1][1]:
+                self._trail.pop()
+            if self._trail:
+                self._trail[-1][0] += 1
+            else:
+                self._exhausted = True
+
+    def choose(self, options: int, label: str = "") -> int:
+        if options <= 0:
+            raise ValueError("a choice point needs at least one option")
+        if self._position >= self.max_depth:
+            return 0
+        if self._position < len(self._trail):
+            chosen = self._trail[self._position][0]
+        else:
+            self._trail.append([0, options])
+            chosen = 0
+        self._position += 1
+        return min(chosen, options - 1)
+
+    def has_more_executions(self) -> bool:
+        if self._executions == 0:
+            return True
+        if self._executions >= self.max_executions:
+            return False
+        if self._exhausted:
+            return False
+        # More executions are useful while some prefix can still be bumped.
+        return any(choice + 1 < options for choice, options in self._trail)
+
+
+@dataclass
+class ReplayStrategy:
+    """Replays a fixed choice sequence (e.g. a counterexample trail)."""
+
+    trail: Sequence[int]
+    _position: int = field(init=False, default=0)
+    _executions: int = field(init=False, default=0)
+
+    def begin_execution(self) -> None:
+        self._executions += 1
+        self._position = 0
+
+    def choose(self, options: int, label: str = "") -> int:
+        if self._position < len(self.trail):
+            choice = self.trail[self._position]
+        else:
+            choice = 0
+        self._position += 1
+        return min(max(choice, 0), options - 1)
+
+    def has_more_executions(self) -> bool:
+        return self._executions < 1
+
+
+def record_trail(strategy: ChoiceStrategy) -> Optional[List[int]]:
+    """Extract the current trail from an exhaustive strategy (None otherwise)."""
+    if isinstance(strategy, ExhaustiveStrategy):
+        return [choice for choice, _ in strategy._trail]
+    return None

@@ -1,0 +1,168 @@
+"""Tests for the three case-study RTA modules and their well-formedness."""
+
+import pytest
+
+from repro.apps import (
+    BATTERY_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+    DroneClosedLoopModel,
+    StraightLinePlanner,
+    build_battery_safety,
+    build_safe_motion_planner,
+    build_safe_motion_primitive,
+)
+from repro.apps.modules import BatteryModuleConfig, MotionPrimitiveModuleConfig, PlannerModuleConfig
+from repro.control import AggressiveTracker
+from repro.core import CheckerOptions, WellFormednessChecker, structural_report
+from repro.core.decision import DecisionModule, Mode
+from repro.dynamics import BatteryModel, BatteryParams, BoundedDoubleIntegrator, DoubleIntegratorParams, DroneState
+from repro.geometry import Vec3
+from repro.planning import GridAStarPlanner, straight_line_plan
+from repro.simulation.drone import BatteryStatus
+
+
+@pytest.fixture
+def model():
+    return BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0))
+
+
+@pytest.fixture
+def mp_module(range_world, model):
+    return build_safe_motion_primitive(
+        workspace=range_world.workspace,
+        model=model,
+        advanced_tracker=AggressiveTracker(cruise_speed=3.5, max_acceleration=6.0),
+    )
+
+
+class TestMotionPrimitiveModule:
+    def test_structure_matches_p1(self, mp_module):
+        spec = mp_module.spec
+        assert spec.advanced.publishes == spec.safe.publishes
+        assert spec.advanced.period <= spec.delta
+        assert spec.state_topics == (POSITION_TOPIC,)
+        report = structural_report(spec, DecisionModule(spec))
+        assert report.passed
+
+    def test_safer_set_is_inside_safe_set(self, mp_module, range_world):
+        spec = mp_module.spec
+        for x in range(2, 38, 2):
+            for y in range(2, 12, 2):
+                state = DroneState(position=Vec3(float(x), float(y), 2.0))
+                if spec.safer_spec.contains(state):
+                    assert spec.safe_spec.contains(state)
+                    # Property P3 consistency: φ_safer states never trigger ttf.
+                    assert not spec.ttf(state)
+
+    def test_ttf_is_speed_dependent(self, mp_module):
+        position = Vec3(6.0, 4.0, 2.0)  # ~1.5 m from the g1 keep-out block
+        slow = DroneState(position=position, velocity=Vec3(0.0, 0.0, 0.0))
+        fast = DroneState(position=position, velocity=Vec3(4.0, 0.0, 0.0))
+        assert mp_module.spec.ttf(fast)
+
+    def test_collision_states_are_unsafe(self, mp_module):
+        inside_block = DroneState(position=Vec3(36.5, 3.5, 2.0))
+        assert not mp_module.spec.safe_spec.contains(inside_block)
+
+    def test_certificate_present(self, mp_module):
+        certificate = mp_module.spec.certificate
+        assert certificate is not None
+        assert certificate.proves_p2a and certificate.proves_p2b and certificate.proves_p3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MotionPrimitiveModuleConfig(delta=0.1, node_period=0.2)
+        with pytest.raises(ValueError):
+            MotionPrimitiveModuleConfig(delta=0.0)
+
+    def test_falsification_based_wellformedness(self, mp_module, model, range_world):
+        """The full checker validates the real module with sampled rollouts."""
+        closed_loop = DroneClosedLoopModel(mp_module, model, range_world.workspace, seed=1)
+        checker = WellFormednessChecker(
+            closed_loop,
+            CheckerOptions(samples=5, p2a_horizon=8.0, p2b_max_time=12.0, trust_certificates=False),
+        )
+        report = checker.check(mp_module.spec)
+        assert report.result_for("P3").passed, report.summary()
+        assert report.result_for("ttf-consistency").passed, report.summary()
+        assert report.result_for("P2a").passed, report.summary()
+
+
+class TestBatteryModule:
+    def test_structure_and_predicates(self):
+        params = BatteryParams(idle_rate=0.008, accel_rate=0.002)
+        module = build_battery_safety(BatteryModel(params))
+        spec = module.spec
+        assert spec.state_topics == (BATTERY_TOPIC,)
+        assert structural_report(spec, DecisionModule(spec)).passed
+        assert spec.safe_spec.contains(BatteryStatus(charge=0.5, altitude=3.0))
+        assert not spec.safe_spec.contains(BatteryStatus(charge=0.0, altitude=3.0))
+        # An empty battery on the ground is not a φ_bat violation.
+        assert spec.safe_spec.contains(BatteryStatus(charge=0.0, altitude=0.0))
+        assert spec.safer_spec.contains(BatteryStatus(charge=0.9, altitude=3.0))
+        assert not spec.safer_spec.contains(BatteryStatus(charge=0.5, altitude=3.0))
+
+    def test_ttf_matches_battery_model_threshold(self):
+        params = BatteryParams(idle_rate=0.008, accel_rate=0.002)
+        battery_model = BatteryModel(params)
+        module = build_battery_safety(battery_model)
+        two_delta = 2.0 * module.spec.delta
+        threshold = battery_model.landing_charge_bound() + battery_model.max_cost(two_delta)
+        below = BatteryStatus(charge=max(0.0, threshold - 0.01), altitude=None or 5.0)
+        above = BatteryStatus(charge=min(1.0, threshold + 0.05), altitude=5.0)
+        assert module.spec.ttf(below)
+
+    def test_dm_switching_behaviour(self):
+        module = build_battery_safety(BatteryModel(BatteryParams(idle_rate=0.008, accel_rate=0.002)))
+        dm = DecisionModule(module.spec)
+        dm.step(0.0, {BATTERY_TOPIC: BatteryStatus(charge=1.0, altitude=2.0)})
+        assert dm.mode is Mode.AC
+        dm.step(1.0, {BATTERY_TOPIC: BatteryStatus(charge=0.1, altitude=2.0)})
+        assert dm.mode is Mode.SC
+        # Battery cannot recover above 85%, so control stays with the SC.
+        dm.step(2.0, {BATTERY_TOPIC: BatteryStatus(charge=0.09, altitude=1.0)})
+        assert dm.mode is Mode.SC
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModuleConfig(delta=1.0, node_period=2.0)
+        with pytest.raises(ValueError):
+            BatteryModuleConfig(safer_charge=1.5)
+
+
+class TestPlannerModule:
+    def test_structure_and_predicates(self, range_world):
+        module = build_safe_motion_planner(
+            workspace=range_world.workspace,
+            advanced_planner=StraightLinePlanner(altitude=2.0),
+            certified_planner=GridAStarPlanner(range_world.workspace, clearance=1.0, altitude=2.0),
+        )
+        spec = module.spec
+        assert spec.state_topics == (MOTION_PLAN_TOPIC,)
+        assert structural_report(spec, DecisionModule(spec)).passed
+        good = straight_line_plan(Vec3(6, 4, 2), Vec3(30, 4, 2))
+        bad = straight_line_plan(Vec3(6, 4, 2), Vec3(38, 4, 2))  # passes through the g2 block
+        assert spec.safe_spec.contains(good)
+        assert not spec.safe_spec.contains(bad)
+        assert spec.ttf(bad) and not spec.ttf(good)
+
+    def test_dm_rejects_bad_plans(self, range_world):
+        module = build_safe_motion_planner(
+            workspace=range_world.workspace,
+            advanced_planner=StraightLinePlanner(altitude=2.0),
+            certified_planner=GridAStarPlanner(range_world.workspace, clearance=1.0, altitude=2.0),
+        )
+        dm = DecisionModule(module.spec)
+        good = straight_line_plan(Vec3(6, 4, 2), Vec3(30, 4, 2))
+        bad = straight_line_plan(Vec3(6, 4, 2), Vec3(38, 4, 2))
+        dm.step(0.0, {MOTION_PLAN_TOPIC: good})
+        assert dm.mode is Mode.AC
+        dm.step(0.5, {MOTION_PLAN_TOPIC: bad})
+        assert dm.mode is Mode.SC
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlannerModuleConfig(delta=0.5, node_period=1.0)
+        with pytest.raises(ValueError):
+            PlannerModuleConfig(plan_clearance=-1.0)

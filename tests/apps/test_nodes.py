@@ -1,0 +1,167 @@
+"""Tests for the application-level nodes of the drone surveillance stack."""
+
+import pytest
+
+from repro.apps import (
+    ACTIVE_PLAN_TOPIC,
+    GOAL_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+    PlanForwardNode,
+    PlannerNode,
+    SafeLandingPlannerNode,
+    StraightLinePlanner,
+    SurveillanceNode,
+    standard_topics,
+)
+from repro.dynamics import DroneState
+from repro.geometry import Vec3, empty_workspace
+from repro.planning import GridAStarPlanner, Plan, straight_line_plan
+
+
+class TestTopics:
+    def test_standard_topics_are_unique_and_typed(self):
+        topics = standard_topics()
+        names = [topic.name for topic in topics]
+        assert len(names) == len(set(names))
+        assert POSITION_TOPIC in names and ACTIVE_PLAN_TOPIC in names
+
+
+class TestStraightLinePlanner:
+    def test_plans_at_cruise_altitude(self):
+        planner = StraightLinePlanner(altitude=3.0)
+        plan = planner.plan(Vec3(0, 0, 1), Vec3(5, 0, 1))
+        assert plan.waypoints[0].z == 3.0
+        assert plan.final_waypoint.z == 3.0
+
+
+class TestSurveillanceNode:
+    def test_requires_goals(self):
+        with pytest.raises(ValueError):
+            SurveillanceNode(goals=[], random_goals=0)
+
+    def test_publishes_current_goal(self):
+        node = SurveillanceNode(goals=[Vec3(5, 5, 2), Vec3(9, 9, 2)], loop=False)
+        outputs = node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(0, 0, 2))})
+        assert outputs[GOAL_TOPIC] == Vec3(5, 5, 2)
+
+    def test_advances_goal_when_reached(self):
+        node = SurveillanceNode(goals=[Vec3(5, 5, 2), Vec3(9, 9, 2)], loop=False, goal_tolerance=1.0)
+        outputs = node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(5, 5, 2))})
+        assert outputs[GOAL_TOPIC] == Vec3(9, 9, 2)
+        assert node.goals_visited == 1
+
+    def test_mission_completes_without_looping(self):
+        node = SurveillanceNode(goals=[Vec3(5, 5, 2)], loop=False, goal_tolerance=1.0)
+        node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(5, 5, 2))})
+        assert node.mission_complete
+        assert node.current_goal is None
+        assert node.step(0.5, {POSITION_TOPIC: DroneState()}) == {}
+
+    def test_looping_restarts_the_sequence(self):
+        node = SurveillanceNode(goals=[Vec3(5, 5, 2), Vec3(9, 9, 2)], loop=True, goal_tolerance=1.0)
+        node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(5, 5, 2))})
+        node.step(0.5, {POSITION_TOPIC: DroneState(position=Vec3(9, 9, 2))})
+        assert not node.mission_complete
+        assert node.current_goal == Vec3(5, 5, 2)
+        assert node.goals_visited == 2
+
+    def test_random_goals_respect_margin(self):
+        workspace = empty_workspace(side=30.0, ceiling=10.0)
+        node = SurveillanceNode(
+            goals=[], random_goals=5, workspace=workspace, goal_margin=3.0, seed=4, altitude=2.0
+        )
+        assert len(node.goals) == 5
+        for goal in node.goals:
+            assert workspace.clearance(goal) >= 3.0
+
+    def test_reset_restores_the_mission(self):
+        node = SurveillanceNode(goals=[Vec3(5, 5, 2)], loop=False, goal_tolerance=1.0)
+        node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(5, 5, 2))})
+        node.reset()
+        assert not node.mission_complete
+        assert node.goals_visited == 0
+
+    def test_goal_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            SurveillanceNode(goals=[Vec3()], goal_tolerance=0.0)
+
+
+class TestPlannerNode:
+    def _workspace(self):
+        return empty_workspace(side=30.0, ceiling=10.0)
+
+    def test_plans_when_goal_arrives(self):
+        node = PlannerNode("planner", StraightLinePlanner(altitude=2.0))
+        outputs = node.step(
+            0.0, {GOAL_TOPIC: Vec3(9, 9, 2), POSITION_TOPIC: DroneState(position=Vec3(1, 1, 2))}
+        )
+        assert isinstance(outputs[MOTION_PLAN_TOPIC], Plan)
+        assert node.plans_produced == 1
+
+    def test_no_output_without_goal_or_state(self):
+        node = PlannerNode("planner", StraightLinePlanner())
+        assert node.step(0.0, {GOAL_TOPIC: None, POSITION_TOPIC: DroneState()}) == {}
+        assert node.step(0.0, {GOAL_TOPIC: Vec3(), POSITION_TOPIC: None}) == {}
+
+    def test_keeps_plan_until_goal_changes(self):
+        node = PlannerNode("planner", StraightLinePlanner(altitude=2.0), replan_interval=100.0)
+        inputs = {GOAL_TOPIC: Vec3(9, 9, 2), POSITION_TOPIC: DroneState(position=Vec3(1, 1, 2))}
+        first = node.step(0.0, inputs)[MOTION_PLAN_TOPIC]
+        second = node.step(0.5, inputs)[MOTION_PLAN_TOPIC]
+        assert first.plan_id == second.plan_id
+        third = node.step(
+            1.0, {GOAL_TOPIC: Vec3(20, 20, 2), POSITION_TOPIC: DroneState(position=Vec3(1, 1, 2))}
+        )[MOTION_PLAN_TOPIC]
+        assert third.plan_id != first.plan_id
+
+    def test_periodic_replanning(self):
+        node = PlannerNode("planner", StraightLinePlanner(altitude=2.0), replan_interval=1.0)
+        inputs = {GOAL_TOPIC: Vec3(9, 9, 2), POSITION_TOPIC: DroneState(position=Vec3(1, 1, 2))}
+        first = node.step(0.0, inputs)[MOTION_PLAN_TOPIC]
+        later = node.step(1.5, inputs)[MOTION_PLAN_TOPIC]
+        assert later.plan_id != first.plan_id
+        with pytest.raises(ValueError):
+            PlannerNode("p", StraightLinePlanner(), replan_interval=0.0)
+
+    def test_failed_queries_counted(self):
+        workspace = self._workspace()
+        from repro.geometry import AABB
+
+        workspace.add_obstacle(AABB.from_footprint(14.0, 0.0, 2.0, 30.0, 10.0))
+        planner = GridAStarPlanner(workspace, resolution=0.5, clearance=0.5, altitude=2.0)
+        node = PlannerNode("planner", planner)
+        outputs = node.step(
+            0.0, {GOAL_TOPIC: Vec3(25, 15, 2), POSITION_TOPIC: DroneState(position=Vec3(2, 15, 2))}
+        )
+        assert outputs == {}
+        assert node.failed_queries == 1
+
+
+class TestBatteryNodes:
+    def test_forward_node_relays_plans(self):
+        node = PlanForwardNode()
+        plan = straight_line_plan(Vec3(0, 0, 2), Vec3(5, 5, 2))
+        assert node.step(0.0, {MOTION_PLAN_TOPIC: plan})[ACTIVE_PLAN_TOPIC] is plan
+        assert node.step(0.0, {MOTION_PLAN_TOPIC: None}) == {}
+
+    def test_landing_node_plans_descent_from_current_position(self):
+        node = SafeLandingPlannerNode()
+        state = DroneState(position=Vec3(4.0, 6.0, 3.0))
+        plan = node.step(0.0, {POSITION_TOPIC: state})[ACTIVE_PLAN_TOPIC]
+        assert plan.is_landing
+        assert plan.final_waypoint == Vec3(4.0, 6.0, 0.0)
+
+    def test_landing_plan_is_stable_while_close(self):
+        node = SafeLandingPlannerNode(refresh_distance=1.5)
+        first = node.step(0.0, {POSITION_TOPIC: DroneState(position=Vec3(4.0, 6.0, 3.0))})[ACTIVE_PLAN_TOPIC]
+        second = node.step(0.2, {POSITION_TOPIC: DroneState(position=Vec3(4.2, 6.0, 2.5))})[ACTIVE_PLAN_TOPIC]
+        assert first.plan_id == second.plan_id
+        # Once the drone has moved far away (still cruising), the landing
+        # plan is refreshed so it always starts at the current position.
+        third = node.step(0.4, {POSITION_TOPIC: DroneState(position=Vec3(14.0, 6.0, 2.5))})[ACTIVE_PLAN_TOPIC]
+        assert third.plan_id != first.plan_id
+
+    def test_landing_node_needs_state(self):
+        node = SafeLandingPlannerNode()
+        assert node.step(0.0, {POSITION_TOPIC: None}) == {}

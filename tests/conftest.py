@@ -1,0 +1,59 @@
+"""Shared fixtures for the SOTER reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics import (
+    BatteryModel,
+    BatteryParams,
+    BoundedDoubleIntegrator,
+    DoubleIntegratorParams,
+    DroneState,
+)
+from repro.geometry import AABB, Vec3, Workspace, empty_workspace
+from repro.simulation import surveillance_city, waypoint_range
+
+
+@pytest.fixture
+def drone_model() -> BoundedDoubleIntegrator:
+    """The default case-study drone model."""
+    return BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0))
+
+
+@pytest.fixture
+def open_workspace() -> Workspace:
+    """A 20 m obstacle-free box."""
+    return empty_workspace(side=20.0, ceiling=10.0)
+
+
+@pytest.fixture
+def boxed_workspace() -> Workspace:
+    """A 20 m box with one central pillar obstacle."""
+    workspace = empty_workspace(side=20.0, ceiling=10.0, name="boxed")
+    workspace.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    return workspace
+
+
+@pytest.fixture
+def hover_state() -> DroneState:
+    """A drone hovering at 2 m altitude near the workspace corner."""
+    return DroneState(position=Vec3(3.0, 3.0, 2.0))
+
+
+@pytest.fixture
+def battery_model() -> BatteryModel:
+    """A battery model with the default (slow-drain) parameters."""
+    return BatteryModel(BatteryParams())
+
+
+@pytest.fixture(scope="session")
+def city_world():
+    """The surveillance city of the case study (session-scoped: it is static)."""
+    return surveillance_city()
+
+
+@pytest.fixture(scope="session")
+def range_world():
+    """The g1..g4 waypoint range of Figure 5 / 12a."""
+    return waypoint_range()

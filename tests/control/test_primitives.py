@@ -1,0 +1,108 @@
+"""Tests for motion-primitive nodes and the primitive library."""
+
+import pytest
+
+from repro.control import (
+    AggressiveTracker,
+    HoverController,
+    MotionPrimitiveLibrary,
+    MotionPrimitiveNode,
+)
+from repro.dynamics import ControlCommand, DroneState
+from repro.geometry import Vec3
+from repro.planning import Plan, straight_line_plan
+
+
+def _node(tracker=None, capture_radius=1.0):
+    return MotionPrimitiveNode(
+        name="mp",
+        tracker=tracker or AggressiveTracker(cruise_speed=2.0, max_acceleration=4.0),
+        plan_topic="activePlan",
+        position_topic="localPosition",
+        command_topic="controlCommand",
+        period=0.05,
+        capture_radius=capture_radius,
+    )
+
+
+class TestMotionPrimitiveNode:
+    def test_hover_without_state(self):
+        node = _node()
+        outputs = node.step(0.0, {"activePlan": None, "localPosition": None})
+        assert outputs["controlCommand"].acceleration == Vec3.zero()
+
+    def test_hover_without_plan(self):
+        node = _node()
+        outputs = node.step(0.0, {"activePlan": None, "localPosition": DroneState()})
+        assert outputs["controlCommand"].acceleration == Vec3.zero()
+
+    def test_tracks_first_waypoint_of_new_plan(self):
+        node = _node()
+        plan = straight_line_plan(Vec3(0, 0, 2), Vec3(10, 0, 2))
+        state = DroneState(position=Vec3(0, 0, 2))
+        outputs = node.step(0.0, {"activePlan": plan, "localPosition": state})
+        assert isinstance(outputs["controlCommand"], ControlCommand)
+        assert node.tracking_plan() == plan.plan_id
+
+    def test_waypoint_advances_when_captured(self):
+        node = _node(capture_radius=1.0)
+        plan = Plan(waypoints=(Vec3(0, 0, 2), Vec3(5, 0, 2), Vec3(5, 5, 2)), goal=Vec3(5, 5, 2))
+        near_second = DroneState(position=Vec3(4.5, 0, 2))
+        node.step(0.0, {"activePlan": plan, "localPosition": DroneState(position=Vec3(0, 0, 2))})
+        node.step(0.05, {"activePlan": plan, "localPosition": near_second})
+        assert node.progress.waypoint_index == 2
+        assert node.progress.waypoints_reached >= 1
+
+    def test_new_plan_resets_progress(self):
+        node = _node()
+        plan_a = straight_line_plan(Vec3(0, 0, 2), Vec3(10, 0, 2))
+        plan_b = straight_line_plan(Vec3(0, 0, 2), Vec3(0, 10, 2))
+        node.step(0.0, {"activePlan": plan_a, "localPosition": DroneState(position=Vec3(0.5, 0, 2))})
+        assert node.progress.waypoint_index == 1
+        node.step(0.05, {"activePlan": plan_b, "localPosition": DroneState(position=Vec3(3, 0, 2))})
+        assert node.progress.waypoint_index == 0
+        assert node.tracking_plan() == plan_b.plan_id
+
+    def test_remaining_waypoints(self):
+        node = _node()
+        plan = Plan(waypoints=(Vec3(0, 0, 2), Vec3(5, 0, 2), Vec3(5, 5, 2)), goal=Vec3(5, 5, 2))
+        assert node.remaining_waypoints(plan) == 3  # not yet tracking it
+        node.step(0.0, {"activePlan": plan, "localPosition": DroneState(position=Vec3(0, 0, 2))})
+        assert node.remaining_waypoints(plan) == 1
+        assert node.remaining_waypoints(None) == 0
+
+    def test_reset_clears_progress(self):
+        node = _node()
+        plan = straight_line_plan(Vec3(0, 0, 2), Vec3(10, 0, 2))
+        node.step(0.0, {"activePlan": plan, "localPosition": DroneState()})
+        node.reset()
+        assert node.tracking_plan() is None
+
+    def test_capture_radius_validation(self):
+        with pytest.raises(ValueError):
+            _node(capture_radius=0.0)
+
+
+class TestMotionPrimitiveLibrary:
+    def test_register_and_get(self):
+        library = MotionPrimitiveLibrary()
+        library.register(HoverController())
+        assert library.get("hover").name == "hover"
+        assert "hover" in library.names()
+
+    def test_duplicate_names_rejected(self):
+        library = MotionPrimitiveLibrary()
+        library.register(HoverController())
+        with pytest.raises(ValueError):
+            library.register(HoverController())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            MotionPrimitiveLibrary().get("missing")
+
+    def test_make_node(self):
+        library = MotionPrimitiveLibrary()
+        library.register(AggressiveTracker(), name="fast")
+        node = library.make_node("fast", node_name="mp.fast")
+        assert node.name == "mp.fast"
+        assert node.publishes == ("controlCommand",)

@@ -1,0 +1,204 @@
+"""Tests for the waypoint trackers (safe, aggressive, learned, landing)."""
+
+import pytest
+
+from repro.control import (
+    AggressiveTracker,
+    BrakingController,
+    HoverController,
+    LearnedTracker,
+    SafeLandingController,
+    SafeWaypointTracker,
+    pd_acceleration,
+)
+from repro.dynamics import (
+    BoundedDoubleIntegrator,
+    DoubleIntegratorParams,
+    DroneState,
+)
+from repro.geometry import AABB, Vec3, empty_workspace
+from repro.planning import straight_line_plan
+from repro.reachability import synthesize_safe_tracker
+
+
+@pytest.fixture
+def model():
+    return BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0))
+
+
+@pytest.fixture
+def workspace():
+    ws = empty_workspace(side=20.0, ceiling=10.0)
+    ws.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    return ws
+
+
+def _simulate(model, tracker, start, target, duration=10.0, dt=0.02):
+    state = start
+    now = 0.0
+    trace = [state]
+    while now < duration:
+        command = tracker.command(state, target, now)
+        state = model.step(state, command, dt)
+        now += dt
+        trace.append(state)
+    return trace
+
+
+class TestPdAcceleration:
+    def test_points_toward_target(self):
+        accel = pd_acceleration(DroneState(), Vec3(5, 0, 0), 1.0, 2.0)
+        assert accel.x > 0.0
+
+    def test_damps_velocity(self):
+        accel = pd_acceleration(
+            DroneState(position=Vec3(5, 0, 0), velocity=Vec3(3, 0, 0)), Vec3(5, 0, 0), 1.0, 2.0
+        )
+        assert accel.x < 0.0
+
+    def test_saturation(self):
+        accel = pd_acceleration(DroneState(), Vec3(100, 0, 0), 1.0, 2.0, max_speed=1.0, max_acceleration=2.0)
+        assert accel.norm() <= 2.0 + 1e-9
+
+
+class TestHoverAndBraking:
+    def test_hover_commands_nothing(self):
+        assert HoverController().command(DroneState(), Vec3(5, 5, 5), 0.0).acceleration == Vec3.zero()
+
+    def test_braking_controller_stops_the_drone(self, model):
+        tracker = BrakingController(max_acceleration=6.0)
+        trace = _simulate(model, tracker, DroneState(velocity=Vec3(3, 0, 0)), Vec3(), duration=3.0)
+        assert trace[-1].speed < 0.05
+
+    def test_braking_controller_validates_params(self):
+        with pytest.raises(ValueError):
+            BrakingController(max_acceleration=0.0)
+
+
+class TestAggressiveTracker:
+    def test_reaches_waypoint_quickly(self, model):
+        tracker = AggressiveTracker(cruise_speed=3.5, max_acceleration=6.0)
+        trace = _simulate(model, tracker, DroneState(position=Vec3(0, 0, 2)), Vec3(10, 0, 2), duration=6.0)
+        assert min(s.position.distance_to(Vec3(10, 0, 2)) for s in trace) < 0.5
+
+    def test_overshoots_on_waypoint_switch(self, model):
+        """The failure mode of Figure 5: arriving at speed, it overshoots the corner."""
+        tracker = AggressiveTracker(cruise_speed=3.5, max_acceleration=6.0)
+        state = DroneState(position=Vec3(10.0, 0.0, 2.0), velocity=Vec3(3.5, 0.0, 0.0))
+        # New target is perpendicular to the current motion (a corner turn).
+        trace = _simulate(model, tracker, state, Vec3(10.0, 10.0, 2.0), duration=2.0)
+        overshoot = max(s.position.x for s in trace) - 10.0
+        assert overshoot > 0.5
+
+    def test_faster_than_safe_tracker(self, model, workspace):
+        params, _ = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.35)
+        aggressive = AggressiveTracker(cruise_speed=3.5, max_acceleration=6.0)
+        safe = SafeWaypointTracker(params, workspace=workspace)
+        start = DroneState(position=Vec3(1, 1, 2))
+        target = Vec3(18, 1, 2)
+
+        def time_to_reach(tracker):
+            state, now = start, 0.0
+            while state.position.distance_to(target) > 0.5 and now < 60.0:
+                state = model.step(state, tracker.command(state, target, now), 0.02)
+                now += 0.02
+            return now
+
+        assert time_to_reach(aggressive) < time_to_reach(safe)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AggressiveTracker(cruise_speed=0.0)
+        with pytest.raises(ValueError):
+            AggressiveTracker(corner_anticipation=2.0)
+
+
+class TestSafeWaypointTracker:
+    def test_respects_speed_cap(self, model, workspace):
+        params, _ = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.3)
+        tracker = SafeWaypointTracker(params, workspace=workspace)
+        trace = _simulate(model, tracker, DroneState(position=Vec3(1, 1, 2)), Vec3(18, 1, 2), duration=8.0)
+        assert max(s.speed for s in trace) <= params.max_speed + 0.3
+
+    def test_never_collides_even_when_target_is_inside_obstacle(self, model, workspace):
+        params, _ = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.3)
+        tracker = SafeWaypointTracker(params, workspace=workspace, recovery_clearance=2.0)
+        trace = _simulate(model, tracker, DroneState(position=Vec3(5, 10, 2)), Vec3(10, 10, 2), duration=10.0)
+        assert all(workspace.clearance(s.position) > 0.0 for s in trace)
+
+    def test_recovers_clearance_when_started_close_to_obstacle(self, model, workspace):
+        """Property P2b evidence: clearance increases under the safe tracker."""
+        params, _ = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.3)
+        tracker = SafeWaypointTracker(params, workspace=workspace, recovery_clearance=3.0)
+        start = DroneState(position=Vec3(8.3, 10.0, 2.0))
+        trace = _simulate(model, tracker, start, start.position, duration=6.0)
+        assert workspace.clearance(trace[-1].position) > workspace.clearance(start.position) + 0.5
+
+    def test_carrot_following_uses_plan_reference(self, model, workspace):
+        params, _ = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.3)
+        tracker = SafeWaypointTracker(params, workspace=workspace)
+        plan = straight_line_plan(Vec3(1, 1, 2), Vec3(18, 1, 2))
+        tracker.set_plan(plan)
+        command = tracker.command(DroneState(position=Vec3(1, 5, 2)), Vec3(18, 1, 2), 0.0)
+        # The carrot lies on the reference (y = 1), so the command pulls toward it.
+        assert command.acceleration.y < 0.0
+        tracker.reset()
+        assert tracker._reference is None
+
+
+class TestLearnedTracker:
+    def test_tracks_nominally_with_glitches_disabled(self, model):
+        tracker = LearnedTracker(glitch_probability=0.0, seed=0)
+        trace = _simulate(model, tracker, DroneState(position=Vec3(0, 0, 2)), Vec3(10, 0, 2), duration=8.0)
+        assert min(s.position.distance_to(Vec3(10, 0, 2)) for s in trace) < 0.5
+
+    def test_glitches_occur_and_are_reproducible(self, model):
+        def run(seed):
+            tracker = LearnedTracker(glitch_probability=0.05, seed=seed)
+            _simulate(model, tracker, DroneState(position=Vec3(0, 0, 2)), Vec3(10, 0, 2), duration=5.0)
+            return tracker.glitch_count
+
+        assert run(1) == run(1)
+        assert run(1) > 0
+
+    def test_reset_restores_seeded_behaviour(self, model):
+        tracker = LearnedTracker(glitch_probability=0.05, seed=2)
+        _simulate(model, tracker, DroneState(), Vec3(10, 0, 2), duration=3.0)
+        first = tracker.glitch_count
+        tracker.reset()
+        _simulate(model, tracker, DroneState(), Vec3(10, 0, 2), duration=3.0)
+        assert tracker.glitch_count == first
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LearnedTracker(glitch_probability=2.0)
+        with pytest.raises(ValueError):
+            LearnedTracker(glitch_duration=-1.0)
+
+
+class TestSafeLanding:
+    def test_lands_from_altitude(self, model):
+        controller = SafeLandingController(descent_speed=1.0)
+        state = DroneState(position=Vec3(5, 5, 4.0), velocity=Vec3(2.0, 0.0, 0.0))
+        trace = _simulate(model, controller, state, Vec3(99, 99, 99), duration=12.0)
+        final = trace[-1]
+        assert controller.landed(final)
+        assert final.position.z <= controller.touchdown_altitude + 0.05
+        # Landing happens near the starting (x, y), not at the ignored target.
+        assert final.position.horizontal_distance_to(Vec3(5, 5, 0)) < 3.0
+
+    def test_descent_rate_is_bounded(self, model):
+        controller = SafeLandingController(descent_speed=1.0)
+        state = DroneState(position=Vec3(0, 0, 6.0))
+        trace = _simulate(model, controller, state, Vec3(), duration=8.0)
+        assert min(s.velocity.z for s in trace) >= -1.5
+
+    def test_hover_after_touchdown(self):
+        controller = SafeLandingController()
+        assert controller.command(DroneState(position=Vec3(0, 0, 0.05)), Vec3(), 0.0).acceleration == Vec3.zero()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SafeLandingController(descent_speed=0.0)
+        with pytest.raises(ValueError):
+            SafeLandingController(touchdown_altitude=-0.1)

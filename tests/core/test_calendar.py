@@ -1,0 +1,121 @@
+"""Unit and property tests for the calendar (time-table) machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Calendar, FunctionNode, SchedulingError, hyperperiod
+
+
+def _node(name, period, offset=0.0):
+    return FunctionNode(name, lambda now, inputs: {}, period=period, offset=offset)
+
+
+class TestCalendarBasics:
+    def test_next_time_is_earliest_offset(self):
+        calendar = Calendar([_node("a", 0.1), _node("b", 0.25, offset=0.05)])
+        assert calendar.next_time() == 0.0
+        assert calendar.due_nodes(0.0) == ["a"]
+
+    def test_empty_calendar_has_no_next_time(self):
+        assert Calendar([]).next_time() is None
+
+    def test_duplicate_node_rejected(self):
+        calendar = Calendar([_node("a", 0.1)])
+        with pytest.raises(SchedulingError):
+            calendar.add_node(_node("a", 0.2))
+
+    def test_reschedule_advances_by_period(self):
+        calendar = Calendar([_node("a", 0.1)])
+        calendar.reschedule("a")
+        assert calendar.nominal_time_of("a") == pytest.approx(0.1)
+        calendar.reschedule("a")
+        assert calendar.nominal_time_of("a") == pytest.approx(0.2)
+
+    def test_reschedule_unknown_node(self):
+        calendar = Calendar([])
+        with pytest.raises(SchedulingError):
+            calendar.reschedule("ghost")
+
+    def test_negative_jitter_rejected(self):
+        calendar = Calendar([_node("a", 0.1)])
+        with pytest.raises(SchedulingError):
+            calendar.reschedule("a", jitter=-0.1)
+
+    def test_jitter_delays_effective_time_only(self):
+        calendar = Calendar([_node("a", 0.1)])
+        calendar.reschedule("a", jitter=0.03)
+        assert calendar.nominal_time_of("a") == pytest.approx(0.1)
+        assert calendar.effective_time_of("a") == pytest.approx(0.13)
+
+    def test_not_before_skips_missed_activations(self):
+        calendar = Calendar([_node("a", 0.1)])
+        # The node actually ran very late (at t=0.35); its next activation
+        # must not be scheduled in the past.
+        calendar.reschedule("a", not_before=0.35)
+        assert calendar.nominal_time_of("a") >= 0.35
+
+    def test_due_nodes_with_equal_times(self):
+        calendar = Calendar([_node("a", 0.1), _node("b", 0.2)])
+        assert set(calendar.due_nodes(0.0)) == {"a", "b"}
+
+    def test_entries_until_sorted(self):
+        calendar = Calendar([_node("a", 0.2), _node("b", 0.3)])
+        entries = calendar.entries_until(0.65)
+        times = [entry.time for entry in entries]
+        assert times == sorted(times)
+        assert entries[0].time == 0.0
+
+    def test_period_of(self):
+        calendar = Calendar([_node("a", 0.25)])
+        assert calendar.period_of("a") == 0.25
+
+
+class TestHyperperiod:
+    def test_simple_lcm(self):
+        assert hyperperiod([0.1, 0.25]) == pytest.approx(0.5)
+
+    def test_single_period(self):
+        assert hyperperiod([0.3]) == pytest.approx(0.3)
+
+    def test_empty_is_zero(self):
+        assert hyperperiod([]) == 0.0
+
+    def test_invalid_period(self):
+        with pytest.raises(SchedulingError):
+            hyperperiod([0.0])
+
+
+class TestCalendarProperties:
+    @given(
+        periods=st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=1, max_size=4
+        ),
+        steps=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_simulated_firing_times_never_decrease(self, periods, steps):
+        """Popping and rescheduling repeatedly never moves time backwards."""
+        nodes = [_node(f"n{i}", round(p, 3)) for i, p in enumerate(periods)]
+        calendar = Calendar(nodes)
+        last = -1.0
+        for _ in range(steps):
+            t = calendar.next_time()
+            assert t is not None
+            assert t >= last - 1e-9
+            for name in calendar.due_nodes(t):
+                calendar.reschedule(name, not_before=t)
+            last = t
+
+    @given(period=st.floats(min_value=0.01, max_value=0.5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_periodic_node_fires_once_per_period(self, period):
+        period = round(period, 3)
+        calendar = Calendar([_node("a", period)])
+        times = []
+        for _ in range(5):
+            t = calendar.next_time()
+            times.append(t)
+            calendar.reschedule("a", not_before=t)
+        gaps = [b - a for a, b in zip(times[:-1], times[1:])]
+        assert all(gap == pytest.approx(period, abs=1e-9) for gap in gaps)

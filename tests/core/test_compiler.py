@@ -1,0 +1,125 @@
+"""Tests for the SOTER compiler and the C-like code generator."""
+
+import pytest
+
+from repro.core import (
+    CompilationError,
+    ConstantNode,
+    Program,
+    SoterCompiler,
+    Topic,
+    WellFormednessChecker,
+    compile_program,
+    generate_c_source,
+    generate_decision_module,
+)
+
+from .test_wellformed import ToyClosedLoop
+from .toy import build_toy_module
+
+
+def _toy_program(**kwargs):
+    return Program(
+        name=kwargs.pop("name", "toy-program"),
+        topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+        modules=[build_toy_module(**kwargs)],
+    )
+
+
+class TestProgramValidation:
+    def test_program_needs_a_name(self):
+        with pytest.raises(CompilationError):
+            SoterCompiler().compile(Program(name=""))
+
+    def test_duplicate_node_names_rejected(self):
+        program = Program(
+            name="dup",
+            nodes=[ConstantNode("n", {"a": 1}), ConstantNode("n", {"b": 2})],
+        )
+        with pytest.raises(CompilationError):
+            SoterCompiler().compile(program)
+
+    def test_undeclared_topics_reported_as_diagnostics(self):
+        program = Program(name="p", nodes=[ConstantNode("n", {"mystery": 1})])
+        result = SoterCompiler().compile(program)
+        assert any("mystery" in diagnostic for diagnostic in result.diagnostics)
+
+    def test_program_builder_helpers(self):
+        program = Program(name="p")
+        topic = program.declare_topic(Topic("t"))
+        node = program.add_node(ConstantNode("n", {"t": 1}))
+        module = program.add_module(build_toy_module())
+        assert topic in program.topics
+        assert node in program.nodes
+        assert module in program.modules
+
+
+class TestCompilation:
+    def test_structural_compilation_produces_system_and_reports(self):
+        result = SoterCompiler().compile(_toy_program())
+        assert result.well_formed
+        assert "toyRTA" in result.reports
+        assert result.system.module_named("toyRTA").decision.period == pytest.approx(0.1)
+
+    def test_strict_mode_rejects_ill_formed_module(self):
+        program = _toy_program()
+        program.modules[0].safe.publishes = ("other",)  # breaks P1b
+        with pytest.raises(CompilationError) as excinfo:
+            SoterCompiler(strict=True).compile(program)
+        assert excinfo.value.diagnostics
+
+    def test_non_strict_mode_records_failure(self):
+        program = _toy_program()
+        program.modules[0].safe.publishes = ("other",)
+        result = SoterCompiler(strict=False).compile(program)
+        assert not result.well_formed
+        assert not result.report_for("toyRTA").passed
+
+    def test_full_checker_integration(self):
+        compiler = SoterCompiler(checker=WellFormednessChecker(ToyClosedLoop()))
+        result = compiler.compile(_toy_program())
+        assert result.well_formed
+        assert result.report_for("toyRTA").result_for("P2a").passed
+
+    def test_compile_program_wrapper(self):
+        result = compile_program(_toy_program())
+        assert result.system.name == "toy-program"
+
+    def test_summary_mentions_module_status(self):
+        result = SoterCompiler().compile(_toy_program())
+        assert "well-formed" in result.summary()
+
+
+class TestCodegen:
+    def test_generated_source_contains_expected_sections(self):
+        result = SoterCompiler(emit_source=True).compile(_toy_program())
+        source = result.generated_source
+        assert "topic table" in source
+        assert "node table" in source
+        assert "output_enabled" in source
+        assert "toyRTA" in source
+        assert "MODE_SC" in source
+
+    def test_decision_module_codegen_matches_figure9(self):
+        result = SoterCompiler().compile(_toy_program())
+        source = generate_decision_module(result.system, "toyRTA")
+        # The generated switch mirrors Figure 9: ttf check in AC mode,
+        # φ_safer check in SC mode, then the output-enable updates.
+        assert "ttf_2delta_toyRTA" in source
+        assert "phi_safer_toyRTA" in source
+        assert "MODE_AC" in source and "MODE_SC" in source
+        assert "output_enabled" in source
+
+    def test_generate_c_source_standalone(self):
+        program = _toy_program()
+        system = SoterCompiler().compile(program).system
+        source = generate_c_source(program, system)
+        assert source.count("void") >= 1
+        assert "soter_runtime.h" in source
+
+    def test_codegen_sanitises_identifiers(self):
+        program = _toy_program()
+        program.modules[0].name = "toy-RTA 2"
+        system = SoterCompiler().compile(program).system
+        source = generate_decision_module(system, "toy-RTA 2")
+        assert "toy_RTA_2" in source

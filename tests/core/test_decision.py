@@ -1,0 +1,128 @@
+"""Unit tests for the generated decision module (Figure 9 switching logic)."""
+
+import pytest
+
+from repro.core import DecisionModule, Mode, RTAModuleSpec, SafetySpec
+from repro.core.node import FunctionNode
+
+
+def _controller(name: str) -> FunctionNode:
+    return FunctionNode(
+        name,
+        lambda now, inputs: {"cmd": 0},
+        subscribes=("state",),
+        publishes=("cmd",),
+        period=0.05,
+    )
+
+
+def _spec(safe_above=0.0, safer_above=2.0, ttf_below=1.0, delta=0.1) -> RTAModuleSpec:
+    """A 1-D toy module: the monitored state is a scalar 'distance to danger'."""
+    return RTAModuleSpec(
+        name="toy",
+        advanced=_controller("toy.ac"),
+        safe=_controller("toy.sc"),
+        delta=delta,
+        safe_spec=SafetySpec("safe", lambda x: x > safe_above),
+        safer_spec=SafetySpec("safer", lambda x: x > safer_above),
+        ttf=lambda x: x <= ttf_below,
+        state_topics=("state",),
+    )
+
+
+class TestSwitchingLogic:
+    def test_initial_mode_is_sc(self):
+        dm = DecisionModule(_spec())
+        assert dm.mode is Mode.SC
+
+    def test_period_equals_delta(self):
+        spec = _spec(delta=0.25)
+        dm = DecisionModule(spec)
+        assert dm.period == pytest.approx(0.25)
+
+    def test_subscribes_to_controller_inputs_and_state(self):
+        dm = DecisionModule(_spec())
+        assert "state" in dm.subscribes
+
+    def test_sc_to_ac_when_in_safer(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        assert dm.mode is Mode.AC
+        assert len(dm.switches) == 1
+        assert not dm.switches[0].is_disengagement
+
+    def test_sc_stays_sc_outside_safer(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 1.5})
+        assert dm.mode is Mode.SC
+        assert dm.switches == []
+
+    def test_ac_to_sc_when_ttf_triggers(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})  # -> AC
+        dm.step(0.1, {"state": 0.5})  # ttf triggers -> SC
+        assert dm.mode is Mode.SC
+        assert dm.disengagements and dm.disengagements[0].time == pytest.approx(0.1)
+
+    def test_ac_stays_ac_when_safe_for_2delta(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        dm.step(0.1, {"state": 1.5})  # not in safer, but ttf false -> stay AC
+        assert dm.mode is Mode.AC
+
+    def test_missing_state_forces_sc(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        dm.step(0.1, {"state": None})
+        assert dm.mode is Mode.SC
+        assert dm.missing_state_evaluations == 1
+
+    def test_reset_restores_initial_mode_and_clears_history(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        dm.reset()
+        assert dm.mode is Mode.SC
+        assert dm.switches == []
+        assert dm.evaluations == 0
+
+    def test_decide_is_pure(self):
+        dm = DecisionModule(_spec())
+        mode, reason = dm.decide(5.0)
+        assert mode is Mode.AC and "safer" in reason
+        assert dm.mode is Mode.SC  # decide() does not mutate
+
+
+class TestModeAccounting:
+    def test_mode_intervals_cover_the_horizon(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})   # SC -> AC at t=0
+        dm.step(1.0, {"state": 0.5})   # AC -> SC at t=1
+        intervals = dm.mode_intervals(0.0, 2.0)
+        total = sum(end - start for start, end, _ in intervals)
+        assert total == pytest.approx(2.0)
+
+    def test_time_fraction_in_mode(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        dm.step(1.0, {"state": 0.5})
+        ac_fraction = dm.time_fraction_in_mode(Mode.AC, 0.0, 2.0)
+        sc_fraction = dm.time_fraction_in_mode(Mode.SC, 0.0, 2.0)
+        assert ac_fraction == pytest.approx(0.5)
+        assert sc_fraction == pytest.approx(0.5)
+
+    def test_empty_interval_fraction_is_zero(self):
+        dm = DecisionModule(_spec())
+        assert dm.time_fraction_in_mode(Mode.AC, 1.0, 1.0) == 0.0
+
+    def test_invalid_interval_raises(self):
+        dm = DecisionModule(_spec())
+        with pytest.raises(ValueError):
+            dm.mode_intervals(2.0, 1.0)
+
+    def test_reengagements_listed_separately(self):
+        dm = DecisionModule(_spec())
+        dm.step(0.0, {"state": 5.0})
+        dm.step(0.1, {"state": 0.5})
+        dm.step(0.2, {"state": 5.0})
+        assert len(dm.disengagements) == 1
+        assert len(dm.reengagements) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for RTA module declarations and regions of operation."""
+
+import pytest
+
+from repro.core import (
+    ModuleCertificate,
+    ModuleError,
+    RTAModuleSpec,
+    Region,
+    SafetySpec,
+    classify_region,
+    is_consistent,
+)
+from repro.core.node import FunctionNode
+
+
+def _controller(name, period=0.05, publishes=("cmd",), subscribes=("state",)):
+    return FunctionNode(
+        name, lambda now, inputs: {}, subscribes=subscribes, publishes=publishes, period=period
+    )
+
+
+def _spec(**overrides):
+    defaults = dict(
+        name="toy",
+        advanced=_controller("ac"),
+        safe=_controller("sc"),
+        delta=0.1,
+        safe_spec=SafetySpec("safe", lambda x: x > 0.0),
+        safer_spec=SafetySpec("safer", lambda x: x > 2.0),
+        ttf=lambda x: x <= 1.0,
+        state_topics=("state",),
+    )
+    defaults.update(overrides)
+    return RTAModuleSpec(**defaults)
+
+
+class TestModuleDeclaration:
+    def test_valid_declaration(self):
+        spec = _spec()
+        assert spec.decision_node_name == "toy.dm"
+        assert spec.output_topics == ("cmd",)
+        assert spec.controlled_node_names == ("ac", "sc")
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ModuleError):
+            _spec(delta=0.0)
+
+    def test_name_required(self):
+        with pytest.raises(ModuleError):
+            _spec(name="")
+
+    def test_ac_and_sc_must_differ(self):
+        shared = _controller("same")
+        with pytest.raises(ModuleError):
+            _spec(advanced=shared, safe=shared)
+
+    def test_state_topics_required(self):
+        with pytest.raises(ModuleError):
+            _spec(state_topics=())
+
+    def test_dm_subscriptions_cover_controllers_and_state(self):
+        ac = _controller("ac", subscribes=("plan", "state"))
+        sc = _controller("sc", subscribes=("state", "battery"))
+        spec = _spec(advanced=ac, safe=sc, state_topics=("state",))
+        subs = spec.dm_subscriptions()
+        assert set(subs) >= {"plan", "state", "battery"}
+
+    def test_default_state_extractor_reads_first_topic(self):
+        spec = _spec()
+        assert spec.monitored_state({"state": 3.5}) == 3.5
+
+    def test_custom_state_extractor(self):
+        spec = _spec(
+            state_topics=("state", "battery"),
+            state_extractor=lambda inputs: (inputs.get("state"), inputs.get("battery")),
+        )
+        assert spec.monitored_state({"state": 1, "battery": 2}) == (1, 2)
+
+    def test_describe_mentions_components(self):
+        text = _spec().describe()
+        assert "ac" in text and "sc" in text and "safe" in text
+
+
+class TestCertificate:
+    def test_empty_certificate_proves_nothing(self):
+        certificate = ModuleCertificate()
+        assert not certificate.proves_p2a
+        assert not certificate.proves_p2b
+        assert not certificate.proves_p3
+
+    def test_justifications_enable_proofs(self):
+        certificate = ModuleCertificate(
+            p2a_justification="a", p2b_justification="b", p3_justification="c"
+        )
+        assert certificate.proves_p2a and certificate.proves_p2b and certificate.proves_p3
+
+
+class TestRegions:
+    def test_unsafe_region(self):
+        assert classify_region(_spec(), -1.0) is Region.UNSAFE
+
+    def test_safer_region(self):
+        assert classify_region(_spec(), 3.0) is Region.SAFER
+
+    def test_switching_region(self):
+        assert classify_region(_spec(), 0.5) is Region.SWITCHING
+
+    def test_nominal_region(self):
+        assert classify_region(_spec(), 1.5) is Region.NOMINAL
+
+    def test_consistency_holds_for_well_chosen_sets(self):
+        spec = _spec()
+        for state in (0.5, 1.5, 2.5, 3.0, -1.0):
+            assert is_consistent(spec, state)
+
+    def test_inconsistent_when_safer_intersects_switching(self):
+        spec = _spec(ttf=lambda x: x <= 2.5)  # ttf true inside φ_safer
+        assert not is_consistent(spec, 2.4)

@@ -1,0 +1,125 @@
+"""Tests for the safety and invariant monitors."""
+
+import pytest
+
+from repro.core import (
+    ConstantNode,
+    InvariantMonitor,
+    MonitorSuite,
+    Program,
+    SafetySpec,
+    SemanticsEngine,
+    SoterCompiler,
+    Topic,
+    TopicSafetyMonitor,
+)
+from repro.core.decision import Mode
+
+from .toy import CLIFF, MAX_SPEED, build_toy_system
+
+
+def _engine_with_topic(value):
+    program = Program(
+        name="p",
+        topics=[Topic("signal", float, None)],
+        nodes=[ConstantNode("n", {"other": 1}, period=0.1)],
+    )
+    engine = SemanticsEngine(SoterCompiler().compile(program).system)
+    if value is not None:
+        engine.set_input("signal", value)
+    return engine
+
+
+class TestTopicSafetyMonitor:
+    def test_no_violation_when_spec_holds(self):
+        monitor = TopicSafetyMonitor("m", "signal", SafetySpec("pos", lambda x: x > 0))
+        engine = _engine_with_topic(5.0)
+        assert monitor.check(engine) is None
+        assert monitor.result.ok
+
+    def test_violation_recorded_when_spec_fails(self):
+        monitor = TopicSafetyMonitor("m", "signal", SafetySpec("pos", lambda x: x > 0))
+        engine = _engine_with_topic(-1.0)
+        violation = monitor.check(engine)
+        assert violation is not None
+        assert violation.monitor == "m"
+        assert monitor.result.count == 1
+
+    def test_missing_topic_ignored_by_default(self):
+        monitor = TopicSafetyMonitor("m", "signal", SafetySpec("pos", lambda x: x > 0))
+        engine = _engine_with_topic(None)
+        assert monitor.check(engine) is None
+
+    def test_missing_topic_flagged_when_requested(self):
+        monitor = TopicSafetyMonitor(
+            "m", "signal", SafetySpec("pos", lambda x: x > 0), ignore_missing=False
+        )
+        engine = _engine_with_topic(None)
+        assert monitor.check(engine) is not None
+
+
+class TestInvariantMonitor:
+    def _monitor(self, system):
+        return InvariantMonitor(
+            module=system.modules[0],
+            may_leave_within=lambda x, horizon: x + MAX_SPEED * horizon >= CLIFF,
+        )
+
+    def test_holds_in_sc_mode_inside_safe(self):
+        system = build_toy_system()
+        monitor = self._monitor(system)
+        assert monitor.holds(Mode.SC, 5.0)
+
+    def test_fails_in_sc_mode_outside_safe(self):
+        system = build_toy_system()
+        monitor = self._monitor(system)
+        assert not monitor.holds(Mode.SC, CLIFF + 1.0)
+
+    def test_ac_mode_requires_reach_safety(self):
+        system = build_toy_system()
+        monitor = self._monitor(system)
+        assert monitor.holds(Mode.AC, 5.0)
+        assert not monitor.holds(Mode.AC, CLIFF - 0.05)
+
+    def test_none_state_is_vacuously_fine(self):
+        system = build_toy_system()
+        monitor = self._monitor(system)
+        assert monitor.holds(Mode.AC, None)
+
+    def test_check_reads_engine_topics(self):
+        system = build_toy_system()
+        monitor = self._monitor(system)
+        engine = SemanticsEngine(system)
+        engine.set_input("state", CLIFF - 0.05)
+        # The module boots in SC mode; being close to the cliff is allowed
+        # in SC mode as long as the state is still inside φ_safe.
+        assert monitor.check(engine) is None
+        system.modules[0].decision.mode = Mode.AC
+        assert monitor.check(engine) is not None
+
+
+class TestMonitorSuite:
+    def test_check_all_aggregates(self):
+        suite = MonitorSuite()
+        suite.add(TopicSafetyMonitor("a", "signal", SafetySpec("pos", lambda x: x > 0)))
+        suite.add(TopicSafetyMonitor("b", "signal", SafetySpec("big", lambda x: x > 100)))
+        engine = _engine_with_topic(5.0)
+        new = suite.check_all(engine)
+        assert len(new) == 1
+        assert not suite.ok
+        assert len(suite.violations) == 1
+
+    def test_summary_lists_monitors(self):
+        suite = MonitorSuite([TopicSafetyMonitor("a", "signal", SafetySpec("pos", lambda x: x > 0))])
+        assert "a" in suite.summary()
+
+    def test_violations_sorted_by_time(self):
+        suite = MonitorSuite()
+        monitor = TopicSafetyMonitor("a", "signal", SafetySpec("pos", lambda x: x > 0))
+        suite.add(monitor)
+        engine = _engine_with_topic(-1.0)
+        suite.check_all(engine)
+        engine.current_time = 5.0
+        suite.check_all(engine)
+        times = [violation.time for violation in suite.violations]
+        assert times == sorted(times)

@@ -1,0 +1,95 @@
+"""Unit tests for the node programming model."""
+
+import pytest
+
+from repro.core import ConstantNode, FunctionNode, Node, NodeError, RelayNode, validate_outputs
+
+
+class _Counter(Node):
+    def __init__(self):
+        super().__init__("counter", subscribes=("in",), publishes=("out",), period=0.1)
+        self.count = 0
+
+    def reset(self):
+        self.count = 0
+
+    def step(self, now, inputs):
+        self.count += 1
+        return {"out": self.count}
+
+
+class TestNodeDeclaration:
+    def test_period_must_be_positive(self):
+        with pytest.raises(NodeError):
+            FunctionNode("bad", lambda now, inputs: {}, period=0.0)
+
+    def test_offset_must_be_non_negative(self):
+        with pytest.raises(NodeError):
+            FunctionNode("bad", lambda now, inputs: {}, period=0.1, offset=-1.0)
+
+    def test_name_must_be_non_empty(self):
+        with pytest.raises(NodeError):
+            FunctionNode("", lambda now, inputs: {})
+
+    def test_inputs_and_outputs_must_be_disjoint(self):
+        with pytest.raises(NodeError):
+            FunctionNode(
+                "bad", lambda now, inputs: {}, subscribes=("t",), publishes=("t",)
+            )
+
+    def test_duplicate_topics_are_deduplicated(self):
+        node = FunctionNode(
+            "n", lambda now, inputs: {}, subscribes=("a", "a", "b"), publishes=("c", "c")
+        )
+        assert node.subscribes == ("a", "b")
+        assert node.publishes == ("c",)
+
+    def test_time_table(self):
+        node = FunctionNode("n", lambda now, inputs: {}, period=0.5, offset=0.25)
+        assert node.time_table(1.5) == (0.25, 0.75, 1.25)
+
+    def test_describe_mentions_period_and_topics(self):
+        node = FunctionNode("n", lambda now, inputs: {}, subscribes=("a",), publishes=("b",), period=0.05)
+        text = node.describe()
+        assert "n" in text and "50 ms" in text and "a" in text and "b" in text
+
+
+class TestNodeStepping:
+    def test_custom_node_keeps_local_state(self):
+        node = _Counter()
+        assert node.step(0.0, {"in": None}) == {"out": 1}
+        assert node.step(0.1, {"in": None}) == {"out": 2}
+        node.reset()
+        assert node.step(0.2, {"in": None}) == {"out": 1}
+
+    def test_function_node_none_output_becomes_empty(self):
+        node = FunctionNode("n", lambda now, inputs: None, publishes=("x",))
+        assert node.step(0.0, {}) == {}
+
+    def test_relay_node_copies_values(self):
+        relay = RelayNode("relay", {"a": "b"})
+        assert relay.step(0.0, {"a": 7}) == {"b": 7}
+
+    def test_relay_node_skips_missing_inputs(self):
+        relay = RelayNode("relay", {"a": "b"})
+        assert relay.step(0.0, {"a": None}) == {}
+
+    def test_relay_requires_routes(self):
+        with pytest.raises(NodeError):
+            RelayNode("relay", {})
+
+    def test_constant_node_publishes_fixed_values(self):
+        node = ConstantNode("const", {"x": 1, "y": 2})
+        assert node.step(0.0, {}) == {"x": 1, "y": 2}
+        assert node.publishes == ("x", "y")
+
+
+class TestOutputValidation:
+    def test_accepts_declared_outputs(self):
+        node = _Counter()
+        assert validate_outputs(node, {"out": 1}) == {"out": 1}
+
+    def test_rejects_undeclared_outputs(self):
+        node = _Counter()
+        with pytest.raises(NodeError):
+            validate_outputs(node, {"other": 1})

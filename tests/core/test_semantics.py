@@ -1,0 +1,154 @@
+"""Tests of the operational semantics engine (Figure 11)."""
+
+import pytest
+
+from repro.core import (
+    ConstantNode,
+    FunctionNode,
+    Program,
+    SemanticsEngine,
+    SimulationError,
+    SoterCompiler,
+    Topic,
+)
+from repro.core.decision import Mode
+from repro.runtime import OverloadScheduler, PerfectScheduler
+
+from .toy import build_toy_system, ToySimulation
+
+
+def _simple_system(extra_nodes=None):
+    program = Program(
+        name="plain",
+        topics=[Topic("ticks", int, 0)],
+        nodes=extra_nodes or [],
+    )
+    return SoterCompiler().compile(program).system
+
+
+class TestTimeProgress:
+    def test_step_advances_to_earliest_calendar_entry(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.2)
+        engine = SemanticsEngine(_simple_system([node]))
+        time, fired = engine.step()
+        assert time == pytest.approx(0.0)
+        assert fired == ["c"]
+        time, fired = engine.step()
+        assert time == pytest.approx(0.2)
+
+    def test_empty_system_raises(self):
+        engine = SemanticsEngine(_simple_system([]))
+        with pytest.raises(SimulationError):
+            engine.step()
+
+    def test_run_until_respects_horizon(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.1)
+        engine = SemanticsEngine(_simple_system([node]))
+        engine.run_until(0.55)
+        # Firings at 0.0, 0.1, ..., 0.5 -> 6 firings.
+        assert engine.stats.node_firings == 6
+
+    def test_environment_hook_called_before_each_step(self):
+        node = FunctionNode(
+            "reader", lambda now, inputs: {"out": inputs.get("sensor")},
+            subscribes=("sensor",), publishes=("out",), period=0.1,
+        )
+        engine = SemanticsEngine(_simple_system([node]))
+        values = []
+
+        def env(eng, upcoming):
+            eng.set_input("sensor", upcoming)
+            values.append(upcoming)
+
+        engine.run_until(0.3, environment=env)
+        assert values == pytest.approx([0.0, 0.1, 0.2, 0.3])
+        assert engine.read_topic("out") == pytest.approx(0.3)
+
+    def test_stop_condition_terminates_early(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.1)
+        engine = SemanticsEngine(_simple_system([node]))
+        engine.run_until(10.0, stop_when=lambda eng: eng.current_time >= 0.5)
+        assert engine.current_time == pytest.approx(0.5)
+
+
+class TestEnvironmentInput:
+    def test_set_input_updates_topic_and_stats(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.1)
+        engine = SemanticsEngine(_simple_system([node]))
+        engine.set_input("weather", "windy")
+        assert engine.read_topic("weather") == "windy"
+        assert engine.stats.environment_inputs == 1
+
+
+class TestOutputEnableGating:
+    def test_modules_start_with_sc_enabled_and_ac_disabled(self):
+        system = build_toy_system()
+        engine = SemanticsEngine(system)
+        module = system.modules[0]
+        assert engine.output_enabled[module.spec.safe.name] is True
+        assert engine.output_enabled[module.spec.advanced.name] is False
+
+    def test_disabled_node_outputs_are_suppressed(self):
+        sim = ToySimulation(build_toy_system(), initial_x=0.0)
+        # At x=0 the state is deep inside φ_safer, so the DM hands control
+        # to the AC after its first evaluation; before that, only the SC's
+        # retreat command must be visible.
+        sim.run(0.04)  # AC/SC fired at t=0; DM fired too (same instant order: ac, sc, dm)
+        assert sim.engine.read_topic("cmd") == -1.0
+
+    def test_dm_switch_enables_ac(self):
+        sim = ToySimulation(build_toy_system(), initial_x=0.0)
+        sim.run(0.3)
+        assert sim.decision.mode is Mode.AC
+        engine = sim.engine
+        module = sim.system.modules[0]
+        assert engine.output_enabled[module.spec.advanced.name] is True
+        assert engine.output_enabled[module.spec.safe.name] is False
+
+    def test_suppressed_publish_counted(self):
+        sim = ToySimulation(build_toy_system(), initial_x=0.0)
+        sim.run(0.5)
+        assert sim.engine.stats.suppressed_publishes > 0
+
+
+class TestSchedulingPolicies:
+    def test_perfect_scheduler_never_drops(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.1)
+        engine = SemanticsEngine(_simple_system([node]), scheduler=PerfectScheduler())
+        engine.run_until(1.0)
+        assert engine.stats.dropped_firings == 0
+
+    def test_overload_scheduler_starves_selected_node(self):
+        node = ConstantNode("c", {"ticks": 1}, period=0.1)
+        scheduler = OverloadScheduler(starved_nodes=["c"], start_time=0.0, end_time=0.45)
+        engine = SemanticsEngine(_simple_system([node]), scheduler=scheduler)
+        engine.run_until(1.0)
+        assert engine.stats.dropped_firings == 5
+        assert engine.stats.node_firings == 6
+
+    def test_mode_switches_counted(self):
+        sim = ToySimulation(build_toy_system(), initial_x=0.0)
+        sim.run(1.0)
+        assert sim.engine.stats.mode_switches >= 1
+
+
+class TestListeners:
+    def test_listener_receives_events(self):
+        events = []
+
+        class Listener:
+            def on_node_fired(self, time, node, outputs, enabled):
+                events.append(("fired", node.name))
+
+            def on_mode_switch(self, time, module, previous, new, reason):
+                events.append(("switch", module))
+
+            def on_environment_input(self, time, topic, value):
+                events.append(("env", topic))
+
+        system = build_toy_system()
+        engine = SemanticsEngine(system, listeners=[Listener()])
+        engine.set_input("state", 0.0)
+        engine.run_until(0.2)
+        kinds = {kind for kind, _ in events}
+        assert {"fired", "env", "switch"} <= kinds

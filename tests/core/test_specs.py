@@ -1,0 +1,36 @@
+"""Unit tests for safety specifications."""
+
+from repro.core import SafetySpec, always_safe, never_safe
+
+
+class TestSafetySpec:
+    def test_contains_evaluates_predicate(self):
+        spec = SafetySpec("positive", lambda x: x > 0)
+        assert spec.contains(1)
+        assert not spec.contains(-1)
+
+    def test_none_is_never_safe(self):
+        assert not always_safe().contains(None)
+
+    def test_call_syntax(self):
+        spec = SafetySpec("positive", lambda x: x > 0)
+        assert spec(2)
+
+    def test_intersection(self):
+        a = SafetySpec("gt0", lambda x: x > 0)
+        b = SafetySpec("lt10", lambda x: x < 10)
+        both = a.intersect(b)
+        assert both.contains(5)
+        assert not both.contains(-1)
+        assert not both.contains(20)
+        assert "gt0" in both.name and "lt10" in both.name
+
+    def test_negate(self):
+        spec = SafetySpec("gt0", lambda x: x > 0)
+        complement = spec.negate()
+        assert complement.contains(-1)
+        assert not complement.contains(1)
+
+    def test_trivial_specs(self):
+        assert always_safe().contains(object())
+        assert not never_safe().contains(object())

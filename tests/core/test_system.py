@@ -1,0 +1,124 @@
+"""Tests for RTA system composition (Section IV, Theorem 4.1 prerequisites)."""
+
+import pytest
+
+from repro.core import (
+    CompositionError,
+    ConstantNode,
+    Program,
+    RTASystem,
+    SoterCompiler,
+    Topic,
+    compose_all,
+)
+
+from .toy import build_toy_module, build_toy_system
+
+
+def _compile_single(name, module):
+    program = Program(
+        name=name,
+        topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+        modules=[module],
+    )
+    return SoterCompiler(strict=True).compile(program).system
+
+
+class TestSystemAttributes:
+    def test_all_nodes_includes_generated_dm(self):
+        system = build_toy_system()
+        names = {node.name for node in system.all_nodes()}
+        assert {"toy.ac", "toy.sc", "toyRTA.dm"} <= names
+
+    def test_ac_and_sc_maps(self):
+        system = build_toy_system()
+        assert system.ac_nodes() == {"toyRTA.dm": "toy.ac"}
+        assert system.sc_nodes() == {"toyRTA.dm": "toy.sc"}
+
+    def test_output_and_input_topics(self):
+        system = build_toy_system()
+        assert "cmd" in system.output_topics()
+        assert "state" in system.input_topics()
+
+    def test_controlled_nodes(self):
+        system = build_toy_system()
+        assert system.controlled_nodes() == {"toy.ac", "toy.sc"}
+
+    def test_node_lookup(self):
+        system = build_toy_system()
+        assert system.node_named("toy.sc").name == "toy.sc"
+        with pytest.raises(KeyError):
+            system.node_named("ghost")
+
+    def test_module_lookup(self):
+        system = build_toy_system()
+        assert system.module_named("toyRTA").name == "toyRTA"
+        with pytest.raises(KeyError):
+            system.module_named("ghost")
+
+    def test_calendar_covers_all_nodes(self):
+        system = build_toy_system()
+        calendar = system.build_calendar()
+        assert len(calendar) == len(system.all_nodes())
+
+    def test_describe_lists_modules(self):
+        text = build_toy_system().describe()
+        assert "toyRTA" in text
+
+
+class TestComposition:
+    def test_duplicate_node_names_rejected(self):
+        system = build_toy_system()
+        with pytest.raises(CompositionError):
+            system.compose(build_toy_system())
+
+    def test_output_disjointness_enforced_for_modules(self):
+        module_a = build_toy_module()
+        module_b = build_toy_module()
+        module_b.name = "toyRTA2"
+        module_b.advanced.name = "toy2.ac"
+        module_b.safe.name = "toy2.sc"
+        # Both modules publish on "cmd": composition must be rejected.
+        program = Program(
+            name="clash",
+            topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+            modules=[module_a, module_b],
+        )
+        with pytest.raises(CompositionError):
+            SoterCompiler(strict=True).compile(program)
+
+    def test_plain_node_clashing_with_module_output_rejected(self):
+        module = build_toy_module()
+        program = Program(
+            name="clash",
+            topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+            nodes=[ConstantNode("rogue", {"cmd": 0.0}, period=0.1)],
+            modules=[module],
+        )
+        with pytest.raises(CompositionError):
+            SoterCompiler(strict=True).compile(program)
+
+    def test_composition_of_disjoint_systems_succeeds(self):
+        module_a = build_toy_module()
+        module_b = build_toy_module()
+        # Rename everything in module B, including its outputs.
+        module_b.name = "toyRTA2"
+        module_b.advanced.name = "toy2.ac"
+        module_b.advanced.publishes = ("cmd2",)
+        module_b.safe.name = "toy2.sc"
+        module_b.safe.publishes = ("cmd2",)
+        system_a = _compile_single("a", module_a)
+        system_b = _compile_single("b", module_b)
+        composed = system_a.compose(system_b, name="both")
+        assert len(composed.modules) == 2
+        assert {"cmd", "cmd2"} <= composed.output_topics()
+
+    def test_compose_all_requires_systems(self):
+        with pytest.raises(CompositionError):
+            compose_all([])
+
+    def test_validate_runs_on_construction(self):
+        system = build_toy_system()
+        duplicate = ConstantNode("toy.ac", {"other": 1}, period=0.1)
+        with pytest.raises(CompositionError):
+            RTASystem(modules=system.modules, nodes=[duplicate], topics=system.topics)

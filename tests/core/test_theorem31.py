@@ -1,0 +1,154 @@
+"""End-to-end validation of Theorem 3.1 (runtime assurance invariant).
+
+The toy 1-D module has *exact* reachability, so its ttf/φ_safer choices
+satisfy the well-formedness conditions by construction.  Theorem 3.1 then
+promises that, no matter what the adversarial advanced controller does,
+every reachable state satisfies φ_Inv — and in particular the plant never
+leaves φ_safe (never reaches the cliff).  These tests check that claim
+over many adversarial behaviours, and also demonstrate that the guarantee
+genuinely depends on the assumptions (removing the RTA or slowing the DM
+below the rate assumed by the ttf horizon breaks it).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InvariantMonitor,
+    Program,
+    SemanticsEngine,
+    SoterCompiler,
+    Topic,
+)
+from repro.core.decision import Mode
+
+from .toy import (
+    CLIFF,
+    MAX_SPEED,
+    AdversarialController,
+    ToySimulation,
+    build_toy_module,
+    build_toy_system,
+)
+
+
+class TestRuntimeAssuranceTheorem:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_phi_safe_never_violated_under_adversarial_ac(self, seed):
+        """Theorem 3.1: the RTA-protected plant never reaches the cliff."""
+        sim = ToySimulation(build_toy_system(seed=seed), initial_x=0.0)
+        sim.run(20.0)
+        assert sim.max_position() < CLIFF
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.sampled_from([0.05, 0.1, 0.2]),
+        initial_x=st.floats(min_value=0.0, max_value=6.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_phi_safe_holds_for_varied_delta_and_start(self, seed, delta, initial_x):
+        sim = ToySimulation(build_toy_system(delta=delta, seed=seed), initial_x=initial_x)
+        sim.run(10.0)
+        assert sim.max_position() < CLIFF
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_phi_inv_holds_throughout(self, seed):
+        """φ_Inv (the inductive invariant of the theorem) holds at every sample."""
+        system = build_toy_system(seed=seed)
+        module = system.modules[0]
+        monitor = InvariantMonitor(
+            module=module,
+            # Exact reach for the 1-D plant: positions within |v|·h of x.
+            may_leave_within=lambda x, horizon: x + MAX_SPEED * horizon >= CLIFF,
+        )
+        sim = ToySimulation(system, initial_x=0.0)
+        # Interleave running and monitoring at every discrete step.
+        while True:
+            next_time = sim.engine.peek_next_time()
+            if next_time is None or next_time > 10.0:
+                break
+            command = sim.engine.read_topic("cmd") or 0.0
+            sim.x += max(-MAX_SPEED, min(MAX_SPEED, command)) * (next_time - sim._last_time)
+            sim._last_time = next_time
+            sim.engine.set_input("state", sim.x)
+            sim.history.append(sim.x)
+            sim.engine.step()
+            assert monitor.check(sim.engine) is None
+        assert monitor.samples > 0
+
+    def test_control_returns_to_ac_after_recovery(self):
+        """The paper's novel reverse switch: SC hands control back to AC."""
+        sim = ToySimulation(build_toy_system(seed=1), initial_x=0.0)
+        sim.run(30.0)
+        dm = sim.decision
+        assert len(dm.disengagements) >= 1
+        assert len(dm.reengagements) >= 2  # initial engage + at least one recovery
+
+    def test_ac_used_most_of_the_time(self):
+        """Safety is not bought by keeping the SC in control permanently."""
+        sim = ToySimulation(build_toy_system(seed=2), initial_x=0.0)
+        sim.run(30.0)
+        fraction = sim.decision.time_fraction_in_mode(Mode.AC, 0.0, 30.0)
+        assert fraction > 0.5
+
+
+class TestGuaranteeDependsOnAssumptions:
+    def test_unprotected_adversary_reaches_the_cliff(self):
+        """Without the RTA module the adversarial controller goes over the cliff."""
+        program = Program(
+            name="unprotected",
+            topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+            nodes=[AdversarialController(seed=3, bias=1.0)],
+        )
+        system = SoterCompiler().compile(program).system
+        engine = SemanticsEngine(system)
+        x, last = 0.0, 0.0
+        crossed = False
+        while True:
+            next_time = engine.peek_next_time()
+            if next_time is None or next_time > 20.0:
+                break
+            command = engine.read_topic("cmd") or 0.0
+            x += max(-MAX_SPEED, min(MAX_SPEED, command)) * (next_time - last)
+            last = next_time
+            engine.set_input("state", x)
+            if x >= CLIFF:
+                crossed = True
+                break
+            engine.step()
+        assert crossed
+
+    def test_too_slow_dm_breaks_the_guarantee(self):
+        """If the DM runs slower than the ttf horizon assumes, safety can be lost.
+
+        The toy module's ttf uses a 2Δ lookahead with Δ = 0.1 s; compiling
+        a variant whose DM runs at 1 s (with the *same* ttf) violates P1a,
+        and an adversary can then cross the cliff between DM samples.
+        """
+        module = build_toy_module(delta=0.1, seed=4)
+        # Forge an ill-formed variant: same predicates but a 10x slower DM.
+        module.delta = 1.0
+        module.advanced.period = 0.5
+        module.safe.period = 0.5
+        program = Program(
+            name="illformed",
+            topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+            modules=[module],
+        )
+        system = SoterCompiler(strict=False).compile(program).system
+        violated = False
+        for seed in range(5):
+            random.seed(seed)
+            sim = ToySimulation(system, initial_x=8.0)
+            for node in system.all_nodes():
+                node.reset()
+            sim.run(20.0)
+            if sim.max_position() >= CLIFF:
+                violated = True
+                break
+        assert violated

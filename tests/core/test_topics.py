@@ -1,0 +1,94 @@
+"""Unit tests for topics and the global topic valuation."""
+
+import pytest
+
+from repro.core import Topic, TopicBoard, TopicError, TopicRegistry
+
+
+class TestTopicDeclaration:
+    def test_topic_requires_name(self):
+        with pytest.raises(TopicError):
+            Topic(name="")
+
+    def test_topic_accepts_matching_type(self):
+        topic = Topic(name="count", value_type=int, default=0)
+        assert topic.accepts(3)
+        assert not topic.accepts("three")
+
+    def test_topic_accepts_none(self):
+        topic = Topic(name="count", value_type=int)
+        assert topic.accepts(None)
+
+    def test_untyped_topic_accepts_anything(self):
+        topic = Topic(name="anything")
+        assert topic.accepts(object())
+
+
+class TestTopicRegistry:
+    def test_declares_and_looks_up(self):
+        registry = TopicRegistry([Topic("a"), Topic("b", value_type=int, default=1)])
+        assert "a" in registry
+        assert registry.get("b").default == 1
+        assert set(registry.names()) == {"a", "b"}
+
+    def test_rejects_duplicate_names(self):
+        registry = TopicRegistry([Topic("a")])
+        with pytest.raises(TopicError):
+            registry.declare(Topic("a"))
+
+    def test_unknown_lookup_raises(self):
+        registry = TopicRegistry()
+        with pytest.raises(TopicError):
+            registry.get("missing")
+
+    def test_defaults_valuation(self):
+        registry = TopicRegistry([Topic("a", default=5), Topic("b")])
+        assert registry.defaults() == {"a": 5, "b": None}
+
+    def test_declare_name_helper(self):
+        registry = TopicRegistry()
+        registry.declare_name("speed", float, 0.0)
+        assert registry.get("speed").value_type is float
+
+
+class TestTopicBoard:
+    def test_publish_and_read(self):
+        board = TopicBoard()
+        board.publish("x", 42)
+        assert board.read("x") == 42
+        assert board.read("missing") is None
+
+    def test_read_many_returns_full_valuation(self):
+        board = TopicBoard()
+        board.publish("a", 1)
+        assert board.read_many(["a", "b"]) == {"a": 1, "b": None}
+
+    def test_typed_publish_is_checked(self):
+        registry = TopicRegistry([Topic("count", value_type=int)])
+        board = TopicBoard(registry=registry)
+        board.publish("count", 7)
+        with pytest.raises(TopicError):
+            board.publish("count", "seven")
+
+    def test_defaults_seed_the_board(self):
+        registry = TopicRegistry([Topic("count", value_type=int, default=9)])
+        board = TopicBoard(registry=registry)
+        assert board.read("count") == 9
+
+    def test_undeclared_topics_are_untyped(self):
+        registry = TopicRegistry([Topic("count", value_type=int)])
+        board = TopicBoard(registry=registry)
+        board.publish("freeform", {"anything": True})
+        assert board.read("freeform") == {"anything": True}
+
+    def test_snapshot_is_a_copy(self):
+        board = TopicBoard()
+        board.publish("x", 1)
+        snapshot = board.snapshot()
+        board.publish("x", 2)
+        assert snapshot["x"] == 1
+
+    def test_publish_many(self):
+        board = TopicBoard()
+        board.publish_many({"a": 1, "b": 2})
+        assert board.read("a") == 1 and board.read("b") == 2

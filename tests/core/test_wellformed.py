@@ -1,0 +1,167 @@
+"""Tests for the well-formedness checker (P1a, P1b, P2a, P2b, P3)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CheckerOptions,
+    DecisionModule,
+    ModuleCertificate,
+    WellFormednessChecker,
+    WellFormednessError,
+    structural_report,
+)
+from repro.core.node import FunctionNode
+
+from .toy import CLIFF, MAX_SPEED, build_toy_module
+
+
+class ToyClosedLoop:
+    """Exact closed-loop hooks for the 1-D toy plant (SC retreats at 1 m/s)."""
+
+    def __init__(self, seed=0, broken_sc=False):
+        self.rng = random.Random(seed)
+        self.broken_sc = broken_sc
+        self.dt = 0.05
+
+    def sample_safe_state(self):
+        return self.rng.uniform(0.0, CLIFF - 0.05)
+
+    def sample_safer_state(self):
+        return self.rng.uniform(0.0, CLIFF - 0.45)
+
+    def rollout_under_safe_controller(self, state, duration):
+        states = [state]
+        x = state
+        steps = int(duration / self.dt)
+        velocity = MAX_SPEED if self.broken_sc else -MAX_SPEED
+        for _ in range(steps):
+            x = x + velocity * self.dt
+            states.append(x)
+        return states
+
+    def worst_case_stays_safe(self, state, horizon):
+        return state + MAX_SPEED * horizon < CLIFF
+
+
+class TestStructuralChecks:
+    def test_p1a_passes_for_toy_module(self):
+        spec = build_toy_module()
+        report = structural_report(spec, DecisionModule(spec))
+        assert report.result_for("P1a").passed
+
+    def test_p1a_fails_when_controller_slower_than_delta(self):
+        spec = build_toy_module()
+        spec.advanced.period = 0.5  # > Δ = 0.1
+        checker = WellFormednessChecker()
+        assert not checker.check_p1a(spec).passed
+
+    def test_p1a_fails_when_dm_period_mismatch(self):
+        spec = build_toy_module()
+        dm = DecisionModule(spec)
+        dm.period = 0.4
+        checker = WellFormednessChecker()
+        assert not checker.check_p1a(spec, dm).passed
+
+    def test_p1b_passes_when_outputs_match(self):
+        checker = WellFormednessChecker()
+        assert checker.check_p1b(build_toy_module()).passed
+
+    def test_p1b_fails_when_outputs_differ(self):
+        spec = build_toy_module()
+        spec.safe.publishes = ("other",)
+        checker = WellFormednessChecker()
+        result = checker.check_p1b(spec)
+        assert not result.passed
+        assert "other" in result.detail
+
+    def test_p1b_fails_when_no_outputs(self):
+        spec = build_toy_module()
+        spec.advanced.publishes = ()
+        spec.safe.publishes = ()
+        checker = WellFormednessChecker()
+        assert not checker.check_p1b(spec).passed
+
+
+class TestSemanticChecks:
+    def test_full_check_passes_with_closed_loop_model(self):
+        checker = WellFormednessChecker(ToyClosedLoop(), CheckerOptions(samples=10, p2b_max_time=15.0))
+        report = checker.check(build_toy_module())
+        assert report.passed, report.summary()
+
+    def test_p2a_fails_for_broken_safe_controller(self):
+        checker = WellFormednessChecker(
+            ToyClosedLoop(broken_sc=True), CheckerOptions(samples=10)
+        )
+        result = checker.check_p2a(build_toy_module())
+        assert not result.passed
+        assert result.evidence == "falsification"
+
+    def test_p3_fails_when_safer_set_is_too_weak(self):
+        spec = build_toy_module()
+        # Pretend φ_safer extends right up to the cliff edge: P3 must fail.
+        spec.safer_spec = spec.safe_spec
+        closed_loop = ToyClosedLoop()
+        closed_loop.sample_safer_state = lambda: CLIFF - 0.01
+        checker = WellFormednessChecker(closed_loop, CheckerOptions(samples=5))
+        assert not checker.check_p3(spec).passed
+
+    def test_semantic_checks_fail_without_certificate_or_model(self):
+        checker = WellFormednessChecker(closed_loop=None)
+        report = checker.check(build_toy_module())
+        assert not report.passed
+        assert not report.result_for("P2a").passed
+
+    def test_certificate_is_trusted_when_enabled(self):
+        spec = build_toy_module()
+        spec.certificate = ModuleCertificate(
+            p2a_justification="exact retreat argument",
+            p2b_justification="retreat reaches φ_safer in finite time",
+            p3_justification="φ_safer is 2Δ·v_max inside φ_safe",
+        )
+        checker = WellFormednessChecker(closed_loop=None)
+        report = checker.check(spec)
+        assert report.passed
+        assert report.result_for("P2a").evidence == "certificate"
+
+    def test_certificate_can_be_distrusted(self):
+        spec = build_toy_module()
+        spec.certificate = ModuleCertificate(p2a_justification="trust me")
+        checker = WellFormednessChecker(
+            ToyClosedLoop(), CheckerOptions(samples=5, trust_certificates=False, p2b_max_time=15.0)
+        )
+        result = checker.check_p2a(spec)
+        assert result.evidence == "falsification"
+
+    def test_ttf_consistency_detects_overlap(self):
+        spec = build_toy_module()
+        spec.ttf = lambda x: True  # ttf holds everywhere, even inside φ_safer
+        checker = WellFormednessChecker(ToyClosedLoop(), CheckerOptions(samples=5))
+        assert not checker.check_ttf_consistency(spec).passed
+
+
+class TestReport:
+    def test_report_summary_and_failures(self):
+        checker = WellFormednessChecker(ToyClosedLoop(broken_sc=True), CheckerOptions(samples=5))
+        report = checker.check(build_toy_module())
+        assert not report.passed
+        assert report.failures
+        assert "P2a" in report.summary()
+
+    def test_raise_if_failed(self):
+        checker = WellFormednessChecker(closed_loop=None)
+        report = checker.check(build_toy_module())
+        with pytest.raises(WellFormednessError):
+            report.raise_if_failed()
+
+    def test_result_for_unknown_check(self):
+        report = structural_report(build_toy_module())
+        with pytest.raises(KeyError):
+            report.result_for("P99")
+
+    def test_checker_options_validation(self):
+        with pytest.raises(ValueError):
+            CheckerOptions(samples=0)
+        with pytest.raises(ValueError):
+            CheckerOptions(p2a_horizon=0.0)

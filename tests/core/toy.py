@@ -1,0 +1,125 @@
+"""A tiny 1-D RTA system used by the core semantics / theorem tests.
+
+The plant is a point moving on a line toward a cliff at ``x = cliff``:
+its velocity is whatever the enabled controller last commanded (bounded to
+[-1, 1] m/s).  The advanced controller is adversarial (it may command full
+speed toward the cliff); the safe controller always retreats.  Because the
+dynamics are this simple, the exact reachable set is ``[x - t, x + t]``,
+so the module's ttf / φ_safer choices are exact rather than approximate —
+which makes the toy ideal for validating Theorem 3.1 end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core import (
+    DecisionModule,
+    Program,
+    RTAModuleSpec,
+    RTASystem,
+    SafetySpec,
+    SemanticsEngine,
+    SoterCompiler,
+    Topic,
+)
+from repro.core.node import FunctionNode, Node
+
+CLIFF = 9.0
+MAX_SPEED = 1.0
+
+
+class AdversarialController(Node):
+    """The untrusted AC: commands a random (often cliff-ward) velocity."""
+
+    def __init__(self, seed: int = 0, period: float = 0.05, bias: float = 0.6) -> None:
+        super().__init__("toy.ac", subscribes=("state",), publishes=("cmd",), period=period)
+        self.seed = seed
+        self.bias = bias
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def step(self, now, inputs):
+        # Mostly drive toward the cliff, sometimes randomly.
+        if self._rng.random() < self.bias:
+            return {"cmd": MAX_SPEED}
+        return {"cmd": self._rng.uniform(-MAX_SPEED, MAX_SPEED)}
+
+
+class RetreatController(Node):
+    """The certified SC: always drives away from the cliff."""
+
+    def __init__(self, period: float = 0.05) -> None:
+        super().__init__("toy.sc", subscribes=("state",), publishes=("cmd",), period=period)
+
+    def step(self, now, inputs):
+        return {"cmd": -MAX_SPEED}
+
+
+def build_toy_module(delta: float = 0.1, seed: int = 0, safer_margin: float = 0.2) -> RTAModuleSpec:
+    """The toy RTA module with exact reachability-based predicates."""
+    two_delta = 2.0 * delta
+    safe = SafetySpec("x<cliff", lambda x: x < CLIFF)
+    safer = SafetySpec("x<cliff-2Δ", lambda x: x < CLIFF - two_delta * MAX_SPEED - safer_margin)
+    return RTAModuleSpec(
+        name="toyRTA",
+        advanced=AdversarialController(seed=seed),
+        safe=RetreatController(),
+        delta=delta,
+        safe_spec=safe,
+        safer_spec=safer,
+        ttf=lambda x: x + two_delta * MAX_SPEED >= CLIFF,
+        state_topics=("state",),
+    )
+
+
+def build_toy_system(delta: float = 0.1, seed: int = 0, extra_nodes: Optional[List[Node]] = None) -> RTASystem:
+    """Compile the toy module (plus optional extra nodes) into an RTA system."""
+    program = Program(
+        name="toy-program",
+        topics=[Topic("state", float, None), Topic("cmd", float, 0.0)],
+        nodes=list(extra_nodes or []),
+        modules=[build_toy_module(delta=delta, seed=seed)],
+    )
+    return SoterCompiler(strict=True).compile(program).system
+
+
+@dataclass
+class ToySimulation:
+    """Co-simulates the 1-D plant with the compiled toy system."""
+
+    system: RTASystem
+    initial_x: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.engine = SemanticsEngine(self.system)
+        self.x = self.initial_x
+        self._last_time = 0.0
+        self.engine.set_input("state", self.x)
+
+    @property
+    def decision(self) -> DecisionModule:
+        return self.system.modules[0].decision
+
+    def run(self, duration: float) -> None:
+        """Advance the closed loop until ``duration`` seconds of virtual time."""
+        while True:
+            next_time = self.engine.peek_next_time()
+            if next_time is None or next_time > duration + 1e-12:
+                break
+            # Plant integration between discrete steps: x' = cmd (bounded).
+            command = self.engine.read_topic("cmd") or 0.0
+            command = max(-MAX_SPEED, min(MAX_SPEED, float(command)))
+            self.x += command * (next_time - self._last_time)
+            self._last_time = next_time
+            self.engine.set_input("state", self.x)
+            self.history.append(self.x)
+            self.engine.step()
+
+    def max_position(self) -> float:
+        return max(self.history) if self.history else self.initial_x

@@ -1,0 +1,134 @@
+"""Tests for the bounded double-integrator drone model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics import (
+    BoundedDoubleIntegrator,
+    ControlCommand,
+    DoubleIntegratorParams,
+    DroneState,
+    conservative_drone_model,
+    default_drone_model,
+    worst_case_reach_radius,
+)
+from repro.geometry import Vec3
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleIntegratorParams(max_speed=0.0)
+        with pytest.raises(ValueError):
+            DoubleIntegratorParams(max_acceleration=-1.0)
+        with pytest.raises(ValueError):
+            DoubleIntegratorParams(drag=-0.1)
+
+    def test_factories(self):
+        assert default_drone_model().max_speed == pytest.approx(5.0)
+        assert conservative_drone_model(1.2).max_speed == pytest.approx(1.2)
+
+
+class TestStepping:
+    def test_acceleration_moves_the_drone(self):
+        model = BoundedDoubleIntegrator()
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(1.0, 0.0, 0.0))
+        after = model.step(state, command, 0.1)
+        assert after.velocity.x > 0.0
+        assert after.position.x > 0.0
+
+    def test_speed_saturates(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=2.0, max_acceleration=10.0))
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(10.0, 0.0, 0.0))
+        for _ in range(100):
+            state = model.step(state, command, 0.05)
+        assert state.speed <= 2.0 + 1e-9
+
+    def test_acceleration_saturates(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=10.0, max_acceleration=1.0))
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(100.0, 0.0, 0.0))
+        after = model.step(state, command, 1.0)
+        assert after.velocity.norm() <= 1.0 + 1e-6
+
+    def test_nan_command_treated_as_hover(self):
+        model = BoundedDoubleIntegrator()
+        state = DroneState(velocity=Vec3(1.0, 0.0, 0.0))
+        command = ControlCommand(acceleration=Vec3(float("nan"), 0.0, 0.0))
+        after = model.step(state, command, 0.1)
+        assert after.is_finite()
+
+    def test_negative_dt_rejected(self):
+        model = BoundedDoubleIntegrator()
+        with pytest.raises(ValueError):
+            model.step(DroneState(), ControlCommand.hover(), -0.1)
+
+    def test_rollout_matches_repeated_steps(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(drag=0.0))
+        command = ControlCommand(acceleration=Vec3(1.0, 0.0, 0.0))
+        manual = DroneState()
+        for _ in range(10):
+            manual = model.step(manual, command, 0.1)
+        rolled = model.rollout(DroneState(), command, 1.0, 0.1)
+        assert rolled.position.almost_equal(manual.position, tol=1e-9)
+
+    def test_brake_command_opposes_velocity(self):
+        model = BoundedDoubleIntegrator()
+        state = DroneState(velocity=Vec3(2.0, 0.0, 0.0))
+        command = model.brake_command(state)
+        assert command.acceleration.x < 0.0
+        assert model.brake_command(DroneState()).acceleration == Vec3.zero()
+
+    def test_time_to_stop(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=6.0, max_acceleration=3.0))
+        assert model.time_to_stop(6.0) == pytest.approx(2.0)
+
+
+class TestWorstCaseBounds:
+    def test_max_displacement_matches_kinematics(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=2.0))
+        # From rest for 1 s: 0.5·a·t² = 1.0 m (below the speed cap).
+        assert model.max_displacement(0.0, 1.0) == pytest.approx(1.0)
+        # At the cap the displacement is linear in time.
+        assert model.max_displacement(4.0, 2.0) == pytest.approx(8.0)
+
+    def test_stopping_distance(self):
+        model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=2.0))
+        assert model.stopping_distance(4.0) == pytest.approx(4.0)
+        assert model.stopping_distance(0.0) == 0.0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedDoubleIntegrator().max_displacement(0.0, -1.0)
+
+    def test_worst_case_reach_radius_helper(self):
+        model = default_drone_model()
+        state = DroneState(velocity=Vec3(3.0, 0.0, 0.0))
+        assert worst_case_reach_radius(model, state, 0.2) == pytest.approx(
+            model.max_displacement(3.0, 0.2)
+        )
+
+    @given(
+        speed=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        horizon=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        ax=st.floats(min_value=-6.0, max_value=6.0, allow_nan=False),
+        ay=st.floats(min_value=-6.0, max_value=6.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_max_displacement_is_sound(self, speed, horizon, ax, ay):
+        """No simulated behaviour travels further than the analytic bound.
+
+        This is the soundness property the decision module's ttf_2Δ check
+        relies on (Reach over-approximation).
+        """
+        model = BoundedDoubleIntegrator(
+            DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0, drag=0.0)
+        )
+        state = DroneState(velocity=Vec3(speed, 0.0, 0.0))
+        command = ControlCommand(acceleration=Vec3(ax, ay, 0.0))
+        final = model.rollout(state, command, horizon, dt=0.01)
+        travelled = final.position.distance_to(state.position)
+        assert travelled <= model.max_displacement(speed, horizon) + 1e-6

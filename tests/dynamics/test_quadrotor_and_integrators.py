@@ -1,0 +1,95 @@
+"""Tests for the lagged quadrotor model and the numeric integrators."""
+
+import math
+
+import pytest
+
+from repro.dynamics import (
+    ControlCommand,
+    DroneState,
+    LaggedQuadrotor,
+    QuadrotorParams,
+    euler_step,
+    integrate,
+    rk4_step,
+)
+from repro.geometry import Vec3
+
+
+class TestLaggedQuadrotor:
+    def test_realised_acceleration_lags_command(self):
+        model = LaggedQuadrotor(QuadrotorParams(attitude_time_constant=0.5))
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(4.0, 0.0, 0.0))
+        lagged = model.step(state, command, 0.05)
+        # A double integrator would reach v = 0.2 m/s; the lag keeps it lower.
+        assert 0.0 < lagged.velocity.x < 0.2
+
+    def test_converges_to_commanded_acceleration(self):
+        model = LaggedQuadrotor(QuadrotorParams(attitude_time_constant=0.1, drag=0.0))
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(2.0, 0.0, 0.0))
+        for _ in range(100):
+            state = model.step(state, command, 0.02)
+        assert model.internal.realized_acceleration.x == pytest.approx(2.0, abs=0.05)
+
+    def test_reset_clears_lag_state(self):
+        model = LaggedQuadrotor()
+        model.step(DroneState(), ControlCommand(acceleration=Vec3(3.0, 0.0, 0.0)), 0.1)
+        model.reset()
+        assert model.internal.realized_acceleration == Vec3.zero()
+
+    def test_speed_cap_respected(self):
+        model = LaggedQuadrotor(QuadrotorParams(max_speed=2.0))
+        state = DroneState()
+        command = ControlCommand(acceleration=Vec3(6.0, 0.0, 0.0))
+        for _ in range(200):
+            state = model.step(state, command, 0.05)
+        assert state.speed <= 2.0 + 1e-9
+
+    def test_abstraction_shares_bounds(self):
+        model = LaggedQuadrotor(QuadrotorParams(max_speed=3.0, max_acceleration=5.0))
+        params = model.as_double_integrator_params()
+        assert params.max_speed == 3.0 and params.max_acceleration == 5.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QuadrotorParams(attitude_time_constant=0.0)
+        with pytest.raises(ValueError):
+            QuadrotorParams(max_speed=-1.0)
+
+    def test_nan_command_is_sanitised(self):
+        model = LaggedQuadrotor()
+        after = model.step(DroneState(), ControlCommand(acceleration=Vec3(float("inf"), 0, 0)), 0.1)
+        assert after.is_finite()
+
+
+class TestIntegrators:
+    def test_euler_on_constant_derivative(self):
+        f = lambda state: (1.0, 2.0)
+        assert euler_step(f, (0.0, 0.0), 0.5) == (0.5, 1.0)
+
+    def test_rk4_exact_for_linear_growth(self):
+        f = lambda state: (1.0,)
+        assert rk4_step(f, (0.0,), 0.5)[0] == pytest.approx(0.5)
+
+    def test_rk4_more_accurate_than_euler_on_exponential(self):
+        # x' = x, x(0) = 1, exact x(1) = e.
+        f = lambda state: (state[0],)
+        euler_result = integrate(f, (1.0,), 1.0, 0.1, method="euler")[0]
+        rk4_result = integrate(f, (1.0,), 1.0, 0.1, method="rk4")[0]
+        assert abs(rk4_result - math.e) < abs(euler_result - math.e)
+        assert rk4_result == pytest.approx(math.e, rel=1e-5)
+
+    def test_negative_step_rejected(self):
+        f = lambda state: (1.0,)
+        with pytest.raises(ValueError):
+            euler_step(f, (0.0,), -0.1)
+        with pytest.raises(ValueError):
+            rk4_step(f, (0.0,), -0.1)
+        with pytest.raises(ValueError):
+            integrate(f, (0.0,), 1.0, 0.0)
+
+    def test_integrate_handles_partial_final_step(self):
+        f = lambda state: (1.0,)
+        assert integrate(f, (0.0,), 0.25, 0.1)[0] == pytest.approx(0.25)

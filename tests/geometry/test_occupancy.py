@@ -1,0 +1,94 @@
+"""Tests for the 2-D occupancy grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB, OccupancyGrid, Vec3, empty_workspace
+
+
+@pytest.fixture
+def grid_with_pillar():
+    workspace = empty_workspace(side=10.0, ceiling=8.0)
+    workspace.add_obstacle(AABB.from_footprint(4.0, 4.0, 2.0, 2.0, 6.0))
+    return OccupancyGrid.from_workspace(workspace, resolution=0.5, altitude=2.0)
+
+
+class TestConstruction:
+    def test_shape_matches_workspace(self, grid_with_pillar):
+        assert grid_with_pillar.shape == (20, 20)
+
+    def test_resolution_must_be_positive(self):
+        workspace = empty_workspace(side=4.0)
+        with pytest.raises(ValueError):
+            OccupancyGrid.from_workspace(workspace, resolution=0.0)
+
+    def test_obstacle_cells_marked(self, grid_with_pillar):
+        assert grid_with_pillar.is_occupied(Vec3(5.0, 5.0, 2.0))
+        assert not grid_with_pillar.is_occupied(Vec3(1.0, 1.0, 2.0))
+
+    def test_inflation_marks_neighbouring_cells(self):
+        workspace = empty_workspace(side=10.0, ceiling=8.0)
+        workspace.add_obstacle(AABB.from_footprint(4.0, 4.0, 2.0, 2.0, 6.0))
+        plain = OccupancyGrid.from_workspace(workspace, resolution=0.5, altitude=2.0)
+        inflated = OccupancyGrid.from_workspace(workspace, resolution=0.5, inflate=1.0, altitude=2.0)
+        assert inflated.occupied.sum() > plain.occupied.sum()
+
+    def test_non_2d_array_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(0.0, 0.0, 0.5, np.zeros((2, 2, 2), dtype=bool))
+
+
+class TestIndexing:
+    def test_world_cell_round_trip(self, grid_with_pillar):
+        cell = grid_with_pillar.world_to_cell(Vec3(3.3, 7.7, 2.0))
+        back = grid_with_pillar.cell_to_world(cell, altitude=2.0)
+        assert abs(back.x - 3.3) <= 0.5 and abs(back.y - 7.7) <= 0.5
+
+    def test_out_of_grid_is_occupied(self, grid_with_pillar):
+        assert grid_with_pillar.is_occupied(Vec3(-5.0, 0.0, 2.0))
+        assert grid_with_pillar.is_occupied_cell((999, 0))
+
+    def test_neighbors_4_and_8(self, grid_with_pillar):
+        assert len(grid_with_pillar.neighbors((5, 5), diagonal=False)) == 4
+        assert len(grid_with_pillar.neighbors((5, 5), diagonal=True)) == 8
+        assert len(grid_with_pillar.neighbors((0, 0), diagonal=True)) == 3
+
+    def test_free_cells_iteration(self, grid_with_pillar):
+        free = list(grid_with_pillar.free_cells())
+        assert all(not grid_with_pillar.occupied[cell] for cell in free)
+        assert len(free) == int((~grid_with_pillar.occupied).sum())
+
+
+class TestDistanceTransform:
+    def test_distance_zero_on_obstacles(self, grid_with_pillar):
+        dist = grid_with_pillar.distance_to_occupied()
+        cell = grid_with_pillar.world_to_cell(Vec3(5.0, 5.0, 2.0))
+        assert dist[cell] == 0.0
+
+    def test_distance_grows_away_from_obstacles(self, grid_with_pillar):
+        dist = grid_with_pillar.distance_to_occupied()
+        near = grid_with_pillar.world_to_cell(Vec3(3.4, 5.0, 2.0))
+        far = grid_with_pillar.world_to_cell(Vec3(1.0, 1.0, 2.0))
+        assert dist[far] > dist[near] > 0.0
+
+    def test_distance_roughly_matches_metric_distance(self, grid_with_pillar):
+        dist = grid_with_pillar.distance_to_occupied()
+        cell = grid_with_pillar.world_to_cell(Vec3(1.0, 5.0, 2.0))
+        # True distance from x=1.0 to the obstacle face at x=4.0 is 3.0; the
+        # octile-metric brushfire may overestimate slightly.
+        assert dist[cell] == pytest.approx(3.0, abs=0.8)
+
+    def test_empty_grid_distance_is_infinite(self):
+        grid = OccupancyGrid.from_workspace(empty_workspace(side=5.0), resolution=1.0)
+        dist = grid.distance_to_occupied()
+        assert np.isinf(dist).all()
+
+    def test_inflated_grid(self, grid_with_pillar):
+        inflated = grid_with_pillar.inflated(1.0)
+        assert inflated.occupied.sum() > grid_with_pillar.occupied.sum()
+        with pytest.raises(ValueError):
+            grid_with_pillar.inflated(-1.0)
+
+    def test_occupancy_fraction(self, grid_with_pillar):
+        fraction = grid_with_pillar.occupancy_fraction()
+        assert 0.0 < fraction < 0.2

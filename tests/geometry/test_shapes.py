@@ -1,0 +1,143 @@
+"""Unit and property tests for boxes and spheres."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, Sphere, Vec3, first_box_containing, min_distance_to_boxes
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+sizes = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+
+
+def box_strategy():
+    return st.builds(
+        lambda x, y, z, w, d, h: AABB(Vec3(x, y, z), Vec3(x + w, y + d, z + h)),
+        coords, coords, coords, sizes, sizes, sizes,
+    )
+
+
+class TestAABB:
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            AABB(Vec3(1, 0, 0), Vec3(0, 1, 1))
+
+    def test_from_center_size(self):
+        box = AABB.from_center_size(Vec3(0, 0, 0), Vec3(2, 4, 6))
+        assert box.lo == Vec3(-1, -2, -3)
+        assert box.hi == Vec3(1, 2, 3)
+
+    def test_from_footprint(self):
+        box = AABB.from_footprint(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert box.lo == Vec3(1, 2, 0)
+        assert box.hi == Vec3(4, 6, 5)
+
+    def test_contains_with_margin(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        assert box.contains(Vec3(0.5, 0.5, 0.5))
+        assert not box.contains(Vec3(1.2, 0.5, 0.5))
+        assert box.contains(Vec3(1.2, 0.5, 0.5), margin=0.3)
+
+    def test_inflate(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)).inflate(0.5)
+        assert box.lo == Vec3(-0.5, -0.5, -0.5)
+        with pytest.raises(ValueError):
+            AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)).inflate(-2.0)
+
+    def test_intersects(self):
+        a = AABB(Vec3(0, 0, 0), Vec3(2, 2, 2))
+        b = AABB(Vec3(1, 1, 1), Vec3(3, 3, 3))
+        c = AABB(Vec3(5, 5, 5), Vec3(6, 6, 6))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_distance_and_closest_point(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        assert box.distance_to_point(Vec3(0.5, 0.5, 0.5)) == 0.0
+        assert box.distance_to_point(Vec3(2.0, 0.5, 0.5)) == pytest.approx(1.0)
+        assert box.closest_point(Vec3(2.0, 2.0, 0.5)) == Vec3(1, 1, 0.5)
+
+    def test_segment_intersects(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        assert box.segment_intersects(Vec3(-1, 0.5, 0.5), Vec3(2, 0.5, 0.5))
+        assert not box.segment_intersects(Vec3(-1, 2, 0.5), Vec3(2, 2, 0.5))
+        # Margin makes a near-miss count as a hit.
+        assert box.segment_intersects(Vec3(-1, 1.2, 0.5), Vec3(2, 1.2, 0.5), margin=0.3)
+
+    def test_segment_parallel_outside_slab(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        assert not box.segment_intersects(Vec3(2, -1, 0.5), Vec3(2, 2, 0.5))
+
+    def test_union_and_corners(self):
+        a = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        b = AABB(Vec3(2, 2, 2), Vec3(3, 3, 3))
+        union = a.union(b)
+        assert union.lo == Vec3(0, 0, 0) and union.hi == Vec3(3, 3, 3)
+        assert len(a.corners()) == 8
+
+    def test_center_size_volume(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(2, 4, 6))
+        assert box.center == Vec3(1, 2, 3)
+        assert box.size == Vec3(2, 4, 6)
+        assert box.volume == pytest.approx(48.0)
+
+    def test_random_point_is_inside(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 2, 3))
+        rng = random.Random(0)
+        for _ in range(20):
+            assert box.contains(box.random_point(rng))
+
+
+class TestSphere:
+    def test_contains_and_distance(self):
+        sphere = Sphere(Vec3(0, 0, 0), 2.0)
+        assert sphere.contains(Vec3(1, 1, 0))
+        assert not sphere.contains(Vec3(3, 0, 0))
+        assert sphere.distance_to_point(Vec3(3, 0, 0)) == pytest.approx(1.0)
+        assert sphere.distance_to_point(Vec3(1, 0, 0)) == 0.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(Vec3(), -1.0)
+
+    def test_bounding_box(self):
+        box = Sphere(Vec3(1, 1, 1), 1.0).bounding_box()
+        assert box.lo == Vec3(0, 0, 0) and box.hi == Vec3(2, 2, 2)
+
+
+class TestHelpers:
+    def test_min_distance_to_boxes(self):
+        boxes = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)), AABB(Vec3(5, 0, 0), Vec3(6, 1, 1))]
+        assert min_distance_to_boxes(Vec3(4.5, 0.5, 0.5), boxes) == pytest.approx(0.5)
+        assert min_distance_to_boxes(Vec3(0, 0, 0), []) == float("inf")
+
+    def test_first_box_containing(self):
+        boxes = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)), AABB(Vec3(5, 0, 0), Vec3(6, 1, 1))]
+        assert first_box_containing(Vec3(5.5, 0.5, 0.5), boxes) is boxes[1]
+        assert first_box_containing(Vec3(3.0, 0.5, 0.5), boxes) is None
+
+
+class TestBoxProperties:
+    @given(box=box_strategy(), margin=st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_inflation_preserves_containment(self, box, margin):
+        assert box.inflate(margin).contains(box.center)
+
+    @given(box=box_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_closest_point_is_inside_box(self, box):
+        point = Vec3(100.0, 100.0, 100.0)
+        assert box.contains(box.closest_point(point), margin=1e-9)
+
+    @given(box=box_strategy(), x=coords, y=coords, z=coords)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_zero_iff_contained(self, box, x, y, z):
+        point = Vec3(x, y, z)
+        if box.contains(point):
+            assert box.distance_to_point(point) == 0.0
+        else:
+            # Squaring sub-normal offsets can underflow to exactly 0.0, so
+            # allow "outside but within 1e-9" as a zero-distance case.
+            assert box.distance_to_point(point) > 0.0 or box.contains(point, margin=1e-9)

@@ -1,0 +1,133 @@
+"""Unit and property tests for the 3-D vector type."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Vec3,
+    closest_point_on_segment,
+    distance_point_to_polyline,
+    distance_point_to_segment,
+)
+
+finite = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+vectors = st.builds(Vec3, finite, finite, finite)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+
+    def test_scalar_mul_div(self):
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert 2 * Vec3(1, 2, 3) == Vec3(2, 4, 6)
+        assert Vec3(2, 4, 6) / 2 == Vec3(1, 2, 3)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3(1, 1, 1) / 0.0
+
+    def test_negation_and_iteration(self):
+        assert -Vec3(1, -2, 3) == Vec3(-1, 2, -3)
+        assert list(Vec3(1, 2, 3)) == [1, 2, 3]
+
+    def test_from_iterable(self):
+        assert Vec3.from_iterable([1, 2, 3]) == Vec3(1, 2, 3)
+        with pytest.raises(ValueError):
+            Vec3.from_iterable([1, 2])
+
+
+class TestGeometry:
+    def test_norm_and_distance(self):
+        assert Vec3(3, 4, 0).norm() == pytest.approx(5.0)
+        assert Vec3(0, 0, 0).distance_to(Vec3(1, 1, 1)) == pytest.approx(math.sqrt(3))
+
+    def test_horizontal_distance_ignores_z(self):
+        assert Vec3(0, 0, 10).horizontal_distance_to(Vec3(3, 4, -5)) == pytest.approx(5.0)
+
+    def test_dot_and_cross(self):
+        assert Vec3(1, 0, 0).dot(Vec3(0, 1, 0)) == 0.0
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_unit_of_zero_vector(self):
+        assert Vec3.zero().unit() == Vec3.zero()
+
+    def test_clamp_norm(self):
+        clamped = Vec3(10, 0, 0).clamp_norm(2.0)
+        assert clamped.norm() == pytest.approx(2.0)
+        assert Vec3(1, 0, 0).clamp_norm(2.0) == Vec3(1, 0, 0)
+        with pytest.raises(ValueError):
+            Vec3(1, 0, 0).clamp_norm(-1.0)
+
+    def test_lerp(self):
+        assert Vec3(0, 0, 0).lerp(Vec3(2, 2, 2), 0.5) == Vec3(1, 1, 1)
+
+    def test_with_z(self):
+        assert Vec3(1, 2, 3).with_z(9.0) == Vec3(1, 2, 9)
+
+    def test_is_finite(self):
+        assert Vec3(1, 2, 3).is_finite()
+        assert not Vec3(float("nan"), 0, 0).is_finite()
+
+    def test_almost_equal(self):
+        assert Vec3(1, 1, 1).almost_equal(Vec3(1 + 1e-12, 1, 1))
+        assert not Vec3(1, 1, 1).almost_equal(Vec3(1.1, 1, 1))
+
+
+class TestSegments:
+    def test_closest_point_interior(self):
+        closest = closest_point_on_segment(Vec3(1, 1, 0), Vec3(0, 0, 0), Vec3(2, 0, 0))
+        assert closest == Vec3(1, 0, 0)
+
+    def test_closest_point_clamps_to_endpoints(self):
+        closest = closest_point_on_segment(Vec3(-5, 0, 0), Vec3(0, 0, 0), Vec3(2, 0, 0))
+        assert closest == Vec3(0, 0, 0)
+
+    def test_degenerate_segment(self):
+        assert distance_point_to_segment(Vec3(1, 0, 0), Vec3(0, 0, 0), Vec3(0, 0, 0)) == 1.0
+
+    def test_polyline_distance(self):
+        waypoints = [Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(2, 2, 0)]
+        assert distance_point_to_polyline(Vec3(1, 1, 0), waypoints) == pytest.approx(1.0)
+
+    def test_polyline_single_point(self):
+        assert distance_point_to_polyline(Vec3(1, 0, 0), [Vec3(0, 0, 0)]) == 1.0
+
+    def test_polyline_empty_raises(self):
+        with pytest.raises(ValueError):
+            distance_point_to_polyline(Vec3(), [])
+
+
+class TestVectorProperties:
+    @given(a=vectors, b=vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-9
+
+    @given(a=vectors, b=vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_is_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(v=vectors, cap=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_clamp_norm_never_exceeds_cap(self, v, cap):
+        assert v.clamp_norm(cap).norm() <= cap + 1e-9
+
+    @given(v=vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_unit_vector_has_unit_norm(self, v):
+        unit = v.unit()
+        if v.norm() > 1e-9:
+            assert unit.norm() == pytest.approx(1.0, abs=1e-6)
+
+    @given(p=vectors, a=vectors, b=vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_segment_distance_not_more_than_endpoint_distance(self, p, a, b):
+        segment_distance = distance_point_to_segment(p, a, b)
+        assert segment_distance <= p.distance_to(a) + 1e-9
+        assert segment_distance <= p.distance_to(b) + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for workspaces and the workspace factory functions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AABB,
+    Vec3,
+    Workspace,
+    corridor_workspace,
+    empty_workspace,
+    grid_city_workspace,
+    min_clearance_along,
+)
+
+
+@pytest.fixture
+def pillar_workspace() -> Workspace:
+    workspace = empty_workspace(side=20.0, ceiling=10.0, name="pillar")
+    workspace.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    return workspace
+
+
+class TestCollisionQueries:
+    def test_in_bounds(self, pillar_workspace):
+        assert pillar_workspace.in_bounds(Vec3(1, 1, 1))
+        assert not pillar_workspace.in_bounds(Vec3(-1, 1, 1))
+        assert not pillar_workspace.in_bounds(Vec3(1, 1, 11))
+
+    def test_in_obstacle(self, pillar_workspace):
+        assert pillar_workspace.in_obstacle(Vec3(10, 10, 2))
+        assert not pillar_workspace.in_obstacle(Vec3(2, 2, 2))
+        assert pillar_workspace.in_obstacle(Vec3(8.5, 10, 2), margin=1.0)
+
+    def test_is_free(self, pillar_workspace):
+        assert pillar_workspace.is_free(Vec3(2, 2, 2))
+        assert not pillar_workspace.is_free(Vec3(10, 10, 2))
+        assert not pillar_workspace.is_free(Vec3(25, 2, 2))
+
+    def test_segment_is_free(self, pillar_workspace):
+        assert pillar_workspace.segment_is_free(Vec3(2, 2, 2), Vec3(2, 18, 2))
+        assert not pillar_workspace.segment_is_free(Vec3(2, 10, 2), Vec3(18, 10, 2))
+
+    def test_segment_with_endpoint_outside(self, pillar_workspace):
+        assert not pillar_workspace.segment_is_free(Vec3(2, 2, 2), Vec3(25, 2, 2))
+
+    def test_clearance_excludes_floor(self, pillar_workspace):
+        # At 2 m altitude, far from walls and the pillar, the clearance is
+        # governed by the lateral distance, not the 2 m to the ground.
+        assert pillar_workspace.clearance(Vec3(5, 5, 2.0)) > 2.0
+
+    def test_clearance_near_obstacle(self, pillar_workspace):
+        assert pillar_workspace.clearance(Vec3(8.0, 10.0, 2.0)) == pytest.approx(1.0)
+
+    def test_distance_to_boundary_with_floor(self, pillar_workspace):
+        assert pillar_workspace.distance_to_boundary(Vec3(5, 5, 2.0), include_floor=True) == pytest.approx(2.0)
+
+    def test_obstacle_outside_bounds_rejected(self, pillar_workspace):
+        with pytest.raises(ValueError):
+            pillar_workspace.add_obstacle(AABB.from_footprint(100.0, 100.0, 1.0, 1.0, 1.0))
+
+    def test_with_margin_inflates_all_obstacles(self, pillar_workspace):
+        inflated = pillar_workspace.with_margin(1.0)
+        assert inflated.in_obstacle(Vec3(8.5, 10, 2))
+        assert not pillar_workspace.in_obstacle(Vec3(8.5, 10, 2))
+
+    def test_min_clearance_along(self, pillar_workspace):
+        points = [Vec3(2, 2, 2), Vec3(8.0, 10.0, 2.0)]
+        assert min_clearance_along(points, pillar_workspace) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_random_free_point_respects_margin(self, pillar_workspace):
+        rng = random.Random(1)
+        for _ in range(30):
+            point = pillar_workspace.random_free_point(rng, margin=2.0, altitude_range=(2.0, 2.0))
+            assert pillar_workspace.clearance(point) >= 2.0
+            assert point.z == pytest.approx(2.0)
+
+    def test_random_free_point_gives_up(self):
+        workspace = empty_workspace(side=4.0, ceiling=3.0)
+        rng = random.Random(0)
+        with pytest.raises(RuntimeError):
+            workspace.random_free_point(rng, margin=100.0, max_tries=20)
+
+    def test_clamp(self, pillar_workspace):
+        assert pillar_workspace.clamp(Vec3(-5, 5, 5)) == Vec3(0, 5, 5)
+
+
+class TestFactories:
+    def test_city_has_buildings_and_free_streets(self):
+        city = grid_city_workspace(building_rows=2, building_cols=2)
+        assert len(city.obstacles) == 4
+        assert city.is_free(Vec3(25.0, 25.0, 2.0))
+
+    def test_city_rejects_oversized_buildings(self):
+        with pytest.raises(ValueError):
+            grid_city_workspace(building_size=50.0)
+
+    def test_city_requires_positive_grid(self):
+        with pytest.raises(ValueError):
+            grid_city_workspace(building_rows=0)
+
+    def test_corridor_with_pillars(self):
+        corridor = corridor_workspace(pillar_positions=(10.0, 20.0))
+        assert len(corridor.obstacles) == 2
+        assert not corridor.is_free(Vec3(10.0, 5.0, 2.0))
+
+    def test_empty_workspace_has_no_obstacles(self):
+        assert empty_workspace().obstacles == []
+
+
+class TestWorkspaceProperties:
+    @given(
+        x=st.floats(min_value=0.5, max_value=19.5, allow_nan=False),
+        y=st.floats(min_value=0.5, max_value=19.5, allow_nan=False),
+        margin=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clearance_bounds_obstacle_margin_checks(self, x, y, margin):
+        workspace = empty_workspace(side=20.0, ceiling=10.0)
+        workspace.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+        point = Vec3(x, y, 2.0)
+        if not workspace.is_free(point):
+            return
+        # Being inside the per-axis margin-inflated obstacle box bounds the
+        # Euclidean obstacle distance by sqrt(3)·margin (box corners), so a
+        # point with larger clearance can never be flagged by the margin check.
+        if workspace.in_obstacle(point, margin=margin):
+            assert workspace.distance_to_nearest_obstacle(point) <= margin * (3 ** 0.5) + 1e-9

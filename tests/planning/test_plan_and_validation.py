@@ -1,0 +1,95 @@
+"""Tests for motion plans and plan validation (φ_plan)."""
+
+import pytest
+
+from repro.geometry import AABB, Vec3, empty_workspace
+from repro.planning import Plan, PlanValidator, landing_plan, straight_line_plan
+
+
+@pytest.fixture
+def workspace():
+    ws = empty_workspace(side=20.0, ceiling=10.0)
+    ws.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    return ws
+
+
+class TestPlan:
+    def test_plan_requires_waypoints(self):
+        with pytest.raises(ValueError):
+            Plan(waypoints=(), goal=Vec3())
+
+    def test_plan_ids_are_unique(self):
+        a = straight_line_plan(Vec3(0, 0, 2), Vec3(5, 5, 2))
+        b = straight_line_plan(Vec3(0, 0, 2), Vec3(5, 5, 2))
+        assert a.plan_id != b.plan_id
+
+    def test_length_and_final_waypoint(self):
+        plan = Plan(waypoints=(Vec3(0, 0, 2), Vec3(3, 4, 2)), goal=Vec3(3, 4, 2))
+        assert plan.length() == pytest.approx(5.0)
+        assert plan.final_waypoint == Vec3(3, 4, 2)
+        assert len(plan) == 2
+
+    def test_waypoint_after_clamps(self):
+        plan = Plan(waypoints=(Vec3(0, 0, 2), Vec3(1, 0, 2)), goal=Vec3(1, 0, 2))
+        assert plan.waypoint_after(0) == Vec3(0, 0, 2)
+        assert plan.waypoint_after(10) == Vec3(1, 0, 2)
+        assert plan.waypoint_after(-5) == Vec3(0, 0, 2)
+
+    def test_collision_check(self, workspace):
+        blocked = straight_line_plan(Vec3(1, 10, 2), Vec3(19, 10, 2))
+        clear = straight_line_plan(Vec3(1, 1, 2), Vec3(19, 1, 2))
+        assert not blocked.is_collision_free(workspace)
+        assert clear.is_collision_free(workspace)
+
+    def test_with_prefix(self):
+        plan = straight_line_plan(Vec3(1, 1, 2), Vec3(5, 5, 2))
+        extended = plan.with_prefix(Vec3(0, 0, 2))
+        assert extended.waypoints[0] == Vec3(0, 0, 2)
+        assert extended.goal == plan.goal
+
+    def test_landing_plan_descends_to_ground(self):
+        plan = landing_plan(Vec3(4.0, 5.0, 3.0))
+        assert plan.is_landing
+        assert plan.final_waypoint == Vec3(4.0, 5.0, 0.0)
+
+    def test_reference_round_trip(self):
+        plan = straight_line_plan(Vec3(0, 0, 2), Vec3(10, 0, 2))
+        assert plan.reference().length() == pytest.approx(10.0)
+
+
+class TestPlanValidator:
+    def test_none_plan_is_invalid(self, workspace):
+        validator = PlanValidator(workspace)
+        result = validator.validate(None)
+        assert not result.valid
+        assert "no plan" in result.reason
+
+    def test_valid_plan_accepted(self, workspace):
+        validator = PlanValidator(workspace, clearance=0.5)
+        plan = straight_line_plan(Vec3(1, 1, 2), Vec3(19, 1, 2))
+        assert validator.is_valid(plan)
+
+    def test_colliding_plan_rejected_with_segment(self, workspace):
+        validator = PlanValidator(workspace, clearance=0.5)
+        plan = straight_line_plan(Vec3(1, 10, 2), Vec3(19, 10, 2))
+        result = validator.validate(plan)
+        assert not result.valid
+        assert result.offending_segment is not None
+
+    def test_clearance_margin_matters(self, workspace):
+        tight = PlanValidator(workspace, clearance=0.0)
+        wide = PlanValidator(workspace, clearance=3.0)
+        plan = straight_line_plan(Vec3(1, 7.5, 2), Vec3(19, 7.5, 2))  # passes 1.5 m from the pillar
+        assert tight.is_valid(plan)
+        assert not wide.is_valid(plan)
+
+    def test_single_waypoint_plans(self, workspace):
+        validator = PlanValidator(workspace, clearance=0.5)
+        safe = Plan(waypoints=(Vec3(1, 1, 2),), goal=Vec3(1, 1, 2))
+        unsafe = Plan(waypoints=(Vec3(10, 10, 2),), goal=Vec3(10, 10, 2))
+        assert validator.is_valid(safe)
+        assert not validator.is_valid(unsafe)
+
+    def test_negative_clearance_rejected(self, workspace):
+        with pytest.raises(ValueError):
+            PlanValidator(workspace, clearance=-1.0)

@@ -1,0 +1,147 @@
+"""Tests for the grid A* planner, the RRT* planner, and the fault-injected wrappers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, Vec3, empty_workspace, grid_city_workspace
+from repro.planning import (
+    FaultyPlanner,
+    GridAStarPlanner,
+    PlanValidator,
+    PlannerBug,
+    RRTStarPlanner,
+    straight_line_plan,
+)
+
+
+@pytest.fixture
+def workspace():
+    ws = empty_workspace(side=20.0, ceiling=10.0)
+    ws.add_obstacle(AABB.from_footprint(8.0, 0.0, 2.0, 14.0, 8.0))  # wall with a gap at the top
+    return ws
+
+
+class TestGridAStar:
+    def test_finds_path_around_wall(self, workspace):
+        planner = GridAStarPlanner(workspace, resolution=0.5, clearance=0.8, altitude=2.0)
+        plan = planner.plan(Vec3(2, 2, 2), Vec3(18, 2, 2))
+        assert plan is not None
+        assert plan.is_collision_free(workspace, margin=0.4)
+        assert plan.waypoints[0].distance_to(Vec3(2, 2, 2)) < 1.0
+        assert plan.final_waypoint.distance_to(Vec3(18, 2, 2)) < 1.0
+
+    def test_plan_in_city(self):
+        city = grid_city_workspace()
+        planner = GridAStarPlanner(city, resolution=1.0, clearance=1.5, altitude=2.0)
+        plan = planner.plan(Vec3(3, 3, 2), Vec3(46, 46, 2))
+        assert plan is not None
+        assert plan.is_collision_free(city, margin=1.0)
+
+    def test_unreachable_goal_returns_none(self):
+        ws = empty_workspace(side=20.0, ceiling=10.0)
+        # A wall completely separating left from right.
+        ws.add_obstacle(AABB.from_footprint(9.0, 0.0, 2.0, 20.0, 10.0))
+        planner = GridAStarPlanner(ws, resolution=0.5, clearance=0.5, altitude=2.0)
+        assert planner.plan(Vec3(2, 10, 2), Vec3(18, 10, 2)) is None
+
+    def test_nearest_free_cell_recovery(self, workspace):
+        planner = GridAStarPlanner(workspace, resolution=0.5, clearance=0.8, altitude=2.0)
+        # Start right next to the wall (its own cell may be inflated-occupied).
+        plan = planner.plan(Vec3(7.6, 5.0, 2.0), Vec3(2.0, 2.0, 2.0))
+        assert plan is not None
+
+    def test_invalid_parameters(self, workspace):
+        with pytest.raises(ValueError):
+            GridAStarPlanner(workspace, resolution=0.0)
+        with pytest.raises(ValueError):
+            GridAStarPlanner(workspace, clearance=-1.0)
+
+
+class TestRRTStar:
+    def test_finds_collision_free_path(self, workspace):
+        planner = RRTStarPlanner(workspace, clearance=0.8, altitude=2.0, seed=1, max_iterations=800)
+        plan = planner.plan(Vec3(2, 2, 2), Vec3(18, 2, 2))
+        assert plan is not None
+        assert plan.is_collision_free(workspace, margin=0.5)
+
+    def test_deterministic_for_fixed_seed(self, workspace):
+        a = RRTStarPlanner(workspace, seed=5, max_iterations=300).plan(Vec3(2, 2, 2), Vec3(18, 18, 2))
+        b = RRTStarPlanner(workspace, seed=5, max_iterations=300).plan(Vec3(2, 2, 2), Vec3(18, 18, 2))
+        assert a is not None and b is not None
+        assert [w.as_tuple() for w in a.waypoints] == [w.as_tuple() for w in b.waypoints]
+
+    def test_returns_none_when_no_path_found(self):
+        ws = empty_workspace(side=20.0, ceiling=10.0)
+        ws.add_obstacle(AABB.from_footprint(9.0, 0.0, 2.0, 20.0, 10.0))
+        planner = RRTStarPlanner(ws, clearance=0.5, seed=0, max_iterations=200)
+        assert planner.plan(Vec3(2, 10, 2), Vec3(18, 10, 2)) is None
+
+    def test_invalid_parameters(self, workspace):
+        with pytest.raises(ValueError):
+            RRTStarPlanner(workspace, max_iterations=0)
+        with pytest.raises(ValueError):
+            RRTStarPlanner(workspace, goal_bias=2.0)
+        with pytest.raises(ValueError):
+            RRTStarPlanner(workspace, step_size=0.0)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_returned_plans_respect_clearance(self, seed):
+        workspace = empty_workspace(side=20.0, ceiling=10.0)
+        workspace.add_obstacle(AABB.from_footprint(8.0, 0.0, 2.0, 14.0, 8.0))
+        planner = RRTStarPlanner(workspace, clearance=0.8, seed=seed, max_iterations=500)
+        plan = planner.plan(Vec3(2, 2, 2), Vec3(18, 2, 2))
+        if plan is not None:
+            assert plan.is_collision_free(workspace, margin=0.5)
+
+
+class TestFaultyPlanner:
+    def _base(self, workspace):
+        return GridAStarPlanner(workspace, resolution=0.5, clearance=0.8, altitude=2.0)
+
+    def test_corner_cutting_produces_colliding_plans(self, workspace):
+        faulty = FaultyPlanner(self._base(workspace), bug=PlannerBug.CORNER_CUTTING, probability=1.0, seed=0)
+        plan = faulty.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+        assert plan is not None
+        assert len(plan.waypoints) == 2
+        assert not plan.is_collision_free(workspace)
+        assert faulty.injected_faults == 1
+
+    def test_zero_probability_never_injects(self, workspace):
+        faulty = FaultyPlanner(self._base(workspace), probability=0.0, seed=0)
+        validator = PlanValidator(workspace, clearance=0.4)
+        for _ in range(5):
+            plan = faulty.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+            assert validator.is_valid(plan)
+        assert faulty.injected_faults == 0
+
+    def test_waypoint_corruption_changes_route(self, workspace):
+        base = self._base(workspace)
+        nominal = base.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+        faulty = FaultyPlanner(
+            base, bug=PlannerBug.WAYPOINT_CORRUPTION, probability=1.0, corruption_magnitude=6.0, seed=3
+        )
+        corrupted = faulty.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+        assert corrupted is not None and nominal is not None
+        assert [w.as_tuple() for w in corrupted.waypoints] != [w.as_tuple() for w in nominal.waypoints]
+
+    def test_clearance_loss_squeezes_waypoints(self, workspace):
+        base = self._base(workspace)
+        faulty = FaultyPlanner(base, bug=PlannerBug.CLEARANCE_LOSS, probability=1.0, seed=0)
+        plan = faulty.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+        nominal = base.plan(Vec3(2, 10, 2), Vec3(18, 10, 2))
+        assert plan is not None and nominal is not None
+        # The squeezed plan hugs the straight line more closely than the nominal one.
+        straight = straight_line_plan(Vec3(2, 10, 2), Vec3(18, 10, 2)).reference()
+        squeezed_deviation = max(straight.distance_to(w) for w in plan.waypoints)
+        nominal_deviation = max(straight.distance_to(w) for w in nominal.waypoints)
+        assert squeezed_deviation <= nominal_deviation + 1e-9
+
+    def test_invalid_probability(self, workspace):
+        with pytest.raises(ValueError):
+            FaultyPlanner(self._base(workspace), probability=2.0)
+
+    def test_name_includes_bug(self, workspace):
+        faulty = FaultyPlanner(self._base(workspace), bug=PlannerBug.CORNER_CUTTING)
+        assert "corner-cutting" in faulty.name

@@ -1,0 +1,101 @@
+"""Tests for the FaSTrack-style synthesis and the state samplers."""
+
+import pytest
+
+from repro.dynamics import BoundedDoubleIntegrator, DoubleIntegratorParams
+from repro.geometry import AABB, Vec3, empty_workspace
+from repro.reachability import (
+    SafeTrackerParams,
+    StateSampler,
+    grid_positions,
+    synthesize_safe_tracker,
+)
+
+
+@pytest.fixture
+def model():
+    return BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0))
+
+
+@pytest.fixture
+def workspace():
+    ws = empty_workspace(side=20.0, ceiling=10.0)
+    ws.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    return ws
+
+
+class TestSynthesis:
+    def test_synthesised_params_are_conservative(self, model, workspace):
+        params, certificate = synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.3)
+        assert params.max_speed == pytest.approx(1.2)
+        assert params.max_speed < model.max_speed
+        # The obstacle margin dominates the stopping distance (what makes the
+        # tracking-error certificate sound).
+        assert params.obstacle_margin > certificate.stopping_distance
+
+    def test_certificate_quantities(self, model, workspace):
+        _, certificate = synthesize_safe_tracker(model, workspace)
+        assert certificate.stopping_distance > 0.0
+        assert certificate.recovery_rate > 0.0
+        assert certificate.p2a_holds_for_clearance(certificate.invariant_clearance + 0.1)
+        assert not certificate.p2a_holds_for_clearance(0.0)
+
+    def test_recovery_time_bound(self, model, workspace):
+        _, certificate = synthesize_safe_tracker(model, workspace)
+        assert certificate.recovery_time_bound(0.0, 1.0) == pytest.approx(1.0 / certificate.recovery_rate)
+        assert certificate.recovery_time_bound(2.0, 1.0) == 0.0
+
+    def test_invalid_speed_fraction(self, model, workspace):
+        with pytest.raises(ValueError):
+            synthesize_safe_tracker(model, workspace, safe_speed_fraction=0.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SafeTrackerParams(max_speed=0.0, max_acceleration=1.0, position_gain=1.0,
+                              velocity_gain=1.0, obstacle_margin=0.5)
+        with pytest.raises(ValueError):
+            SafeTrackerParams(max_speed=1.0, max_acceleration=1.0, position_gain=-1.0,
+                              velocity_gain=1.0, obstacle_margin=0.5)
+        with pytest.raises(ValueError):
+            SafeTrackerParams(max_speed=1.0, max_acceleration=1.0, position_gain=1.0,
+                              velocity_gain=1.0, obstacle_margin=-0.5)
+
+
+class TestStateSampler:
+    def test_samples_respect_speed_and_position_margin(self, workspace):
+        sampler = StateSampler(workspace=workspace, max_speed=2.0, position_margin=1.0, seed=1)
+        for _ in range(30):
+            state = sampler.sample()
+            assert state.speed <= 2.0
+            assert workspace.is_free(state.position, margin=1.0)
+
+    def test_sample_satisfying(self, workspace):
+        sampler = StateSampler(workspace=workspace, max_speed=2.0, seed=2)
+        states = sampler.sample_satisfying(lambda s: s.position.x < 5.0, count=5)
+        assert len(states) == 5
+        assert all(state.position.x < 5.0 for state in states)
+
+    def test_sample_satisfying_impossible_predicate(self, workspace):
+        sampler = StateSampler(workspace=workspace, max_speed=2.0, seed=3)
+        with pytest.raises(RuntimeError):
+            sampler.sample_satisfying(lambda s: False, count=1, max_tries_per_sample=10)
+
+    def test_negative_speed_rejected(self, workspace):
+        with pytest.raises(ValueError):
+            StateSampler(workspace=workspace, max_speed=-1.0)
+
+    def test_deterministic_given_seed(self, workspace):
+        a = StateSampler(workspace=workspace, max_speed=2.0, seed=7).sample()
+        b = StateSampler(workspace=workspace, max_speed=2.0, seed=7).sample()
+        assert a.position.almost_equal(b.position)
+
+
+class TestGridPositions:
+    def test_grid_positions_are_free(self, workspace):
+        points = list(grid_positions(workspace, spacing=2.0, altitude=2.0))
+        assert points
+        assert all(workspace.is_free(point) for point in points)
+
+    def test_spacing_must_be_positive(self, workspace):
+        with pytest.raises(ValueError):
+            list(grid_positions(workspace, spacing=0.0, altitude=2.0))

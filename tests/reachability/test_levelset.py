@@ -1,0 +1,91 @@
+"""Tests for the grid-based backward-reachable-set (level-set substitute)."""
+
+import pytest
+
+from repro.dynamics import BoundedDoubleIntegrator, DoubleIntegratorParams, DroneState
+from repro.geometry import AABB, Vec3, empty_workspace
+from repro.reachability import LevelSetAnalysis
+
+
+@pytest.fixture
+def analysis():
+    workspace = empty_workspace(side=20.0, ceiling=10.0)
+    workspace.add_obstacle(AABB.from_footprint(9.0, 9.0, 2.0, 2.0, 8.0))
+    model = BoundedDoubleIntegrator(DoubleIntegratorParams(max_speed=4.0, max_acceleration=6.0))
+    return LevelSetAnalysis(workspace, model, resolution=0.5, altitude=2.0)
+
+
+class TestBackwardReachableSet:
+    def test_cells_near_obstacle_are_reachable(self, analysis):
+        brs = analysis.backward_reachable_set(horizon=0.2)
+        assert brs.contains(Vec3(8.7, 10.0, 2.0))
+
+    def test_cells_far_from_obstacle_are_not_reachable(self, analysis):
+        brs = analysis.backward_reachable_set(horizon=0.2)
+        assert not brs.contains(Vec3(2.0, 2.0, 2.0))
+
+    def test_out_of_grid_counts_as_reachable(self, analysis):
+        brs = analysis.backward_reachable_set(horizon=0.2)
+        assert brs.contains(Vec3(-5.0, 0.0, 2.0))
+
+    def test_reachable_set_grows_with_horizon(self, analysis):
+        small = analysis.backward_reachable_set(horizon=0.1)
+        large = analysis.backward_reachable_set(horizon=1.0)
+        assert large.fraction_of_workspace() > small.fraction_of_workspace()
+
+    def test_clearance_margin_signs(self, analysis):
+        brs = analysis.backward_reachable_set(horizon=0.2)
+        assert brs.clearance_margin(Vec3(2.0, 2.0, 2.0)) > 0.0
+        assert brs.clearance_margin(Vec3(9.5, 10.0, 2.0)) <= 0.0
+        assert brs.clearance_margin(Vec3(-5.0, 0.0, 2.0)) == float("-inf")
+
+    def test_worst_case_displacement_uses_model(self, analysis):
+        assert analysis.worst_case_displacement(0.2) == pytest.approx(
+            analysis.model.max_displacement(analysis.model.max_speed, 0.2)
+        )
+        assert analysis.worst_case_displacement(0.2, speed=1.0) < analysis.worst_case_displacement(0.2)
+
+
+class TestPredicates:
+    def test_safer_region_predicate(self, analysis):
+        safer = analysis.safer_region_predicate(two_delta=0.2)
+        assert safer(DroneState(position=Vec3(2.0, 2.0, 2.0)))
+        assert not safer(DroneState(position=Vec3(9.2, 10.0, 2.0)))
+
+    def test_safer_region_shrinks_with_extra_margin(self, analysis):
+        plain = analysis.safer_region_predicate(two_delta=0.2)
+        strict = analysis.safer_region_predicate(two_delta=0.2, extra_margin=3.0)
+        boundary_state = DroneState(position=Vec3(7.0, 10.0, 2.0))
+        assert plain(boundary_state)
+        assert not strict(boundary_state)
+
+    def test_switching_region_is_speed_aware(self, analysis):
+        ttf = analysis.switching_region_predicate(two_delta=0.2)
+        position = Vec3(8.6, 10.0, 2.0)
+        slow = DroneState(position=position, velocity=Vec3(0.1, 0.0, 0.0))
+        fast = DroneState(position=position, velocity=Vec3(4.0, 0.0, 0.0))
+        assert ttf(fast)
+        assert not ttf(slow)
+
+    def test_switching_region_outside_grid(self, analysis):
+        ttf = analysis.switching_region_predicate(two_delta=0.2)
+        assert ttf(DroneState(position=Vec3(-10.0, 0.0, 2.0)))
+
+    def test_distance_at(self, analysis):
+        assert analysis.distance_at(Vec3(9.5, 10.0, 2.0)) <= 0.5
+        assert analysis.distance_at(Vec3(2.0, 2.0, 2.0)) > 5.0
+        assert analysis.distance_at(Vec3(-10.0, 0.0, 2.0)) == 0.0
+
+    def test_consistency_with_worst_case_reach(self, analysis):
+        """φ_safer = R(φ_safe, 2Δ): from any sampled φ_safer state the
+        obstacle cannot be reached within 2Δ even at maximum speed."""
+        two_delta = 0.2
+        safer = analysis.safer_region_predicate(two_delta=two_delta)
+        reach_radius = analysis.worst_case_displacement(two_delta)
+        for x in range(1, 20):
+            for y in range(1, 20):
+                state = DroneState(position=Vec3(float(x), float(y), 2.0))
+                if safer(state):
+                    true_distance = analysis.workspace.distance_to_nearest_obstacle(state.position)
+                    # Grid distances over-estimate by at most one diagonal cell.
+                    assert true_distance + 0.75 > reach_radius

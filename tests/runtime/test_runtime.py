@@ -1,0 +1,217 @@
+"""Tests for schedulers, tracing, executors, and fault injection."""
+
+import pytest
+
+from repro.core import ConstantNode, FunctionNode, Program, SafetySpec, SoterCompiler, Topic
+from repro.core.monitor import MonitorSuite, TopicSafetyMonitor
+from repro.core.semantics import SemanticsEngine
+from repro.dynamics import ControlCommand
+from repro.geometry import Vec3
+from repro.runtime import (
+    ExecutionTrace,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    JitteryOSScheduler,
+    OverloadScheduler,
+    PerfectScheduler,
+    SimulatedTimeExecutor,
+    WallClockExecutor,
+)
+
+
+def _counting_system(period=0.1):
+    node = ConstantNode("ticker", {"ticks": 1}, period=period)
+    program = Program(name="count", topics=[Topic("ticks", int, 0)], nodes=[node])
+    return SoterCompiler().compile(program).system
+
+
+class TestSchedulers:
+    def test_perfect_scheduler(self):
+        node = ConstantNode("n", {"x": 1})
+        scheduler = PerfectScheduler()
+        assert scheduler.release_jitter(node, 0.0) == 0.0
+        assert not scheduler.drops_execution(node, 0.0)
+
+    def test_jittery_scheduler_bounds_and_reproducibility(self):
+        node = ConstantNode("n", {"x": 1})
+        a = JitteryOSScheduler(max_jitter=0.05, drop_rate=0.1, seed=3)
+        b = JitteryOSScheduler(max_jitter=0.05, drop_rate=0.1, seed=3)
+        jitters_a = [a.release_jitter(node, t) for t in range(20)]
+        jitters_b = [b.release_jitter(node, t) for t in range(20)]
+        assert jitters_a == jitters_b
+        assert all(0.0 <= j <= 0.05 for j in jitters_a)
+
+    def test_jittery_scheduler_only_affects_listed_nodes(self):
+        target = ConstantNode("target", {"x": 1})
+        other = ConstantNode("other", {"y": 1})
+        scheduler = JitteryOSScheduler(max_jitter=0.5, drop_rate=1.0, seed=0, only_nodes=["target"])
+        assert scheduler.drops_execution(target, 0.0)
+        assert not scheduler.drops_execution(other, 0.0)
+        assert scheduler.release_jitter(other, 0.0) == 0.0
+
+    def test_jittery_scheduler_validation(self):
+        from repro.core.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            JitteryOSScheduler(max_jitter=-0.1)
+        with pytest.raises(SchedulingError):
+            JitteryOSScheduler(drop_rate=1.5)
+
+    def test_overload_scheduler_window(self):
+        node = ConstantNode("victim", {"x": 1})
+        scheduler = OverloadScheduler(starved_nodes=["victim"], start_time=1.0, end_time=2.0)
+        assert not scheduler.drops_execution(node, 0.5)
+        assert scheduler.drops_execution(node, 1.5)
+        assert not scheduler.drops_execution(node, 2.5)
+
+    def test_jitter_slows_down_firing_cadence(self):
+        system = _counting_system(period=0.1)
+        engine = SemanticsEngine(system, scheduler=JitteryOSScheduler(max_jitter=0.08, drop_rate=0.0, seed=1))
+        engine.run_until(2.0)
+        jittered_firings = engine.stats.node_firings
+        baseline = SemanticsEngine(_counting_system(period=0.1))
+        baseline.run_until(2.0)
+        assert jittered_firings <= baseline.stats.node_firings
+
+
+class TestExecutionTrace:
+    def test_trace_collects_events(self):
+        system = _counting_system()
+        trace = ExecutionTrace()
+        engine = SemanticsEngine(system, listeners=[trace])
+        engine.set_input("wind", 1.0)
+        engine.run_until(0.5)
+        assert len(trace.firings) == 6
+        assert trace.inputs == 1
+        assert trace.firings_of("ticker")
+        summary = trace.summary()
+        assert summary["firings"] == 6
+
+    def test_samples_and_signals(self):
+        trace = ExecutionTrace()
+        trace.add_sample(0.0, "clearance", 3.0)
+        trace.add_sample(1.0, "clearance", 2.0)
+        trace.note("something happened")
+        assert trace.signal("clearance") == [(0.0, 3.0), (1.0, 2.0)]
+        assert trace.min_signal("clearance") == 2.0
+        assert trace.min_signal("missing") is None
+        assert trace.duration() == pytest.approx(1.0)
+        assert trace.notes == ["something happened"]
+
+    def test_switch_export_csv(self):
+        from repro.core.decision import Mode
+
+        trace = ExecutionTrace()
+        trace.on_mode_switch(1.0, "m", Mode.AC, Mode.SC, "test")
+        csv_text = trace.switches_to_csv()
+        assert "module" in csv_text and "m" in csv_text
+        assert trace.disengagements("m")
+        assert not trace.disengagements("other")
+
+
+class TestExecutors:
+    def test_simulated_executor_runs_and_monitors(self):
+        system = _counting_system()
+        monitors = MonitorSuite([
+            TopicSafetyMonitor("ticks-positive", "ticks", SafetySpec("pos", lambda x: x >= 0))
+        ])
+        executor = SimulatedTimeExecutor(system, monitors=monitors, monitor_period=0.1)
+        result = executor.run(duration=1.0)
+        assert result.safe
+        assert result.end_time >= 1.0 - 1e-9
+        assert result.trace.firings
+
+    def test_simulated_executor_environment_hook(self):
+        node = FunctionNode(
+            "echo", lambda now, inputs: {"echoed": inputs.get("signal")},
+            subscribes=("signal",), publishes=("echoed",), period=0.1,
+        )
+        program = Program(name="echo", topics=[Topic("signal"), Topic("echoed")], nodes=[node])
+        system = SoterCompiler().compile(program).system
+        executor = SimulatedTimeExecutor(system)
+        result = executor.run(duration=0.5, environment=lambda eng, t: eng.set_input("signal", t))
+        assert result.engine.read_topic("echoed") is not None
+
+    def test_invalid_monitor_period(self):
+        with pytest.raises(ValueError):
+            SimulatedTimeExecutor(_counting_system(), monitor_period=0.0)
+
+    def test_wall_clock_executor_paces_execution(self):
+        executor = WallClockExecutor(_counting_system(period=0.05), time_scale=50.0)
+        result = executor.run(duration=0.5)
+        assert result.end_time >= 0.45
+        with pytest.raises(ValueError):
+            WallClockExecutor(_counting_system(), time_scale=0.0)
+
+
+class TestFaultInjection:
+    def _command_node(self):
+        return ConstantNode(
+            "controller", {"cmd": ControlCommand(acceleration=Vec3(1.0, 0.0, 0.0))}, period=0.1
+        )
+
+    def test_drop_fault_suppresses_outputs(self):
+        injector = FaultInjector(self._command_node(), FaultSpec(kind=FaultKind.DROP, probability=1.0))
+        assert injector.step(0.0, {}) == {}
+        assert injector.injected_faults == 1
+
+    def test_stuck_fault_repeats_last_output(self):
+        node = self._command_node()
+        injector = FaultInjector(node, FaultSpec(kind=FaultKind.STUCK, probability=1.0, start_time=0.5))
+        first = injector.step(0.0, {})  # before the fault window: passes through
+        stuck = injector.step(1.0, {})
+        assert stuck == first
+
+    def test_bias_and_invert_faults_change_command(self):
+        bias = FaultInjector(self._command_node(), FaultSpec(kind=FaultKind.BIAS, probability=1.0, magnitude=2.0))
+        biased = bias.step(0.0, {})["cmd"]
+        assert biased.acceleration.x == pytest.approx(3.0)
+        invert = FaultInjector(self._command_node(), FaultSpec(kind=FaultKind.INVERT, probability=1.0))
+        inverted = invert.step(0.0, {})["cmd"]
+        assert inverted.acceleration.x == pytest.approx(-1.0)
+
+    def test_noise_fault_is_bounded_and_seeded(self):
+        def run():
+            injector = FaultInjector(
+                self._command_node(), FaultSpec(kind=FaultKind.NOISE, probability=1.0, magnitude=0.5, seed=7)
+            )
+            return injector.step(0.0, {})["cmd"].acceleration
+
+        assert run().almost_equal(run())
+        assert abs(run().x - 1.0) <= 0.5 + 1e-9
+
+    def test_fault_window_and_probability(self):
+        spec = FaultSpec(kind=FaultKind.DROP, probability=1.0, start_time=10.0, end_time=20.0)
+        injector = FaultInjector(self._command_node(), spec)
+        assert injector.step(0.0, {}) != {}
+        assert injector.step(15.0, {}) == {}
+        assert injector.step(25.0, {}) != {}
+
+    def test_injector_preserves_node_signature(self):
+        node = self._command_node()
+        injector = FaultInjector(node, FaultSpec(kind=FaultKind.DROP), rename="controller.bad")
+        assert injector.name == "controller.bad"
+        assert injector.subscribes == node.subscribes
+        assert injector.publishes == node.publishes
+        assert injector.period == node.period
+
+    def test_non_command_values_pass_through_value_faults(self):
+        node = ConstantNode("n", {"data": 42}, period=0.1)
+        injector = FaultInjector(node, FaultSpec(kind=FaultKind.NOISE, probability=1.0))
+        assert injector.step(0.0, {})["data"] == 42
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.DROP, probability=2.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.DROP, start_time=5.0, end_time=1.0)
+
+    def test_reset_restores_seed_and_counters(self):
+        injector = FaultInjector(
+            self._command_node(), FaultSpec(kind=FaultKind.DROP, probability=0.5, seed=9)
+        )
+        outcomes_first = [injector.step(t * 0.1, {}) == {} for t in range(20)]
+        injector.reset()
+        outcomes_second = [injector.step(t * 0.1, {}) == {} for t in range(20)]
+        assert outcomes_first == outcomes_second
