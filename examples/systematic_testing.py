@@ -5,94 +5,43 @@ Before deploying, the SOTER tool chain explores executions of the discrete
 model of the program — replacing untrusted components by nondeterministic
 abstractions and permuting the interleaving of simultaneously-scheduled
 nodes under bounded asynchrony — while safety monitors check every step.
-This example tests a small RTA module twice: once with a correct φ_safer
-choice (no violations are found) and once with a deliberately broken DM
-configuration (the tester finds a counterexample execution).
+
+Workloads come from the scenario registry: every named scenario builds a
+fresh model instance, so the serial tester, the parallel tester,
+benchmarks, and this example all construct the same workloads through one
+API.  The example:
+
+1. lists the registered scenarios,
+2. explores the toy closed loop serially, with a correct and with a
+   deliberately broken decision module (the tester finds the bug),
+3. shards a sweep of the faulty-planner scenario across worker processes
+   with early stop, and replays the counterexample trail on the serial
+   engine to confirm it.
 
 Run with:  python examples/systematic_testing.py
 """
 
 from __future__ import annotations
 
-from repro.core import (
-    FunctionNode,
-    InvariantMonitor,
-    Program,
-    RTAModuleSpec,
-    SafetySpec,
-    SoterCompiler,
-    Topic,
-)
-from repro.core.monitor import MonitorSuite
 from repro.testing import (
-    AbstractEnvironment,
+    ParallelTester,
     RandomStrategy,
     SystematicTester,
-    TestHarness,
+    registered_scenarios,
+    scenario,
+    scenario_factory,
 )
 
-CLIFF = 9.0
-MAX_SPEED = 1.0
-DELTA = 0.1
+
+def list_scenarios() -> None:
+    print("registered scenarios:")
+    for name in registered_scenarios():
+        print(f"  {name:24s} {scenario(name).description.split('.')[0]}.")
 
 
-def _controllers():
-    advanced = FunctionNode(
-        "ac", lambda now, inputs: {"cmd": MAX_SPEED},
-        subscribes=("state",), publishes=("cmd",), period=0.05,
-    )
-    safe = FunctionNode(
-        "sc", lambda now, inputs: {"cmd": -MAX_SPEED},
-        subscribes=("state",), publishes=("cmd",), period=0.05,
-    )
-    return advanced, safe
-
-
-def build_harness(broken_ttf: bool) -> TestHarness:
-    advanced, safe = _controllers()
-    two_delta = 2.0 * DELTA
-    lookahead = 0.0 if broken_ttf else two_delta * MAX_SPEED
-    module = RTAModuleSpec(
-        name="rover",
-        advanced=advanced,
-        safe=safe,
-        delta=DELTA,
-        safe_spec=SafetySpec("safe", lambda x: x < CLIFF),
-        safer_spec=SafetySpec("safer", lambda x: x < CLIFF - two_delta * MAX_SPEED - 0.2),
-        # The broken variant "forgets" the 2Δ lookahead in ttf — a classic
-        # mistake the systematic tester should expose.
-        ttf=lambda x: x + lookahead >= CLIFF,
-        state_topics=("state",),
-    )
-    program = Program(
-        name="rover-testing",
-        topics=[Topic("state", float), Topic("cmd", float, 0.0)],
-        modules=[module],
-    )
-    system = SoterCompiler(strict=False).compile(program).system
-    # The monitor checks Theorem 3.1's inductive invariant φ_Inv: whenever the
-    # advanced controller is in control, the plant must not be able to leave
-    # φ_safe within Δ.  A DM whose ttf check "forgot" the lookahead violates
-    # it on boundary states, which the tester should expose.
-    monitors = MonitorSuite(
-        [
-            InvariantMonitor(
-                module=system.modules[0],
-                may_leave_within=lambda x, horizon: x + MAX_SPEED * horizon >= CLIFF,
-            )
-        ]
-    )
-    # The abstract environment nondeterministically reports plant states,
-    # including states right at the switching boundary.
-    environment = AbstractEnvironment(
-        menus={"state": [2.0, CLIFF - 0.6, CLIFF - 0.25, CLIFF - 0.05]}, period=DELTA
-    )
-    return TestHarness(system=system, monitors=monitors, environment=environment, horizon=2.0)
-
-
-def explore(label: str, broken_ttf: bool) -> None:
+def explore_serial(label: str, broken_ttf: bool) -> None:
     tester = SystematicTester(
-        lambda: build_harness(broken_ttf),
+        scenario_factory("toy-closed-loop", broken_ttf=broken_ttf),
         strategy=RandomStrategy(seed=0, max_executions=50),
     )
     report = tester.explore(stop_at_first_violation=True)
@@ -100,13 +49,39 @@ def explore(label: str, broken_ttf: bool) -> None:
     counterexample = report.first_counterexample()
     if counterexample is not None:
         violation = counterexample.violations[0]
-        print(f"  counterexample in execution {counterexample.index}: "
-              f"{violation.message} at t={violation.time:.2f}s (state={violation.state})")
+        print(
+            f"  counterexample in execution {counterexample.index}: "
+            f"{violation.message} at t={violation.time:.2f}s (state={violation.state})"
+        )
+        print(f"  replayable trail: {counterexample.trail}")
+
+
+def explore_parallel() -> None:
+    tester = ParallelTester(
+        "faulty-planner",
+        strategy=RandomStrategy(seed=0, max_executions=200),
+        workers=4,
+    )
+    report = tester.explore(stop_at_first_violation=True)
+    print(f"faulty planner (parallel): {report.summary()}")
+    counterexample = report.first_counterexample()
+    if counterexample is not None:
+        print(
+            f"  early stop after {report.execution_count} of 200 executions; "
+            f"trail {counterexample.trail}"
+        )
+    for confirmation in report.confirmations:
+        verdict = "confirmed" if confirmation.confirmed else "NOT reproduced"
+        print(f"  serial replay of {confirmation.trail}: {verdict}")
 
 
 def main() -> None:
-    explore("well-formed module   ", broken_ttf=False)
-    explore("broken ttf_2Δ variant", broken_ttf=True)
+    list_scenarios()
+    print()
+    explore_serial("well-formed module   ", broken_ttf=False)
+    explore_serial("broken ttf_2Δ variant", broken_ttf=True)
+    print()
+    explore_parallel()
 
 
 if __name__ == "__main__":

@@ -20,7 +20,14 @@ from .nodes import (
     StraightLinePlanner,
     SurveillanceNode,
 )
-from .stack import BuiltStack, StackConfig, build_stack, run_mission
+from .stack import (
+    BuiltStack,
+    DiscreteModel,
+    StackConfig,
+    build_discrete_model,
+    build_stack,
+    run_mission,
+)
 from .topics import (
     ACTIVE_PLAN_TOPIC,
     BATTERY_TOPIC,
@@ -51,7 +58,9 @@ __all__ = [
     "StraightLinePlanner",
     "SurveillanceNode",
     "BuiltStack",
+    "DiscreteModel",
     "StackConfig",
+    "build_discrete_model",
     "build_stack",
     "run_mission",
     "ACTIVE_PLAN_TOPIC",

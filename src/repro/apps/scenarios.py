@@ -1,0 +1,269 @@
+"""Registered systematic-testing scenarios built on the drone case study.
+
+Each builder constructs the *discrete* model of a stack configuration
+(:func:`repro.apps.stack.build_discrete_model` — no plant, no sensors) and
+wires an abstract nondeterministic environment over the topics the plant
+would normally publish, exactly as the paper's testing backend replaces
+untrusted components by abstractions (Section V).
+
+All builders are deterministic and registered in the scenario registry
+(:mod:`repro.testing.scenarios`), so benchmarks, examples, and both the
+serial and the parallel tester construct these workloads by name:
+
+* ``drone-surveillance``     — the protected surveillance stack; safe by
+  default, ``include_unsafe_position=True`` lets the abstraction teleport
+  the estimate into a building.
+* ``battery-safety-abort``   — the battery RTA module under adversarial
+  battery readings; ``include_critical=True`` adds a reading that
+  violates φ_bat.
+* ``faulty-planner``         — an abstracted planner that may emit a
+  corner-cutting plan; the tester must find the φ_plan violation.
+* ``multi-obstacle-geofence``— position estimates ranging over a pillar
+  field; ``include_breach=True`` adds a point inside a pillar.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.compiler import Program, SoterCompiler
+from ..core.monitor import MonitorSuite, TopicSafetyMonitor
+from ..core.node import FunctionNode
+from ..core.specs import SafetySpec
+from ..core.topics import Topic
+from ..dynamics import DroneState
+from ..geometry import AABB, Vec3, empty_workspace
+from ..planning import Plan
+from ..planning.validation import PlanValidator
+from ..simulation import surveillance_city
+from ..simulation.drone import BatteryStatus
+from ..testing.abstractions import AbstractEnvironment, NondeterministicNode
+from ..testing.explorer import ModelInstance
+from ..testing.scenarios import register_scenario
+from .nodes import PlanForwardNode
+from .stack import StackConfig, build_discrete_model
+from .topics import ACTIVE_PLAN_TOPIC, BATTERY_TOPIC, MOTION_PLAN_TOPIC, POSITION_TOPIC
+
+
+@register_scenario(
+    "drone-surveillance",
+    description=(
+        "Discrete model of the RTA-protected surveillance stack; the abstract "
+        "environment nondeterministically places the state estimate at the "
+        "mission's surveillance points.  Safe by default; with "
+        "include_unsafe_position=True the estimate may land inside a building, "
+        "which φ_obs flags."
+    ),
+    tags=("drone", "stack"),
+)
+def build_drone_surveillance(
+    include_unsafe_position: bool = False,
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    seed: int = 0,
+) -> ModelInstance:
+    world = surveillance_city()
+    config = StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=False,
+        protect_motion_primitive=True,
+        seed=seed,
+    )
+    model = build_discrete_model(config)
+    positions = [
+        DroneState(position=world.surveillance_points[0]),
+        DroneState(position=world.surveillance_points[3]),
+        DroneState(position=world.surveillance_points[8]),
+    ]
+    if include_unsafe_position:
+        # The centre of the first building: zero clearance, so φ_obs fails
+        # on any execution in which the abstraction picks this estimate.
+        inside = world.workspace.obstacles[0].center
+        positions.append(DroneState(position=inside))
+    environment = AbstractEnvironment(
+        menus={POSITION_TOPIC: positions}, period=environment_period
+    )
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+_BATTERY_FLOOR = 0.08
+_GROUND_ALTITUDE = 0.15
+
+
+def _phi_bat(status: BatteryStatus) -> bool:
+    return status.charge > _BATTERY_FLOOR or status.altitude <= _GROUND_ALTITUDE
+
+
+@register_scenario(
+    "battery-safety-abort",
+    description=(
+        "The battery RTA module fed adversarial battery readings while the "
+        "drone cruises.  φ_bat requires the charge to stay above the hard "
+        "floor unless the drone is on the ground; include_critical=True adds "
+        "an in-air reading below the floor, which the tester must find."
+    ),
+    tags=("drone", "battery"),
+)
+def build_battery_safety_abort(
+    include_critical: bool = False,
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    seed: int = 0,
+) -> ModelInstance:
+    world = surveillance_city()
+    config = StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=True,
+        protect_motion_primitive=False,
+        with_invariant_monitor=False,
+        seed=seed,
+    )
+    model = build_discrete_model(config)
+    model.monitors.add(
+        TopicSafetyMonitor(
+            name="phi_bat",
+            topic=BATTERY_TOPIC,
+            spec=SafetySpec("charge>floor|landed", _phi_bat),
+        )
+    )
+    charges = [
+        BatteryStatus(charge=1.0, altitude=2.0),
+        BatteryStatus(charge=0.55, altitude=2.0),
+        BatteryStatus(charge=0.2, altitude=2.0),
+    ]
+    if include_critical:
+        charges.append(BatteryStatus(charge=0.02, altitude=2.0))
+    cruise = DroneState(position=world.surveillance_points[0])
+    environment = AbstractEnvironment(
+        menus={POSITION_TOPIC: [cruise], BATTERY_TOPIC: charges},
+        period=environment_period,
+    )
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+@register_scenario(
+    "faulty-planner",
+    description=(
+        "The untrusted motion planner replaced by its abstraction: every "
+        "period it nondeterministically emits either a street-following plan "
+        "or a corner-cutting straight line through a building.  φ_plan "
+        "(plan validation) fails on the corner-cut, so counterexamples are "
+        "plentiful — the scenario exercises early-stop and replay."
+    ),
+    tags=("drone", "planner", "unsafe"),
+)
+def build_faulty_planner(
+    horizon: float = 1.0,
+    planner_period: float = 0.25,
+    clearance: float = 0.5,
+) -> ModelInstance:
+    world = surveillance_city()
+    workspace = world.workspace
+    altitude = world.cruise_altitude
+    home = Vec3(4.0, 4.0, altitude)
+    goal = Vec3(46.0, 46.0, altitude)
+    # The detour follows the streets; the corner-cut goes straight through
+    # the middle of the block grid.
+    detour = Plan(
+        waypoints=(home, Vec3(4.0, 46.0, altitude), goal), goal=goal, planner="street-detour"
+    )
+    corner_cut = Plan(waypoints=(home, goal), goal=goal, planner="corner-cut")
+    planner_abstraction = NondeterministicNode(
+        "planner.abs",
+        menus={MOTION_PLAN_TOPIC: [detour, corner_cut]},
+        period=planner_period,
+    )
+    program = Program(
+        name="faulty-planner-testing",
+        topics=[
+            Topic(MOTION_PLAN_TOPIC, Plan, description="abstracted planner output"),
+            Topic(ACTIVE_PLAN_TOPIC, Plan, description="plan forwarded downstream"),
+        ],
+        nodes=[planner_abstraction, PlanForwardNode(period=planner_period)],
+    )
+    system = SoterCompiler(strict=False).compile(program).system
+    validator = PlanValidator(workspace, clearance=clearance)
+    monitors = MonitorSuite(
+        [
+            TopicSafetyMonitor(
+                name="phi_plan",
+                topic=ACTIVE_PLAN_TOPIC,
+                spec=SafetySpec("plan keeps clearance", validator.is_valid),
+            )
+        ]
+    )
+    return ModelInstance(system=system, monitors=monitors, environment=None, horizon=horizon)
+
+
+def _geofence_workspace():
+    workspace = empty_workspace(side=20.0, ceiling=10.0, name="geofence-field")
+    workspace.add_obstacle(AABB.from_footprint(5.0, 5.0, 2.0, 2.0, 8.0))
+    workspace.add_obstacle(AABB.from_footprint(11.0, 9.0, 2.0, 2.0, 8.0))
+    workspace.add_obstacle(AABB.from_footprint(7.0, 13.0, 2.0, 2.0, 8.0))
+    return workspace
+
+
+@register_scenario(
+    "multi-obstacle-geofence",
+    description=(
+        "Position estimates over a three-pillar field checked against a "
+        "geofence predicate (free with margin).  Safe by default; "
+        "include_breach=True adds an estimate inside a pillar."
+    ),
+    tags=("geometry", "geofence"),
+)
+def build_multi_obstacle_geofence(
+    include_breach: bool = False,
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    margin: float = 0.2,
+) -> ModelInstance:
+    workspace = _geofence_workspace()
+
+    def watch(now: float, inputs) -> dict:
+        position = inputs.get("position")
+        if position is None:
+            return {}
+        return {"fenceClearance": workspace.clearance(position)}
+
+    program = Program(
+        name="geofence-testing",
+        topics=[
+            Topic("position", Vec3, description="injected position estimate"),
+            Topic("fenceClearance", float, 0.0, description="clearance to the nearest pillar"),
+        ],
+        nodes=[
+            FunctionNode(
+                "geofenceWatch",
+                watch,
+                subscribes=("position",),
+                publishes=("fenceClearance",),
+                period=environment_period,
+            )
+        ],
+    )
+    system = SoterCompiler(strict=False).compile(program).system
+    monitors = MonitorSuite(
+        [
+            TopicSafetyMonitor(
+                name="phi_fence",
+                topic="position",
+                spec=SafetySpec(
+                    "free with margin", lambda point: workspace.is_free(point, margin=margin)
+                ),
+            )
+        ]
+    )
+    points: List[Vec3] = [Vec3(2.0, 2.0, 2.0), Vec3(10.0, 4.0, 2.0), Vec3(17.0, 17.0, 2.0)]
+    if include_breach:
+        points.append(Vec3(6.0, 6.0, 2.0))  # inside the first pillar
+    environment = AbstractEnvironment(menus={"position": points}, period=environment_period)
+    return ModelInstance(
+        system=system, monitors=monitors, environment=environment, horizon=horizon
+    )

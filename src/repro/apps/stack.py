@@ -222,9 +222,21 @@ def _make_planner(config: StackConfig):
     return planner
 
 
-def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
-    """Assemble, compile, and wire the drone software stack described by ``config``."""
-    config = config or StackConfig()
+@dataclass
+class AssembledProgram:
+    """The uncompiled drone program plus handles to its moving parts."""
+
+    program: Program
+    surveillance: SurveillanceNode
+    model: BoundedDoubleIntegrator
+    battery_model: BatteryModel
+    planner_module: Optional[PlannerModule]
+    battery_module: Optional[BatteryModule]
+    mp_module: Optional[MotionPrimitiveModule]
+
+
+def _assemble_program(config: StackConfig) -> AssembledProgram:
+    """Assemble the (uncompiled) drone program described by ``config``."""
     world = config.world
     workspace = world.workspace
     model = BoundedDoubleIntegrator(
@@ -336,21 +348,25 @@ def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
             primitive = FaultInjector(primitive, config.tracker_fault, rename="motionPrimitive.faulty")
         program.add_node(primitive)
 
-    # ----------------------------------------------------------------- #
-    # compile and wire the co-simulation
-    # ----------------------------------------------------------------- #
-    compiled = SoterCompiler(strict=True).compile(program)
-    system = compiled.system
-
-    start = config.start_position or world.home
-    plant = DronePlant(
+    return AssembledProgram(
+        program=program,
+        surveillance=surveillance,
         model=model,
-        workspace=workspace,
         battery_model=battery_model,
-        initial_state=DroneState(position=start),
-        initial_charge=config.initial_charge,
-        collision_margin=0.0,
+        planner_module=planner_module,
+        battery_module=battery_module,
+        mp_module=mp_module,
     )
+
+
+def _safety_monitors(
+    config: StackConfig,
+    system: RTASystem,
+    model: BoundedDoubleIntegrator,
+    mp_module: Optional[MotionPrimitiveModule],
+) -> MonitorSuite:
+    """The φ_obs topic monitor plus (optionally) the φ_Inv monitor of the MP module."""
+    workspace = config.world.workspace
     monitors = MonitorSuite()
     monitors.add(
         TopicSafetyMonitor(
@@ -372,6 +388,77 @@ def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
                 ),
             )
         )
+    return monitors
+
+
+@dataclass
+class DiscreteModel:
+    """The compiled discrete model of the stack, without the plant co-simulation.
+
+    This is what the systematic tester explores: the untrusted plant and
+    sensors are *not* wired in — an abstract (nondeterministic)
+    environment injects their topics instead, as Section V of the paper
+    prescribes for the testing backend.
+    """
+
+    config: StackConfig
+    program: Program
+    system: RTASystem
+    monitors: MonitorSuite
+    surveillance: SurveillanceNode
+    motion_primitive: Optional[MotionPrimitiveModule] = None
+    battery: Optional[BatteryModule] = None
+    planner: Optional[PlannerModule] = None
+
+
+def build_discrete_model(config: Optional[StackConfig] = None) -> DiscreteModel:
+    """Assemble and compile the stack's discrete model for systematic testing."""
+    config = config or StackConfig()
+    assembled = _assemble_program(config)
+    system = SoterCompiler(strict=True).compile(assembled.program).system
+    monitors = _safety_monitors(config, system, assembled.model, assembled.mp_module)
+    return DiscreteModel(
+        config=config,
+        program=assembled.program,
+        system=system,
+        monitors=monitors,
+        surveillance=assembled.surveillance,
+        motion_primitive=assembled.mp_module,
+        battery=assembled.battery_module,
+        planner=assembled.planner_module,
+    )
+
+
+def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
+    """Assemble, compile, and wire the drone software stack described by ``config``."""
+    config = config or StackConfig()
+    world = config.world
+    workspace = world.workspace
+    assembled = _assemble_program(config)
+    program = assembled.program
+    surveillance = assembled.surveillance
+    model = assembled.model
+    battery_model = assembled.battery_model
+    planner_module = assembled.planner_module
+    battery_module = assembled.battery_module
+    mp_module = assembled.mp_module
+
+    # ----------------------------------------------------------------- #
+    # compile and wire the co-simulation
+    # ----------------------------------------------------------------- #
+    compiled = SoterCompiler(strict=True).compile(program)
+    system = compiled.system
+
+    start = config.start_position or world.home
+    plant = DronePlant(
+        model=model,
+        workspace=workspace,
+        battery_model=battery_model,
+        initial_state=DroneState(position=start),
+        initial_charge=config.initial_charge,
+        collision_margin=0.0,
+    )
+    monitors = _safety_monitors(config, system, model, mp_module)
     simulation = DroneSimulation(
         system=system,
         plant=plant,

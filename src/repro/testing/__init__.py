@@ -1,21 +1,55 @@
-"""Systematic testing engine: strategies, abstractions, bounded-asynchrony exploration."""
+"""Systematic testing engine: strategies, abstractions, bounded-asynchrony exploration.
+
+Serial exploration lives in :mod:`~repro.testing.explorer`; the
+process-pool sharding of the same exploration lives in
+:mod:`~repro.testing.parallel`; named workloads live in the scenario
+registry (:mod:`~repro.testing.scenarios`).
+"""
 
 from .abstractions import AbstractEnvironment, NondeterministicNode, constant_environment
-from .explorer import ExecutionRecord, SystematicTester, TestHarness, TestReport
+from .explorer import (
+    ExecutionRecord,
+    ModelInstance,
+    SystematicTester,
+    TestHarness,
+    TestReport,
+)
+from .parallel import ParallelReport, ParallelTester, ReplayConfirmation
+from .scenarios import (
+    Scenario,
+    ScenarioFactory,
+    build_scenario,
+    register_scenario,
+    registered_scenarios,
+    scenario,
+    scenario_factory,
+)
 from .scheduler import BoundedAsynchronyScheduler
-from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy, record_trail
 
 __all__ = [
     "AbstractEnvironment",
     "NondeterministicNode",
     "constant_environment",
     "ExecutionRecord",
+    "ModelInstance",
     "SystematicTester",
     "TestHarness",
     "TestReport",
+    "ParallelReport",
+    "ParallelTester",
+    "ReplayConfirmation",
+    "Scenario",
+    "ScenarioFactory",
+    "build_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario",
+    "scenario_factory",
     "BoundedAsynchronyScheduler",
     "ChoiceStrategy",
     "ExhaustiveStrategy",
     "RandomStrategy",
     "ReplayStrategy",
+    "record_trail",
 ]

@@ -18,22 +18,30 @@ from ..core.semantics import SemanticsEngine
 from ..core.system import RTASystem
 from .abstractions import AbstractEnvironment, NondeterministicNode
 from .scheduler import BoundedAsynchronyScheduler
-from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, record_trail
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy, record_trail
 
 
 @dataclass
-class TestHarness:
+class ModelInstance:
     """One freshly-built instance of the model under test.
 
     The factory passed to :class:`SystematicTester` must return a new
-    harness per execution so that executions are independent (node local
+    instance per execution so that executions are independent (node local
     state is re-created, monitors start empty).
     """
+
+    # Not a pytest test class, despite living in a module named "testing".
+    __test__ = False
 
     system: RTASystem
     monitors: MonitorSuite
     environment: Optional[AbstractEnvironment] = None
     horizon: float = 5.0
+
+
+#: Deprecated alias — the class was renamed to :class:`ModelInstance` so that
+#: pytest stops trying to collect it as a test class.
+TestHarness = ModelInstance
 
 
 @dataclass
@@ -44,6 +52,7 @@ class ExecutionRecord:
     steps: int
     violations: List[Violation]
     trail: Optional[List[int]] = None
+    worker: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -53,6 +62,8 @@ class ExecutionRecord:
 @dataclass
 class TestReport:
     """Aggregated result of a systematic testing run."""
+
+    __test__ = False
 
     executions: List[ExecutionRecord] = field(default_factory=list)
 
@@ -89,7 +100,7 @@ class SystematicTester:
 
     def __init__(
         self,
-        harness_factory: Callable[[], TestHarness],
+        harness_factory: Callable[[], ModelInstance],
         strategy: Optional[ChoiceStrategy] = None,
         max_permuted: int = 6,
     ) -> None:
@@ -100,7 +111,14 @@ class SystematicTester:
     # ------------------------------------------------------------------ #
     # single execution
     # ------------------------------------------------------------------ #
-    def _run_one(self, index: int) -> ExecutionRecord:
+    def run_single(self, index: int) -> ExecutionRecord:
+        """Run one execution under the current strategy state.
+
+        The caller is responsible for having called
+        ``strategy.begin_execution()`` first; :meth:`explore` does, and so
+        do the parallel workers that reuse this method to run individual
+        executions out of their serial order.
+        """
         harness = self.harness_factory()
         scheduler = BoundedAsynchronyScheduler(self.strategy, max_permuted=self.max_permuted)
         self._bind_strategy(harness)
@@ -126,7 +144,17 @@ class SystematicTester:
             trail=record_trail(self.strategy),
         )
 
-    def _bind_strategy(self, harness: TestHarness) -> None:
+    # Backwards-compatible private name.
+    _run_one = run_single
+
+    def replay(self, trail: Sequence[int], index: int = 0) -> ExecutionRecord:
+        """Deterministically re-execute a recorded counterexample trail."""
+        strategy = ReplayStrategy(trail=list(trail))
+        replayer = SystematicTester(self.harness_factory, strategy, max_permuted=self.max_permuted)
+        strategy.begin_execution()
+        return replayer.run_single(index)
+
+    def _bind_strategy(self, harness: ModelInstance) -> None:
         if harness.environment is not None:
             harness.environment.reset()
             harness.environment.bind_strategy(self.strategy)
@@ -145,7 +173,7 @@ class SystematicTester:
             self.strategy.begin_execution()
             if isinstance(self.strategy, ExhaustiveStrategy) and self.strategy._exhausted:
                 break
-            record = self._run_one(index)
+            record = self.run_single(index)
             report.executions.append(record)
             index += 1
             if stop_at_first_violation and not record.ok:

@@ -1,0 +1,456 @@
+"""Parallel systematic testing: shard executions across worker processes.
+
+The serial :class:`~repro.testing.SystematicTester` explores one execution
+at a time in-process.  This module scales the same exploration across a
+pool of worker processes:
+
+* **Random sweeps** are sharded by execution index.  Because
+  :class:`~repro.testing.strategies.RandomStrategy` derives execution
+  *i*'s RNG stream from ``(seed, i)``, every worker reproduces exactly the
+  choices the serial tester would have made for its slice — same seed ⇒
+  same violation set and identical replayable trails, regardless of the
+  worker count.
+
+* **Exhaustive enumeration** is sharded by *trail prefix*.  The first
+  choice point of a model is reached deterministically, so pinning each of
+  its options splits the choice tree into disjoint subtrees; a few cheap
+  probe executions discover the branching structure and
+  :class:`~repro.testing.strategies.ExhaustiveStrategy`'s ``prefix``
+  restricts each worker to its own subtree.  The union of the subtree
+  enumerations is exactly the serial enumeration.
+
+Workers stream :class:`~repro.testing.explorer.ExecutionRecord`s back
+through a queue as they finish, so the aggregator can stop the whole pool
+on the first violation.  Every counterexample the pool reports can be
+(and by default is) replayed on the serial engine for confirmation.
+
+Workloads are named through the scenario registry
+(:mod:`repro.testing.scenarios`) so that worker processes can rebuild the
+model under test from a string instead of pickling closures; an arbitrary
+``harness_factory`` is also accepted (it must be picklable under the
+``spawn`` start method — under the default ``fork`` method any callable
+works).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.monitor import Violation
+from .explorer import ExecutionRecord, ModelInstance, SystematicTester, TestReport
+from .scenarios import scenario_factory
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy
+
+HarnessFactory = Callable[[], ModelInstance]
+
+#: How often the aggregator wakes up to check that workers are still alive
+#: while waiting for results (seconds).  Executions can legitimately take
+#: long, so liveness — not elapsed time — decides when the pool is dead.
+_POLL_INTERVAL = 0.5
+
+
+# --------------------------------------------------------------------- #
+# work descriptions shipped to workers
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _RandomShard:
+    """A slice of a random sweep: run exactly these execution indices."""
+
+    factory: HarnessFactory
+    seed: int
+    max_executions: int
+    indices: Tuple[int, ...]
+    max_permuted: int
+    stop_at_first_violation: bool
+
+
+@dataclass(frozen=True)
+class _ExhaustiveShard:
+    """A set of disjoint choice-tree subtrees to enumerate fully."""
+
+    factory: HarnessFactory
+    prefixes: Tuple[Tuple[int, ...], ...]
+    max_depth: int
+    max_executions: int
+    max_permuted: int
+    stop_at_first_violation: bool
+
+
+def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any) -> None:
+    """Entry point of one worker process: run the shard, stream records back."""
+    try:
+        if isinstance(shard, _RandomShard):
+            _run_random_shard(worker_id, shard, result_queue, stop_event)
+        else:
+            _run_exhaustive_shard(worker_id, shard, result_queue, stop_event)
+        result_queue.put(("done", worker_id, None))
+    except Exception:  # pragma: no cover - surfaced in the parent as RuntimeError
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, stop_event: Any) -> None:
+    for index in shard.indices:
+        if stop_event.is_set():
+            break
+        strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
+        strategy.seek(index)
+        strategy.begin_execution()
+        tester = SystematicTester(shard.factory, strategy, max_permuted=shard.max_permuted)
+        record = tester.run_single(index)
+        record.worker = worker_id
+        result_queue.put(("record", worker_id, record))
+        if shard.stop_at_first_violation and not record.ok:
+            stop_event.set()
+            break
+
+
+def _run_exhaustive_shard(
+    worker_id: int, shard: _ExhaustiveShard, result_queue: Any, stop_event: Any
+) -> None:
+    local_index = 0
+    for prefix in shard.prefixes:
+        if stop_event.is_set():
+            break
+        strategy = ExhaustiveStrategy(
+            max_depth=shard.max_depth, max_executions=shard.max_executions, prefix=prefix
+        )
+        tester = SystematicTester(shard.factory, strategy, max_permuted=shard.max_permuted)
+        while strategy.has_more_executions():
+            if stop_event.is_set():
+                return
+            strategy.begin_execution()
+            if strategy._exhausted:
+                break
+            record = tester.run_single(local_index)
+            record.worker = worker_id
+            local_index += 1
+            result_queue.put(("record", worker_id, record))
+            if shard.stop_at_first_violation and not record.ok:
+                stop_event.set()
+                return
+
+
+# --------------------------------------------------------------------- #
+# reports
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ReplayConfirmation:
+    """The serial replay of one parallel-found counterexample."""
+
+    trail: List[int]
+    replayed: ExecutionRecord
+    confirmed: bool
+
+
+@dataclass
+class ParallelReport(TestReport):
+    """A :class:`TestReport` plus parallel-run bookkeeping."""
+
+    workers: int = 0
+    wall_time: float = 0.0
+    partitions: List[Tuple[int, ...]] = field(default_factory=list)
+    confirmations: List[ReplayConfirmation] = field(default_factory=list)
+
+    @property
+    def all_confirmed(self) -> bool:
+        """True when every counterexample replayed to a violation serially."""
+        return len(self.confirmations) == len(self.failing) and all(
+            confirmation.confirmed for confirmation in self.confirmations
+        )
+
+    def summary(self) -> str:
+        base = super().summary()
+        return f"{base} [{self.workers} worker(s), {self.wall_time:.2f}s wall]"
+
+
+def _violation_keys(violations: Sequence[Violation]) -> List[Tuple[float, str, str]]:
+    return sorted((violation.time, violation.monitor, violation.message) for violation in violations)
+
+
+# --------------------------------------------------------------------- #
+# the parallel tester
+# --------------------------------------------------------------------- #
+
+
+class ParallelTester:
+    """Shards a systematic-testing run across worker processes.
+
+    ``scenario`` names a registered scenario (the portable way to describe
+    the workload — workers rebuild it by name); alternatively pass
+    ``harness_factory`` exactly as for :class:`SystematicTester`.
+    """
+
+    def __init__(
+        self,
+        scenario: Optional[str] = None,
+        *,
+        harness_factory: Optional[HarnessFactory] = None,
+        strategy: Optional[ChoiceStrategy] = None,
+        workers: Optional[int] = None,
+        max_permuted: int = 6,
+        start_method: Optional[str] = None,
+        scenario_overrides: Optional[dict] = None,
+    ) -> None:
+        if (scenario is None) == (harness_factory is None):
+            raise ValueError("pass exactly one of scenario= or harness_factory=")
+        if scenario is not None:
+            harness_factory = scenario_factory(scenario, **(scenario_overrides or {}))
+        elif scenario_overrides:
+            raise ValueError("scenario_overrides only applies with scenario=")
+        self.harness_factory: HarnessFactory = harness_factory  # type: ignore[assignment]
+        self.strategy: ChoiceStrategy = strategy or RandomStrategy()
+        if not isinstance(self.strategy, (RandomStrategy, ExhaustiveStrategy)):
+            raise TypeError(
+                "ParallelTester shards RandomStrategy and ExhaustiveStrategy runs; "
+                "replay a single trail with SystematicTester.replay instead"
+            )
+        self.workers = max(1, workers if workers is not None else (multiprocessing.cpu_count() or 1))
+        self.max_permuted = max_permuted
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------ #
+    # sharding
+    # ------------------------------------------------------------------ #
+    def _random_shards(self, stop_at_first_violation: bool) -> List[_RandomShard]:
+        assert isinstance(self.strategy, RandomStrategy)
+        total = self.strategy.max_executions
+        workers = min(self.workers, total)
+        # Contiguous balanced blocks: worker w runs indices [bounds[w], bounds[w+1]).
+        base, extra = divmod(total, workers)
+        shards: List[_RandomShard] = []
+        start = 0
+        for worker in range(workers):
+            size = base + (1 if worker < extra else 0)
+            shards.append(
+                _RandomShard(
+                    factory=self.harness_factory,
+                    seed=self.strategy.seed,
+                    max_executions=total,
+                    indices=tuple(range(start, start + size)),
+                    max_permuted=self.max_permuted,
+                    stop_at_first_violation=stop_at_first_violation,
+                )
+            )
+            start += size
+        return shards
+
+    def _probe_option_counts(self, prefix: Tuple[int, ...]) -> List[int]:
+        """Run one execution with ``prefix`` pinned; report the branching beyond it."""
+        assert isinstance(self.strategy, ExhaustiveStrategy)
+        strategy = ExhaustiveStrategy(max_depth=self.strategy.max_depth, prefix=prefix)
+        tester = SystematicTester(self.harness_factory, strategy, max_permuted=self.max_permuted)
+        strategy.begin_execution()
+        tester.run_single(0)
+        return strategy.option_counts()
+
+    def partition_prefixes(self, target: Optional[int] = None, depth_cap: int = 4) -> List[Tuple[int, ...]]:
+        """Split the choice tree into at least ``target`` disjoint subtrees.
+
+        Breadth-first: probe a prefix (one execution along its all-zeros
+        extension) to learn the branching factor at the next choice point,
+        then replace the prefix by its children.  All executions sharing a
+        prefix behave identically up to the next choice point, so siblings
+        partition their parent exactly.  Probes cost one execution each
+        and their records are discarded (workers re-enumerate them).
+        """
+        assert isinstance(self.strategy, ExhaustiveStrategy)
+        target = target if target is not None else self.workers
+        expandable: List[Tuple[int, ...]] = [()]
+        leaves: List[Tuple[int, ...]] = []
+        while expandable and len(expandable) + len(leaves) < target:
+            prefix = expandable.pop(0)
+            if len(prefix) >= depth_cap or len(prefix) + 1 >= self.strategy.max_depth:
+                leaves.append(prefix)
+                continue
+            counts = self._probe_option_counts(prefix)
+            if not counts:
+                # No choice points beyond this prefix: a one-execution subtree.
+                leaves.append(prefix)
+            else:
+                expandable.extend(prefix + (option,) for option in range(counts[0]))
+        return leaves + expandable
+
+    def _exhaustive_shards(self, stop_at_first_violation: bool) -> List[_ExhaustiveShard]:
+        assert isinstance(self.strategy, ExhaustiveStrategy)
+        prefixes = self.partition_prefixes()
+        workers = min(self.workers, len(prefixes))
+        assigned: List[List[Tuple[int, ...]]] = [[] for _ in range(workers)]
+        for position, prefix in enumerate(prefixes):
+            assigned[position % workers].append(prefix)
+        return [
+            _ExhaustiveShard(
+                factory=self.harness_factory,
+                prefixes=tuple(prefix_group),
+                max_depth=self.strategy.max_depth,
+                max_executions=self.strategy.max_executions,
+                max_permuted=self.max_permuted,
+                stop_at_first_violation=stop_at_first_violation,
+            )
+            for prefix_group in assigned
+        ]
+
+    # ------------------------------------------------------------------ #
+    # exploration
+    # ------------------------------------------------------------------ #
+    def explore(
+        self,
+        stop_at_first_violation: bool = False,
+        confirm_counterexamples: bool = True,
+    ) -> ParallelReport:
+        """Run the sharded exploration and aggregate the streamed records.
+
+        With ``stop_at_first_violation`` the pool stops as soon as *a*
+        counterexample arrives (not necessarily the one the serial tester
+        would report first).  With ``confirm_counterexamples`` (default)
+        every failing trail is replayed on the serial engine and the
+        replay is attached to the report.
+        """
+        started = time.perf_counter()
+        if isinstance(self.strategy, RandomStrategy):
+            shards: Sequence[Any] = self._random_shards(stop_at_first_violation)
+            partitions: List[Tuple[int, ...]] = []
+        else:
+            exhaustive_shards = self._exhaustive_shards(stop_at_first_violation)
+            shards = exhaustive_shards
+            partitions = [prefix for shard in exhaustive_shards for prefix in shard.prefixes]
+
+        report = ParallelReport(workers=len(shards), partitions=partitions)
+        if len(shards) == 1:
+            # One shard: no process overhead, run it inline.
+            self._run_inline(shards[0], report)
+        else:
+            self._run_pool(shards, report)
+
+        self._finalise(report, stop_at_first_violation)
+        if confirm_counterexamples:
+            self.confirm(report)
+        report.wall_time = time.perf_counter() - started
+        return report
+
+    def _run_inline(self, shard: Any, report: ParallelReport) -> None:
+        sink = queue_module.Queue()
+        stop_event = threading.Event()
+        if isinstance(shard, _RandomShard):
+            _run_random_shard(0, shard, sink, stop_event)
+        else:
+            _run_exhaustive_shard(0, shard, sink, stop_event)
+        while not sink.empty():
+            _, _, record = sink.get()
+            report.executions.append(record)
+
+    def _run_pool(self, shards: Sequence[Any], report: ParallelReport) -> None:
+        result_queue = self._context.Queue()
+        stop_event = self._context.Event()
+        processes = [
+            self._context.Process(
+                target=_worker_main,
+                args=(worker_id, shard, result_queue, stop_event),
+                daemon=True,
+            )
+            for worker_id, shard in enumerate(shards)
+        ]
+        for process in processes:
+            process.start()
+        finished = 0
+        failure: Optional[str] = None
+        try:
+            while finished < len(processes):
+                try:
+                    kind, _worker_id, payload = result_queue.get(timeout=_POLL_INTERVAL)
+                except queue_module.Empty:
+                    if any(process.is_alive() for process in processes):
+                        continue
+                    # Every worker is gone; drain what the feeder threads
+                    # already pushed, then report the crash.
+                    try:
+                        while True:
+                            kind, _worker_id, payload = result_queue.get_nowait()
+                            if kind == "record":
+                                report.executions.append(payload)
+                            elif kind == "done":
+                                finished += 1
+                            else:
+                                failure = payload
+                    except queue_module.Empty:
+                        pass
+                    if finished < len(processes) and failure is None:
+                        exit_codes = [process.exitcode for process in processes]
+                        failure = (
+                            "worker pool died without reporting results "
+                            f"(exit codes: {exit_codes})"
+                        )
+                    break
+                if kind == "record":
+                    report.executions.append(payload)
+                elif kind == "done":
+                    finished += 1
+                else:  # "error"
+                    failure = payload
+                    stop_event.set()
+                    finished += 1
+        finally:
+            stop_event.set()
+            for process in processes:
+                process.join(timeout=10.0)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - stuck-worker safety net
+                    process.terminate()
+                    process.join(timeout=5.0)
+        if failure is not None:
+            raise RuntimeError(f"parallel exploration failed in a worker:\n{failure}")
+
+    def _finalise(self, report: ParallelReport, stop_at_first_violation: bool) -> None:
+        """Put streamed records into a deterministic order and reindex.
+
+        Exhaustive runs are additionally truncated to the strategy's
+        ``max_executions``: each subtree was enumerated under the same
+        bound, and serial depth-first order is exactly ascending trail
+        order (no trail is a strict prefix of another — executions that
+        share leading choices behave identically up to their next choice
+        point), so keeping the first ``max_executions`` sorted records
+        reproduces the serial budget semantics.  Early-stopped runs are
+        left untruncated: their execution set is already pruned and the
+        counterexample that triggered the stop must survive.
+        """
+        if isinstance(self.strategy, RandomStrategy):
+            report.executions.sort(key=lambda record: record.index)
+            return
+        report.executions.sort(key=lambda record: tuple(record.trail or ()))
+        if not stop_at_first_violation:
+            del report.executions[self.strategy.max_executions :]
+        for position, record in enumerate(report.executions):
+            record.index = position
+
+    # ------------------------------------------------------------------ #
+    # serial confirmation
+    # ------------------------------------------------------------------ #
+    def confirm(self, report: ParallelReport) -> bool:
+        """Replay every counterexample trail on the serial engine.
+
+        A counterexample is *confirmed* when its replay reproduces the
+        same violation set (time, monitor, message).  Confirmations are
+        recorded on the report; returns ``report.all_confirmed``.
+        """
+        serial = SystematicTester(self.harness_factory, max_permuted=self.max_permuted)
+        report.confirmations = []
+        for record in report.failing:
+            replayed = serial.replay(record.trail or [], index=record.index)
+            confirmed = _violation_keys(replayed.violations) == _violation_keys(record.violations)
+            report.confirmations.append(
+                ReplayConfirmation(trail=list(record.trail or []), replayed=replayed, confirmed=confirmed)
+            )
+        return report.all_confirmed

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 
 class ChoiceStrategy(Protocol):
@@ -35,12 +35,21 @@ class ChoiceStrategy(Protocol):
 
 @dataclass
 class RandomStrategy:
-    """Seeded random choices; every execution is independent."""
+    """Seeded random choices; every execution is independent.
+
+    Each execution draws from its own RNG stream derived from
+    ``(seed, execution index)``, so execution *i* makes identical choices
+    no matter which worker runs it or in which order — the property the
+    parallel tester relies on to match the serial tester bit-for-bit.
+    The choices of the current execution are recorded so counterexamples
+    found by random testing are replayable.
+    """
 
     seed: int = 0
     max_executions: int = 100
     _rng: random.Random = field(init=False, repr=False)
     _executions: int = field(init=False, default=0)
+    _trail: List[int] = field(init=False, default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_executions < 1:
@@ -50,10 +59,28 @@ class RandomStrategy:
     def choose(self, options: int, label: str = "") -> int:
         if options <= 0:
             raise ValueError("a choice point needs at least one option")
-        return self._rng.randrange(options)
+        choice = self._rng.randrange(options)
+        self._trail.append(choice)
+        return choice
 
     def begin_execution(self) -> None:
+        # Seed via a string so derivation goes through SHA-512 — deterministic
+        # across processes (unlike object hashes) and decorrelated even for
+        # adjacent (seed, index) pairs.
+        self._rng = random.Random(f"{self.seed}:{self._executions}")
+        self._trail = []
         self._executions += 1
+
+    def seek(self, index: int) -> None:
+        """Position the strategy so the next execution is number ``index``.
+
+        Used by parallel workers to run a specific slice of the execution
+        sweep while reproducing exactly the choices the serial tester
+        would have made for those indices.
+        """
+        if index < 0:
+            raise ValueError("execution index must be non-negative")
+        self._executions = index
 
     def has_more_executions(self) -> bool:
         return self._executions < self.max_executions
@@ -65,10 +92,18 @@ class ExhaustiveStrategy:
 
     Choices beyond ``max_depth`` per execution default to option 0, which
     bounds the search the way bounded model checking does.
+
+    A non-empty ``prefix`` pins the first ``len(prefix)`` choices of every
+    execution, restricting the enumeration to one subtree of the choice
+    tree.  The first choice point of a model is reached deterministically
+    (nothing nondeterministic happens before it), so fixing each possible
+    first choice partitions the whole tree into disjoint subtrees — which
+    is how the parallel tester shards exhaustive exploration.
     """
 
     max_depth: int = 32
     max_executions: int = 10_000
+    prefix: Tuple[int, ...] = ()
     _trail: List[List[int]] = field(init=False, default_factory=list)
     _position: int = field(init=False, default=0)
     _executions: int = field(init=False, default=0)
@@ -77,6 +112,9 @@ class ExhaustiveStrategy:
     def __post_init__(self) -> None:
         if self.max_depth < 1:
             raise ValueError("max_depth must be at least 1")
+        self.prefix = tuple(self.prefix)
+        if len(self.prefix) >= self.max_depth:
+            raise ValueError("prefix must be shorter than max_depth")
 
     def begin_execution(self) -> None:
         self._executions += 1
@@ -94,15 +132,24 @@ class ExhaustiveStrategy:
     def choose(self, options: int, label: str = "") -> int:
         if options <= 0:
             raise ValueError("a choice point needs at least one option")
+        if self._position < len(self.prefix):
+            chosen = self.prefix[self._position]
+            self._position += 1
+            return min(chosen, options - 1)
         if self._position >= self.max_depth:
             return 0
-        if self._position < len(self._trail):
-            chosen = self._trail[self._position][0]
+        suffix_position = self._position - len(self.prefix)
+        if suffix_position < len(self._trail):
+            chosen = self._trail[suffix_position][0]
         else:
             self._trail.append([0, options])
             chosen = 0
         self._position += 1
         return min(chosen, options - 1)
+
+    def option_counts(self) -> List[int]:
+        """Option counts observed at each non-prefix choice point of the last execution."""
+        return [options for _, options in self._trail]
 
     def has_more_executions(self) -> bool:
         if self._executions == 0:
@@ -140,7 +187,11 @@ class ReplayStrategy:
 
 
 def record_trail(strategy: ChoiceStrategy) -> Optional[List[int]]:
-    """Extract the current trail from an exhaustive strategy (None otherwise)."""
+    """Extract the replayable choice trail of the execution that just ran."""
     if isinstance(strategy, ExhaustiveStrategy):
-        return [choice for choice, _ in strategy._trail]
+        return list(strategy.prefix) + [choice for choice, _ in strategy._trail]
+    if isinstance(strategy, RandomStrategy):
+        return list(strategy._trail)
+    if isinstance(strategy, ReplayStrategy):
+        return list(strategy.trail)
     return None
