@@ -65,13 +65,15 @@ def _parallel_sweep(workers: int) -> float:
 
 
 @pytest.mark.benchmark(group="parallel-testing")
-def test_parallel_random_sweep_speedup(benchmark, table_printer):
+def test_parallel_random_sweep_speedup(benchmark, table_printer, benchmark_gate):
     def run_all():
         serial = _serial_sweep()
         scaled = {workers: _parallel_sweep(workers) for workers in (1, 2, 4)}
         return serial, scaled
 
     serial, scaled = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark_gate("parallel-testing/serial-sweep", serial)
+    benchmark_gate("parallel-testing/4-workers", scaled[4])
     table_printer(
         f"Parallel systematic testing: {EXECUTIONS}-execution random sweep of '{SCENARIO}'",
         ["configuration", "wall time [s]", "speedup", "executions/s"],

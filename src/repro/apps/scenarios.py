@@ -24,6 +24,7 @@ serial and the parallel tester construct these workloads by name:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 from ..core.compiler import Program, SoterCompiler
@@ -45,6 +46,20 @@ from .stack import StackConfig, build_discrete_model
 from .topics import ACTIVE_PLAN_TOPIC, BATTERY_TOPIC, MOTION_PLAN_TOPIC, POSITION_TOPIC
 
 
+@lru_cache(maxsize=None)
+def _shared_world():
+    """One surveillance-city world per process, shared across executions.
+
+    Scenario builders run once per explored execution; the world geometry
+    (and with it the workspace's lazily warmed
+    :class:`~repro.geometry.ClearanceField` memo) is immutable, so every
+    execution in a worker process reuses the same instance.  This is what
+    "build the safety-query oracle once per worker, not per execution"
+    means in practice — builders must treat the shared world as read-only.
+    """
+    return surveillance_city()
+
+
 @register_scenario(
     "drone-surveillance",
     description=(
@@ -61,13 +76,15 @@ def build_drone_surveillance(
     horizon: float = 1.0,
     environment_period: float = 0.25,
     seed: int = 0,
+    use_query_cache: bool = True,
 ) -> ModelInstance:
-    world = surveillance_city()
+    world = _shared_world() if use_query_cache else surveillance_city()
     config = StackConfig(
         world=world,
         planner="straight",
         protect_battery=False,
         protect_motion_primitive=True,
+        use_query_cache=use_query_cache,
         seed=seed,
     )
     model = build_discrete_model(config)
@@ -113,7 +130,7 @@ def build_battery_safety_abort(
     environment_period: float = 0.25,
     seed: int = 0,
 ) -> ModelInstance:
-    world = surveillance_city()
+    world = _shared_world()
     config = StackConfig(
         world=world,
         planner="straight",
@@ -163,7 +180,7 @@ def build_faulty_planner(
     planner_period: float = 0.25,
     clearance: float = 0.5,
 ) -> ModelInstance:
-    world = surveillance_city()
+    world = _shared_world()
     workspace = world.workspace
     altitude = world.cruise_altitude
     home = Vec3(4.0, 4.0, altitude)
@@ -201,7 +218,10 @@ def build_faulty_planner(
     return ModelInstance(system=system, monitors=monitors, environment=None, horizon=horizon)
 
 
+@lru_cache(maxsize=None)
 def _geofence_workspace():
+    # Cached per process for the same reason as _shared_world: the pillar
+    # field is immutable and its ClearanceField warms across executions.
     workspace = empty_workspace(side=20.0, ceiling=10.0, name="geofence-field")
     workspace.add_obstacle(AABB.from_footprint(5.0, 5.0, 2.0, 2.0, 8.0))
     workspace.add_obstacle(AABB.from_footprint(11.0, 9.0, 2.0, 2.0, 8.0))
@@ -255,7 +275,9 @@ def build_multi_obstacle_geofence(
                 name="phi_fence",
                 topic="position",
                 spec=SafetySpec(
-                    "free with margin", lambda point: workspace.is_free(point, margin=margin)
+                    "free with margin",
+                    lambda point: workspace.is_free(point, margin=margin),
+                    batch_predicate=lambda pts: workspace.is_free_batch(pts, margin=margin),
                 ),
             )
         ]

@@ -42,7 +42,7 @@ from ..dynamics import (
 )
 from ..geometry import Vec3
 from ..planning import FaultyPlanner, GridAStarPlanner, PlannerBug, RRTStarPlanner
-from ..reachability import WorstCaseReachability, synthesize_safe_tracker
+from ..reachability import WorstCaseReachability, states_as_arrays, synthesize_safe_tracker
 from ..runtime.faults import FaultInjector, FaultSpec
 from ..simulation import (
     BatterySensor,
@@ -127,6 +127,9 @@ class StackConfig:
     safer_extra_margin: float = 0.5
     safe_speed_fraction: float = 0.35
     collision_margin: float = 0.05
+    # Route clearance checks through the cached/batched safety-query plane
+    # (bit-identical decisions; off only for equivalence tests/benchmarks).
+    use_query_cache: bool = True
     seed: int = 0
 
     def mission_goals(self) -> Sequence[Vec3]:
@@ -319,6 +322,7 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
                 collision_margin=config.collision_margin,
                 safer_extra_margin=config.safer_extra_margin,
                 safe_speed_fraction=config.safe_speed_fraction,
+                use_query_cache=config.use_query_cache,
             ),
         )
         if config.tracker_fault is not None:
@@ -365,27 +369,56 @@ def _safety_monitors(
     model: BoundedDoubleIntegrator,
     mp_module: Optional[MotionPrimitiveModule],
 ) -> MonitorSuite:
-    """The φ_obs topic monitor plus (optionally) the φ_Inv monitor of the MP module."""
+    """The φ_obs topic monitor plus (optionally) the φ_Inv monitor of the MP module.
+
+    Both monitors are wired to the batched safety-query plane: their scalar
+    checks hit the workspace's cached :class:`ClearanceField` and their
+    batch hooks evaluate whole monitor windows with one vectorised
+    clearance/reachability query.
+    """
     workspace = config.world.workspace
+    field = workspace.clearance_field() if config.use_query_cache else None
     monitors = MonitorSuite()
+
+    def _phi_obs(state) -> bool:
+        if field is not None:
+            return field.exceeds(state.position, 0.0)
+        return workspace.clearance(state.position) > 0.0
+
+    def _phi_obs_batch(states):
+        positions = [s.position.as_tuple() for s in states]
+        return workspace.clearance_batch(positions) > 0.0
+
     monitors.add(
         TopicSafetyMonitor(
             name="phi_obs(estimated)",
             topic=POSITION_TOPIC,
             spec=SafetySpec(
                 name="phi_obs",
-                predicate=lambda state: workspace.clearance(state.position) > 0.0,
+                predicate=_phi_obs,
+                batch_predicate=_phi_obs_batch,
             ),
         )
     )
     if config.with_invariant_monitor and mp_module is not None:
         reach = WorstCaseReachability(model)
+
+        def _may_leave(state, horizon: float) -> bool:
+            return reach.may_leave_safe(
+                state, workspace, horizon, margin=config.collision_margin, field=field
+            )
+
+        def _may_leave_batch(states, horizon: float):
+            positions, speeds = states_as_arrays(states)
+            return reach.may_leave_safe_batch(
+                positions, speeds, workspace, horizon, margin=config.collision_margin
+            )
+
         monitors.add(
             InvariantMonitor(
                 module=system.module_named(mp_module.spec.name),
-                may_leave_within=lambda state, horizon: reach.may_leave_safe(
-                    state, workspace, horizon, margin=config.collision_margin
-                ),
+                may_leave_within=_may_leave,
+                may_leave_within_batch=_may_leave_batch,
             )
         )
     return monitors

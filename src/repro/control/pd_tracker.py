@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..dynamics import ControlCommand, DroneState
-from ..geometry import Vec3, Workspace
+from ..geometry import ClearanceField, Vec3, Workspace
 from ..reachability.fastrack import SafeTrackerParams
 from .base import WaypointTracker, pd_acceleration
 
@@ -34,6 +34,7 @@ class SafeWaypointTracker(WaypointTracker):
         workspace: Optional[Workspace] = None,
         recovery_clearance: Optional[float] = None,
         lookahead: float = 2.0,
+        clearance_field: Optional[ClearanceField] = None,
     ) -> None:
         self.params = params
         self.workspace = workspace
@@ -43,6 +44,7 @@ class SafeWaypointTracker(WaypointTracker):
             recovery_clearance if recovery_clearance is not None else params.obstacle_margin * 2.0
         )
         self.lookahead = lookahead
+        self.clearance_field = clearance_field
         self._reference = None
 
     def set_plan(self, plan: object) -> None:
@@ -106,7 +108,16 @@ class SafeWaypointTracker(WaypointTracker):
         """0 when comfortably clear of obstacles, 1 at the certified margin."""
         if self.workspace is None:
             return 0.0
-        clearance = self.workspace.clearance(state.position)
+        if self.clearance_field is not None:
+            # Common case first: the cached lower bound proves the tracker
+            # is comfortably clear, skipping the exact obstacle loop.  The
+            # exact value is computed once and reused for both the
+            # early-return test and the band interpolation below.
+            if self.clearance_field.decides_above(state.position, self.recovery_clearance):
+                return 0.0
+            clearance = self.clearance_field.clearance(state.position)
+        else:
+            clearance = self.workspace.clearance(state.position)
         if clearance >= self.recovery_clearance:
             return 0.0
         floor = self.params.obstacle_margin

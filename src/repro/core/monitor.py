@@ -7,12 +7,27 @@ and record violations.  They serve two purposes in the reproduction:
   :class:`InvariantMonitor`), and
 * measuring how often the *unprotected* stack violates φ_safe (Figure 5)
   versus the RTA-protected stack (Figures 12a–c, Section V-D).
+
+Batched evaluation
+------------------
+Besides the immediate :meth:`MonitorSuite.check_all`, the suite offers a
+windowed path: :meth:`MonitorSuite.capture_all` snapshots each monitor's
+observations (topic value, module mode, time) without evaluating any
+predicate, and :meth:`MonitorSuite.flush` evaluates a whole window of
+samples in one batched call per monitor.  Verdicts, violation times and
+the violation *order* are identical to running ``check_all`` at every
+sample — batch predicates are required to agree with their scalar
+counterparts (see :class:`~repro.core.specs.SafetySpec`) and flushed
+violations are re-sorted into sample-major, monitor-minor order, exactly
+the order the scalar loop produces.  Executors and the systematic tester
+use this to amortise Python dispatch over many samples while preserving
+first-violation times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .decision import Mode
 from .module import RTAModuleInstance
@@ -61,6 +76,7 @@ class TopicSafetyMonitor:
         self.spec = spec
         self.ignore_missing = ignore_missing
         self.result = MonitorResult(name=name)
+        self._pending: List[Tuple[int, float, Any]] = []
 
     def check(self, engine: SemanticsEngine) -> Optional[Violation]:
         """Evaluate the property on the current topic value; record any violation."""
@@ -77,6 +93,36 @@ class TopicSafetyMonitor:
         )
         self.result.violations.append(violation)
         return violation
+
+    # -- windowed evaluation -------------------------------------------- #
+    def capture(self, engine: SemanticsEngine, serial: int) -> None:
+        """Snapshot the topic value; predicates are deferred to :meth:`flush`."""
+        self._pending.append((serial, engine.current_time, engine.read_topic(self.topic)))
+
+    def flush(self) -> List[Tuple[int, Violation]]:
+        """Evaluate all captured samples in one batched call.
+
+        Returns ``(serial, violation)`` pairs so the suite can restore the
+        exact order the scalar loop would have produced.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        values = [value for _, _, value in pending]
+        verdicts = self.spec.contains_batch(values)
+        flushed: List[Tuple[int, Violation]] = []
+        for (serial, time, value), ok in zip(pending, verdicts):
+            if ok or (value is None and self.ignore_missing):
+                continue
+            violation = Violation(
+                time=time,
+                monitor=self.name,
+                message=f"topic {self.topic!r} violates {self.spec.name}",
+                state=value,
+            )
+            self.result.violations.append(violation)
+            flushed.append((serial, violation))
+        return flushed
 
 
 class InvariantMonitor:
@@ -95,13 +141,16 @@ class InvariantMonitor:
         module: RTAModuleInstance,
         may_leave_within: Callable[[Any, float], bool],
         state_topic: Optional[str] = None,
+        may_leave_within_batch: Optional[Callable[[Sequence[Any], float], Sequence[bool]]] = None,
     ) -> None:
         self.module = module
         self.may_leave_within = may_leave_within
+        self.may_leave_within_batch = may_leave_within_batch
         self.state_topic = state_topic or module.spec.state_topics[0]
         self.name = f"phi_inv[{module.name}]"
         self.result = MonitorResult(name=self.name)
         self.samples = 0
+        self._pending: List[Tuple[int, float, Mode, Any]] = []
 
     def holds(self, mode: Mode, state: Any) -> bool:
         """Evaluate φ_Inv on a (mode, state) pair."""
@@ -127,12 +176,62 @@ class InvariantMonitor:
         self.result.violations.append(violation)
         return violation
 
+    # -- windowed evaluation -------------------------------------------- #
+    def capture(self, engine: SemanticsEngine, serial: int) -> None:
+        """Snapshot (time, mode, state); the mode must be read *now*, not at flush."""
+        self.samples += 1
+        self._pending.append(
+            (serial, engine.current_time, self.module.decision.mode, engine.read_topic(self.state_topic))
+        )
+
+    def flush(self) -> List[Tuple[int, Violation]]:
+        """Evaluate all captured (mode, state) samples, batching the AC-mode reach checks."""
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        holds = [True] * len(pending)
+        safe_spec = self.module.spec.safe_spec
+        sc_indices = [
+            i for i, (_, _, mode, state) in enumerate(pending) if state is not None and mode is Mode.SC
+        ]
+        ac_indices = [
+            i for i, (_, _, mode, state) in enumerate(pending) if state is not None and mode is not Mode.SC
+        ]
+        if sc_indices:
+            verdicts = safe_spec.contains_batch([pending[i][3] for i in sc_indices])
+            for i, ok in zip(sc_indices, verdicts):
+                holds[i] = bool(ok)
+        if ac_indices:
+            delta = self.module.spec.delta
+            states = [pending[i][3] for i in ac_indices]
+            if self.may_leave_within_batch is not None:
+                escapes = self.may_leave_within_batch(states, delta)
+            else:
+                escapes = [self.may_leave_within(state, delta) for state in states]
+            for i, escapes_safe in zip(ac_indices, escapes):
+                holds[i] = not bool(escapes_safe)
+        flushed: List[Tuple[int, Violation]] = []
+        for (serial, time, mode, state), ok in zip(pending, holds):
+            if ok:
+                continue
+            violation = Violation(
+                time=time,
+                monitor=self.name,
+                message=f"φ_Inv violated in mode {mode.value}",
+                state=state,
+            )
+            self.result.violations.append(violation)
+            flushed.append((serial, violation))
+        return flushed
+
 
 class MonitorSuite:
     """A collection of monitors evaluated together after every sampling instant."""
 
     def __init__(self, monitors: Optional[List[Any]] = None) -> None:
         self.monitors: List[Any] = list(monitors or [])
+        self._serial = 0
+        self._immediate: List[Tuple[int, int, Violation]] = []
 
     def add(self, monitor: Any) -> None:
         self.monitors.append(monitor)
@@ -145,6 +244,47 @@ class MonitorSuite:
             if violation is not None:
                 new.append(violation)
         return new
+
+    # -- windowed evaluation -------------------------------------------- #
+    def capture_all(self, engine: SemanticsEngine) -> None:
+        """Snapshot one sample on every monitor without evaluating predicates.
+
+        Monitors lacking a ``capture`` method are checked immediately (the
+        scalar path); their violations are delivered by the next
+        :meth:`flush` in the correct position.
+        """
+        self._serial += 1
+        for position, monitor in enumerate(self.monitors):
+            capture = getattr(monitor, "capture", None)
+            if capture is not None:
+                capture(engine, self._serial)
+            else:
+                violation = monitor.check(engine)
+                if violation is not None:
+                    self._immediate.append((self._serial, position, violation))
+
+    @property
+    def pending_samples(self) -> int:
+        """Number of samples captured since the last :meth:`flush`."""
+        return self._serial
+
+    def flush(self) -> List[Violation]:
+        """Evaluate every captured sample, batched per monitor.
+
+        Returns the new violations in exactly the order a per-sample
+        :meth:`check_all` loop would have produced them (sample-major,
+        monitor-minor), with identical times, messages and states.
+        """
+        entries: List[Tuple[int, int, Violation]] = list(self._immediate)
+        self._immediate = []
+        self._serial = 0
+        for position, monitor in enumerate(self.monitors):
+            flush = getattr(monitor, "flush", None)
+            if flush is None:
+                continue
+            entries.extend((serial, position, violation) for serial, violation in flush())
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return [violation for _, _, violation in entries]
 
     @property
     def violations(self) -> List[Violation]:

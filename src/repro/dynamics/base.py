@@ -13,6 +13,8 @@ import abc
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+import numpy as np
+
 from ..geometry import Vec3
 
 
@@ -147,3 +149,33 @@ class DynamicsModel(abc.ABC):
         if self.max_acceleration <= 0.0:
             return float("inf") if speed > 0.0 else 0.0
         return speed * speed / (2.0 * self.max_acceleration)
+
+    # ------------------------------------------------------------------ #
+    # batched worst-case bounds (bit-identical to the scalar versions)
+    # ------------------------------------------------------------------ #
+    def max_displacement_batch(self, speeds: np.ndarray, horizon: float) -> np.ndarray:
+        """Vectorised :meth:`max_displacement` over an ``(N,)`` speed array.
+
+        Evaluates the same expressions in the same order as the scalar
+        version, so the returned radii are bit-for-bit identical — which is
+        what lets the batched reachability queries reproduce the decision
+        modules' answers exactly.
+        """
+        if horizon < 0.0:
+            raise ValueError("horizon must be non-negative")
+        speeds = np.minimum(np.abs(np.asarray(speeds, dtype=float)), self.max_speed)
+        accel = self.max_acceleration
+        if accel <= 0.0:
+            return np.full(speeds.shape, self.max_speed * horizon)
+        time_to_vmax = (self.max_speed - speeds) / accel
+        direct = speeds * horizon + 0.5 * accel * horizon * horizon
+        ramp = speeds * time_to_vmax + 0.5 * accel * time_to_vmax * time_to_vmax
+        cruise = self.max_speed * (horizon - time_to_vmax)
+        return np.where(horizon <= time_to_vmax, direct, ramp + cruise)
+
+    def stopping_distance_batch(self, speeds: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`stopping_distance` over an ``(N,)`` speed array."""
+        speeds = np.minimum(np.abs(np.asarray(speeds, dtype=float)), self.max_speed)
+        if self.max_acceleration <= 0.0:
+            return np.where(speeds > 0.0, np.inf, 0.0)
+        return speeds * speeds / (2.0 * self.max_acceleration)

@@ -6,7 +6,16 @@ from .vec import (
     distance_point_to_polyline,
     distance_point_to_segment,
 )
-from .shapes import AABB, Sphere, first_box_containing, min_distance_to_boxes
+from .shapes import (
+    AABB,
+    Sphere,
+    any_box_contains_batch,
+    first_box_containing,
+    min_distance_to_boxes,
+    min_distance_to_boxes_batch,
+    points_as_array,
+)
+from .clearance import ClearanceField, ClearanceFieldStats
 from .workspace import (
     Workspace,
     corridor_workspace,
@@ -31,8 +40,13 @@ __all__ = [
     "distance_point_to_segment",
     "AABB",
     "Sphere",
+    "any_box_contains_batch",
     "first_box_containing",
     "min_distance_to_boxes",
+    "min_distance_to_boxes_batch",
+    "points_as_array",
+    "ClearanceField",
+    "ClearanceFieldStats",
     "Workspace",
     "corridor_workspace",
     "empty_workspace",

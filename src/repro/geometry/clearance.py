@@ -1,0 +1,192 @@
+"""Memoised clearance oracle: the cached half of the safety-query plane.
+
+Every layer of the reproduction keeps asking the same question about the
+same static workspace — "is the clearance at this position above/below a
+threshold?" (the ``φ_obs`` monitors, the decision modules' ``ttf_2Δ``
+checkers, the safe tracker's urgency law).  Profiling shows these scalar
+clearance queries dominate systematic-testing throughput.
+
+:class:`ClearanceField` memoises *conservative lower bounds* on clearance
+per quantised grid cell: clearance is 1-Lipschitz, so
+
+    ``clearance(p) >= clearance(cell_center) - cell_half_diagonal``
+
+for every point ``p`` inside the cell.  Threshold queries consult the
+cached bound first and fall back to the exact workspace computation only
+when the bound is not decisive — which makes every answer *bit-for-bit
+identical* to the uncached scalar query while skipping the obstacle loop
+for the (overwhelmingly common) far-from-obstacle case.
+
+Cells are filled lazily, so the field warms up with the traffic it
+actually sees; sharing one workspace instance across executions (see
+:func:`repro.apps.scenarios._shared_world`) keeps the cache warm for a
+whole worker process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from .shapes import points_as_array
+from .vec import Vec3
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .workspace import Workspace
+
+Cell = Tuple[int, int, int]
+
+
+@dataclass
+class ClearanceFieldStats:
+    """Counters describing how effective the cache has been."""
+
+    queries: int = 0
+    decisive: int = 0  # answered from the cached bound alone
+    exact_fallbacks: int = 0  # needed the exact workspace computation
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of threshold queries answered without the obstacle loop."""
+        if self.queries == 0:
+            return 0.0
+        return self.decisive / self.queries
+
+
+class ClearanceField:
+    """Grid-cell-quantised conservative clearance cache over one workspace.
+
+    The field never *replaces* the exact clearance — it only pre-answers
+    threshold queries whose outcome the cached lower bound already decides.
+    ``lower_bound(p) <= workspace.clearance(p)`` always holds (tested as a
+    property), and :meth:`exceeds` returns exactly what the corresponding
+    scalar comparison would.
+    """
+
+    def __init__(self, workspace: "Workspace", resolution: float = 0.5) -> None:
+        if resolution <= 0.0:
+            raise ValueError("clearance-field resolution must be positive")
+        self.workspace = workspace
+        self.resolution = resolution
+        # Half the diagonal of a cubic cell: the worst-case distance from
+        # any point in a cell to the cell center (3-D).
+        self.cell_radius = 0.5 * resolution * math.sqrt(3.0)
+        self.stats = ClearanceFieldStats()
+        self._bounds: Dict[Cell, float] = {}
+        self._obstacle_count = len(workspace.obstacles)
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def _check_freshness(self) -> None:
+        """Drop every cached bound if the workspace grew a new obstacle.
+
+        Callers that captured this field before ``add_obstacle`` would
+        otherwise keep reading bounds that no longer under-approximate the
+        true clearance — a silently unsafe answer.  A one-int comparison
+        per query keeps the memo sound against the supported mutation API
+        (``Workspace.add_obstacle``; the obstacle list must not be edited
+        in place).
+        """
+        count = len(self.workspace.obstacles)
+        if count != self._obstacle_count:
+            self._bounds.clear()
+            self._obstacle_count = count
+
+    # ------------------------------------------------------------------ #
+    # bounds
+    # ------------------------------------------------------------------ #
+    def _cell_of(self, point: Vec3) -> Cell:
+        res = self.resolution
+        return (
+            int(math.floor(point.x / res)),
+            int(math.floor(point.y / res)),
+            int(math.floor(point.z / res)),
+        )
+
+    def lower_bound(self, point: Vec3) -> float:
+        """A conservative lower bound on ``workspace.clearance(point)``.
+
+        Never larger than the true clearance (may be much smaller near
+        obstacles or for coarse resolutions).  Memoised per cell.
+        """
+        self._check_freshness()
+        cell = self._cell_of(point)
+        bound = self._bounds.get(cell)
+        if bound is None:
+            res = self.resolution
+            center = Vec3((cell[0] + 0.5) * res, (cell[1] + 0.5) * res, (cell[2] + 0.5) * res)
+            bound = self.workspace.clearance(center) - self.cell_radius
+            self._bounds[cell] = bound
+        return bound
+
+    def clearance(self, point: Vec3) -> float:
+        """The exact clearance (delegates to the workspace; counted as a fallback)."""
+        self.stats.exact_fallbacks += 1
+        return self.workspace.clearance(point)
+
+    # ------------------------------------------------------------------ #
+    # threshold queries (bit-identical to the uncached comparisons)
+    # ------------------------------------------------------------------ #
+    def exceeds(self, point: Vec3, threshold: float, strict: bool = True) -> bool:
+        """Exactly ``workspace.clearance(point) > threshold`` (``>=`` if not strict).
+
+        Fast path: when the cached cell bound already exceeds the
+        threshold, the true clearance must as well (the bound is a lower
+        bound), so no exact computation is needed.
+        """
+        self.stats.queries += 1
+        bound = self.lower_bound(point)
+        if (bound > threshold) if strict else (bound >= threshold):
+            self.stats.decisive += 1
+            return True
+        exact = self.workspace.clearance(point)
+        self.stats.exact_fallbacks += 1
+        return (exact > threshold) if strict else (exact >= threshold)
+
+    def at_most(self, point: Vec3, threshold: float) -> bool:
+        """Exactly ``workspace.clearance(point) <= threshold``."""
+        return not self.exceeds(point, threshold, strict=True)
+
+    def decides_above(self, point: Vec3, threshold: float, margin: float = 0.0) -> bool:
+        """True only when the cached bound alone proves ``clearance - margin > threshold``.
+
+        A sound one-sided gate: a ``True`` answer is definitive (the exact
+        margin-shifted clearance comparison must agree, by monotonicity of
+        floating-point subtraction), while ``False`` merely means the
+        caller has to fall back to the exact computation.
+        """
+        self.stats.queries += 1
+        if self.lower_bound(point) - margin > threshold:
+            self.stats.decisive += 1
+            return True
+        return False
+
+    def below(self, point: Vec3, threshold: float) -> bool:
+        """Exactly ``workspace.clearance(point) < threshold``."""
+        return not self.exceeds(point, threshold, strict=False)
+
+    # ------------------------------------------------------------------ #
+    # batched access
+    # ------------------------------------------------------------------ #
+    def lower_bound_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lower_bound` (fills missing cells in one batch query)."""
+        self._check_freshness()
+        pts = points_as_array(points)
+        res = self.resolution
+        cells = np.floor(pts / res).astype(int)
+        keys = [tuple(cell) for cell in cells]
+        missing = sorted({key for key in keys if key not in self._bounds})
+        if missing:
+            centers = (np.array(missing, dtype=float) + 0.5) * res
+            bounds = self.workspace.clearance_batch(centers) - self.cell_radius
+            for key, bound in zip(missing, bounds):
+                self._bounds[key] = float(bound)
+        return np.array([self._bounds[key] for key in keys], dtype=float)
+
+    def prewarm(self, points: np.ndarray) -> None:
+        """Fill the cells covering ``points`` ahead of time (one batched query)."""
+        self.lower_bound_batch(points)

@@ -3,6 +3,16 @@
 The SOTER drone case study (Section II-A of the paper) assumes static,
 known obstacles; buildings are modelled as axis-aligned boxes, which is
 also what the obstacle map in Figure 2 (right) shows.
+
+Batching contract
+-----------------
+Every scalar point query has a ``*_batch`` counterpart operating on an
+``(N, 3)`` float array of points and returning an ``(N,)`` array.  The
+batched versions evaluate *the same floating-point expressions in the
+same order* as their scalar counterparts, so their answers are bit-for-bit
+identical — callers may mix scalar and batched queries freely without
+changing any safety decision.  :func:`points_as_array` converts an
+iterable of :class:`Vec3` (or anything array-like) into the batch layout.
 """
 
 from __future__ import annotations
@@ -10,9 +20,28 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .vec import Vec3
+
+
+def points_as_array(points: Sequence[Vec3] | np.ndarray) -> np.ndarray:
+    """Convert points into the ``(N, 3)`` float64 batch layout.
+
+    Accepts a sequence of :class:`Vec3` (or 3-tuples) or an already-shaped
+    numpy array; always returns a 2-D ``(N, 3)`` float64 array.
+    """
+    if isinstance(points, np.ndarray):
+        array = np.asarray(points, dtype=float)
+    else:
+        array = np.array([(p.x, p.y, p.z) if isinstance(p, Vec3) else tuple(p) for p in points], dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(1, 3) if array.size == 3 else array.reshape(-1, 3)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError(f"expected an (N, 3) point array, got shape {array.shape}")
+    return array
 
 
 @dataclass(frozen=True)
@@ -69,6 +98,16 @@ class AABB:
             and self.lo.z - margin <= point.z <= self.hi.z + margin
         )
 
+    def contains_batch(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorised :meth:`contains` over an ``(N, 3)`` point array."""
+        pts = points_as_array(points)
+        lo = (self.lo.x - margin, self.lo.y - margin, self.lo.z - margin)
+        hi = (self.hi.x + margin, self.hi.y + margin, self.hi.z + margin)
+        inside = np.ones(pts.shape[0], dtype=bool)
+        for axis in range(3):
+            inside &= (pts[:, axis] >= lo[axis]) & (pts[:, axis] <= hi[axis])
+        return inside
+
     def inflate(self, margin: float) -> "AABB":
         """Return a copy grown by ``margin`` on every face (may shrink if negative)."""
         grow = Vec3(margin, margin, margin)
@@ -100,6 +139,18 @@ class AABB:
     def distance_to_point(self, point: Vec3) -> float:
         """Euclidean distance from ``point`` to the box (zero if inside)."""
         return point.distance_to(self.closest_point(point))
+
+    def distance_to_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_to_point` over an ``(N, 3)`` point array.
+
+        Mirrors the scalar evaluation (clamp each axis, then
+        ``sqrt((dx*dx + dy*dy) + dz*dz)``) so results are bit-identical.
+        """
+        pts = points_as_array(points)
+        dx = pts[:, 0] - np.minimum(np.maximum(pts[:, 0], self.lo.x), self.hi.x)
+        dy = pts[:, 1] - np.minimum(np.maximum(pts[:, 1], self.lo.y), self.hi.y)
+        dz = pts[:, 2] - np.minimum(np.maximum(pts[:, 2], self.lo.z), self.hi.z)
+        return np.sqrt(dx * dx + dy * dy + dz * dz)
 
     def clamp(self, point: Vec3) -> Vec3:
         """Clamp ``point`` inside the box."""
@@ -170,9 +221,24 @@ class Sphere:
         """True if ``point`` is within ``radius + margin`` of the center."""
         return self.center.distance_to(point) <= self.radius + margin
 
+    def contains_batch(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorised :meth:`contains` over an ``(N, 3)`` point array."""
+        return self._center_distances(points) <= self.radius + margin
+
     def distance_to_point(self, point: Vec3) -> float:
         """Distance from ``point`` to the sphere surface (zero if inside)."""
         return max(0.0, self.center.distance_to(point) - self.radius)
+
+    def distance_to_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_to_point` over an ``(N, 3)`` point array."""
+        return np.maximum(0.0, self._center_distances(points) - self.radius)
+
+    def _center_distances(self, points: np.ndarray) -> np.ndarray:
+        pts = points_as_array(points)
+        dx = self.center.x - pts[:, 0]
+        dy = self.center.y - pts[:, 1]
+        dz = self.center.z - pts[:, 2]
+        return np.sqrt(dx * dx + dy * dy + dz * dz)
 
     def bounding_box(self) -> AABB:
         """Axis-aligned bounding box of the sphere."""
@@ -186,6 +252,24 @@ def min_distance_to_boxes(point: Vec3, boxes: Iterable[AABB]) -> float:
     for box in boxes:
         best = min(best, box.distance_to_point(point))
     return best
+
+
+def min_distance_to_boxes_batch(points: np.ndarray, boxes: Iterable[AABB]) -> np.ndarray:
+    """Vectorised :func:`min_distance_to_boxes` over an ``(N, 3)`` point array."""
+    pts = points_as_array(points)
+    best = np.full(pts.shape[0], math.inf)
+    for box in boxes:
+        np.minimum(best, box.distance_to_points(pts), out=best)
+    return best
+
+
+def any_box_contains_batch(points: np.ndarray, boxes: Iterable[AABB], margin: float = 0.0) -> np.ndarray:
+    """Vectorised "point is inside some box" over an ``(N, 3)`` point array."""
+    pts = points_as_array(points)
+    inside = np.zeros(pts.shape[0], dtype=bool)
+    for box in boxes:
+        inside |= box.contains_batch(pts, margin=margin)
+    return inside
 
 
 def first_box_containing(point: Vec3, boxes: Iterable[AABB], margin: float = 0.0) -> Optional[AABB]:

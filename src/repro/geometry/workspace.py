@@ -6,6 +6,15 @@ collision queries every other layer relies on: the safety predicate
 ``φ_obs`` of the motion-primitive RTA module, plan validation for the
 motion-planner RTA module, and the backward-reachable-set computation used
 to derive ``ttf_2Δ`` and ``φ_safer``.
+
+Batching contract
+-----------------
+Every scalar query has a ``*_batch`` counterpart over ``(N, 3)`` point
+arrays that evaluates the same floating-point expressions in the same
+order, so scalar and batched answers are bit-for-bit identical (see
+:mod:`repro.geometry.shapes`).  :meth:`Workspace.clearance_field` hands
+out a lazily built, per-instance :class:`~repro.geometry.clearance.ClearanceField`
+memo — the cached scalar fast path of the safety-query plane.
 """
 
 from __future__ import annotations
@@ -13,15 +22,32 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
-from .shapes import AABB, min_distance_to_boxes
+import numpy as np
+
+from .shapes import (
+    AABB,
+    any_box_contains_batch,
+    min_distance_to_boxes,
+    min_distance_to_boxes_batch,
+    points_as_array,
+)
 from .vec import Vec3
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .clearance import ClearanceField
 
 
 @dataclass
 class Workspace:
-    """A bounded 3-D region containing static axis-aligned obstacles."""
+    """A bounded 3-D region containing static axis-aligned obstacles.
+
+    The obstacle set must only be mutated through :meth:`add_obstacle`
+    (which invalidates the query-plane caches); replacing entries of
+    ``obstacles`` in place is unsupported and would desynchronise the
+    cached obstacle arrays and clearance bounds.
+    """
 
     bounds: AABB
     obstacles: List[AABB] = field(default_factory=list)
@@ -30,6 +56,11 @@ class Workspace:
     def __post_init__(self) -> None:
         for obstacle in self.obstacles:
             self._check_obstacle(obstacle)
+        # Per-instance caches of the safety-query plane.  Both are keyed on
+        # the obstacle count so direct ``add_obstacle`` calls invalidate
+        # them; they must never be shared between workspaces.
+        self._obstacle_array_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._clearance_field_cache: Optional[Tuple[int, float, "ClearanceField"]] = None
 
     def _check_obstacle(self, obstacle: AABB) -> None:
         if not self.bounds.intersects(obstacle):
@@ -42,6 +73,38 @@ class Workspace:
         """Add a static obstacle, validating that it overlaps the bounds."""
         self._check_obstacle(obstacle)
         self.obstacles.append(obstacle)
+
+    def obstacle_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(M, 3)`` lower/upper corner arrays of all obstacles (cached)."""
+        cache = self._obstacle_array_cache
+        if cache is None or cache[0] != len(self.obstacles):
+            if self.obstacles:
+                lo = np.array([o.lo.as_tuple() for o in self.obstacles], dtype=float)
+                hi = np.array([o.hi.as_tuple() for o in self.obstacles], dtype=float)
+            else:
+                lo = np.zeros((0, 3))
+                hi = np.zeros((0, 3))
+            cache = (len(self.obstacles), lo, hi)
+            self._obstacle_array_cache = cache
+        return cache[1], cache[2]
+
+    def clearance_field(self, resolution: float = 0.5) -> "ClearanceField":
+        """The lazily built, cached :class:`ClearanceField` of this workspace.
+
+        The field memoises conservative per-cell clearance lower bounds; it
+        is (re)built whenever the obstacle set or requested resolution
+        changes, and is shared by every caller holding the same workspace
+        instance — which is what lets worker processes reuse one warm cache
+        across many explored executions.
+        """
+        from .clearance import ClearanceField
+
+        cache = self._clearance_field_cache
+        if cache is None or cache[0] != len(self.obstacles) or cache[1] != resolution:
+            field_obj = ClearanceField(self, resolution=resolution)
+            cache = (len(self.obstacles), resolution, field_obj)
+            self._clearance_field_cache = cache
+        return cache[2]
 
     def with_margin(self, margin: float) -> "Workspace":
         """Copy of the workspace with every obstacle inflated by ``margin``."""
@@ -101,6 +164,96 @@ class Workspace:
         long as its clearance is positive.
         """
         return min(self.distance_to_nearest_obstacle(point), self.distance_to_boundary(point))
+
+    # ------------------------------------------------------------------ #
+    # batched collision queries (bit-identical to the scalar versions)
+    # ------------------------------------------------------------------ #
+    def in_bounds_batch(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorised :meth:`in_bounds` over an ``(N, 3)`` point array."""
+        pts = points_as_array(points)
+        lo, hi = self.bounds.lo, self.bounds.hi
+        return (
+            (pts[:, 0] >= lo.x + margin)
+            & (pts[:, 0] <= hi.x - margin)
+            & (pts[:, 1] >= lo.y + margin)
+            & (pts[:, 1] <= hi.y - margin)
+            & (pts[:, 2] >= lo.z + margin)
+            & (pts[:, 2] <= hi.z - margin)
+        )
+
+    def in_obstacle_batch(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorised :meth:`in_obstacle` over an ``(N, 3)`` point array."""
+        return any_box_contains_batch(points, self.obstacles, margin=margin)
+
+    def is_free_batch(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorised :meth:`is_free` over an ``(N, 3)`` point array."""
+        return self.in_bounds_batch(points) & ~self.in_obstacle_batch(points, margin=margin)
+
+    def distance_to_nearest_obstacle_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_to_nearest_obstacle` (inf with no obstacles)."""
+        return min_distance_to_boxes_batch(points, self.obstacles)
+
+    def distance_to_boundary_batch(self, points: np.ndarray, include_floor: bool = False) -> np.ndarray:
+        """Vectorised :meth:`distance_to_boundary` over an ``(N, 3)`` point array."""
+        pts = points_as_array(points)
+        lo, hi = self.bounds.lo, self.bounds.hi
+        dx = np.minimum(pts[:, 0] - lo.x, hi.x - pts[:, 0])
+        dy = np.minimum(pts[:, 1] - lo.y, hi.y - pts[:, 1])
+        dz = hi.z - pts[:, 2]
+        if include_floor:
+            dz = np.minimum(dz, pts[:, 2] - lo.z)
+        return np.minimum(np.minimum(dx, dy), dz)
+
+    def clearance_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`clearance`: one call answers N safety queries.
+
+        This is the workhorse of the batched safety-query plane — monitors,
+        decision modules and the backward-reachable-set build all reduce to
+        it.  Bit-for-bit identical to mapping :meth:`clearance` over the
+        points.
+        """
+        pts = points_as_array(points)
+        return np.minimum(
+            self.distance_to_nearest_obstacle_batch(pts), self.distance_to_boundary_batch(pts)
+        )
+
+    def segments_free_batch(
+        self, starts: np.ndarray, ends: np.ndarray, margin: float = 0.0
+    ) -> np.ndarray:
+        """Vectorised :meth:`segment_is_free` over ``(N, 3)`` endpoint arrays.
+
+        Evaluates the same slab tests as the scalar version for every
+        (segment, obstacle) pair at once; used by plan validation to check a
+        whole waypoint path with one query.
+        """
+        a = points_as_array(starts)
+        b = points_as_array(ends)
+        if a.shape != b.shape:
+            raise ValueError("start and end point arrays must have the same shape")
+        free = self.in_bounds_batch(a) & self.in_bounds_batch(b)
+        if not self.obstacles:
+            return free
+        direction = b - a  # (N, 3)
+        parallel = np.abs(direction) < 1e-12  # (N, 3)
+        lo_arr, hi_arr = self.obstacle_arrays()  # (M, 3)
+        lo_arr = lo_arr[:, None, :] - margin  # (M, 1, 3) inflated boxes
+        hi_arr = hi_arr[:, None, :] + margin
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t1 = (lo_arr - a[None, :, :]) / direction[None, :, :]  # (M, N, 3)
+            t2 = (hi_arr - a[None, :, :]) / direction[None, :, :]
+        t_lo = np.minimum(t1, t2)
+        t_hi = np.maximum(t1, t2)
+        # Parallel axes contribute no t-interval but require the origin to
+        # lie inside the slab (exactly the scalar early-out).
+        par = parallel[None, :, :]
+        origin_ok = (a[None, :, :] >= lo_arr) & (a[None, :, :] <= hi_arr)
+        t_lo = np.where(par, -np.inf, t_lo)
+        t_hi = np.where(par, np.inf, t_hi)
+        t_min = np.maximum(t_lo.max(axis=2), 0.0)  # (M, N)
+        t_max = np.minimum(t_hi.min(axis=2), 1.0)
+        axis_ok = np.where(par, origin_ok, True).all(axis=2)
+        hit = axis_ok & (t_min <= t_max)  # segment n intersects box m
+        return free & ~hit.any(axis=0)
 
     # ------------------------------------------------------------------ #
     # sampling

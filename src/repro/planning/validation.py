@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..geometry import Vec3, Workspace
+import numpy as np
+
+from ..geometry import Vec3, Workspace, points_as_array
 from .plan import Plan
 
 
@@ -47,13 +49,18 @@ class PlanValidator:
                 reason="waypoint is inside (or too close to) an obstacle",
                 offending_segment=(waypoints[0], waypoints[0]),
             )
-        for a, b in zip(waypoints[:-1], waypoints[1:]):
-            if not self.workspace.segment_is_free(a, b, margin=self.clearance):
-                return PlanValidation(
-                    valid=False,
-                    reason="segment intersects an obstacle (with clearance margin)",
-                    offending_segment=(a, b),
-                )
+        # One batched query covers the whole waypoint path: every segment's
+        # slab tests against every obstacle run in a single vectorised
+        # call, with answers identical to the per-segment scalar loop.
+        points = points_as_array(waypoints)
+        free = self.workspace.segments_free_batch(points[:-1], points[1:], margin=self.clearance)
+        if not free.all():
+            first_bad = int(np.argmin(free))
+            return PlanValidation(
+                valid=False,
+                reason="segment intersects an obstacle (with clearance margin)",
+                offending_segment=(waypoints[first_bad], waypoints[first_bad + 1]),
+            )
         return PlanValidation(valid=True, reason="all segments keep the clearance margin")
 
     def is_valid(self, plan: Optional[Plan]) -> bool:

@@ -5,6 +5,7 @@ from .intervals import (
     SampledControllerReachability,
     WorstCaseReachability,
     reach_ball_union,
+    states_as_arrays,
 )
 from .levelset import BackwardReachableSet, LevelSetAnalysis
 from .fastrack import (
@@ -19,6 +20,7 @@ __all__ = [
     "SampledControllerReachability",
     "WorstCaseReachability",
     "reach_ball_union",
+    "states_as_arrays",
     "BackwardReachableSet",
     "LevelSetAnalysis",
     "SafeTrackerParams",

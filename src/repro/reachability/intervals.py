@@ -14,10 +14,19 @@ models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..dynamics import ControlCommand, DroneState, DynamicsModel
-from ..geometry import AABB, Vec3, Workspace
+from ..geometry import AABB, ClearanceField, Vec3, Workspace
+
+
+def states_as_arrays(states: Sequence[DroneState]) -> Tuple[np.ndarray, np.ndarray]:
+    """Split drone states into the ``(N, 3)`` position / ``(N,)`` speed batch layout."""
+    positions = np.array([s.position.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+    speeds = np.array([s.speed for s in states], dtype=float)
+    return positions, speeds
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,7 @@ class WorstCaseReachability:
         workspace: Workspace,
         horizon: float,
         margin: float = 0.0,
+        field: Optional[ClearanceField] = None,
     ) -> bool:
         """True if some reachable position within ``horizon`` is unsafe.
 
@@ -62,12 +72,21 @@ class WorstCaseReachability:
         workspace bounds; this is exactly the check
         ``Reach(st, *, 2Δ) ⊄ φ_safe`` of Figure 9 when called with
         ``horizon = 2Δ``.
+
+        With a :class:`ClearanceField` the cached conservative bound
+        pre-answers the far-from-obstacle case; the returned decision is
+        bit-for-bit the same either way.
         """
         ball = self.reach_ball(state, horizon)
         # The ball escapes φ_safe iff the clearance at the center is
         # smaller than the ball radius (clearance is a true metric
         # distance to the unsafe set).
-        clearance = workspace.clearance(state.position) - margin
+        if field is not None:
+            if field.decides_above(state.position, ball.radius, margin=margin):
+                return False  # the cached bound alone rules the escape out
+            clearance = field.clearance(state.position) - margin
+        else:
+            clearance = workspace.clearance(state.position) - margin
         return clearance <= ball.radius
 
     def unavoidable_travel_radius(self, state: DroneState, horizon: float) -> float:
@@ -93,10 +112,17 @@ class WorstCaseReachability:
         workspace: Workspace,
         horizon: float,
         margin: float = 0.0,
+        field: Optional[ClearanceField] = None,
     ) -> bool:
         """True if the DM must switch now for the SC to be able to keep φ_safe."""
-        clearance = workspace.clearance(state.position) - margin
-        return clearance <= self.unavoidable_travel_radius(state, horizon)
+        radius = self.unavoidable_travel_radius(state, horizon)
+        if field is not None:
+            if field.decides_above(state.position, radius, margin=margin):
+                return False
+            clearance = field.clearance(state.position) - margin
+        else:
+            clearance = workspace.clearance(state.position) - margin
+        return clearance <= radius
 
     def make_ttf_checker(
         self,
@@ -104,6 +130,7 @@ class WorstCaseReachability:
         two_delta: float,
         margin: float = 0.0,
         include_braking: bool = True,
+        field: Optional[ClearanceField] = None,
     ) -> Callable[[DroneState], bool]:
         """Build the ``ttf_2Δ`` predicate used by the motion-primitive DM.
 
@@ -115,10 +142,58 @@ class WorstCaseReachability:
 
         def ttf(state: DroneState) -> bool:
             if include_braking:
-                return self.must_switch(state, workspace, two_delta, margin=margin)
-            return self.may_leave_safe(state, workspace, two_delta, margin=margin)
+                return self.must_switch(state, workspace, two_delta, margin=margin, field=field)
+            return self.may_leave_safe(state, workspace, two_delta, margin=margin, field=field)
 
         return ttf
+
+    # ------------------------------------------------------------------ #
+    # batched queries (bit-identical to mapping the scalar versions)
+    # ------------------------------------------------------------------ #
+    def reach_radii(self, speeds: np.ndarray, horizon: float) -> np.ndarray:
+        """Reach-ball radii for an ``(N,)`` array of speeds."""
+        return self.model.max_displacement_batch(speeds, horizon)
+
+    def may_leave_safe_batch(
+        self,
+        positions: np.ndarray,
+        speeds: np.ndarray,
+        workspace: Workspace,
+        horizon: float,
+        margin: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorised :meth:`may_leave_safe` over position/speed arrays.
+
+        ``positions`` is ``(N, 3)``, ``speeds`` is ``(N,)``; returns an
+        ``(N,)`` bool array equal, bit-for-bit, to evaluating the scalar
+        check per state.  Use :func:`states_as_arrays` to convert a list of
+        :class:`DroneState`.
+        """
+        radii = self.reach_radii(speeds, horizon)
+        clearance = workspace.clearance_batch(positions) - margin
+        return clearance <= radii
+
+    def unavoidable_travel_radius_batch(self, speeds: np.ndarray, horizon: float) -> np.ndarray:
+        """Vectorised :meth:`unavoidable_travel_radius` over an ``(N,)`` speed array."""
+        speeds = np.asarray(speeds, dtype=float)
+        travel = self.model.max_displacement_batch(speeds, horizon)
+        worst_speeds = np.minimum(
+            self.model.max_speed, speeds + self.model.max_acceleration * horizon
+        )
+        return travel + self.model.stopping_distance_batch(worst_speeds)
+
+    def must_switch_batch(
+        self,
+        positions: np.ndarray,
+        speeds: np.ndarray,
+        workspace: Workspace,
+        horizon: float,
+        margin: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorised :meth:`must_switch` over position/speed arrays."""
+        radii = self.unavoidable_travel_radius_batch(speeds, horizon)
+        clearance = workspace.clearance_batch(positions) - margin
+        return clearance <= radii
 
 
 class SampledControllerReachability:

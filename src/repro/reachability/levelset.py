@@ -41,12 +41,36 @@ class BackwardReachableSet:
             return True
         return bool(self.distance[cell] <= self.reach_radius)
 
+    def contains_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over an ``(N, 3)`` point array."""
+        distances, in_grid = self._cell_distances(points)
+        return ~in_grid | (distances <= self.reach_radius)
+
     def clearance_margin(self, point: Vec3) -> float:
         """How far (in metres) the point is from entering the reachable set."""
         cell = self.grid.world_to_cell(point)
         if not self.grid.in_grid(cell):
             return float("-inf")
         return float(self.distance[cell] - self.reach_radius)
+
+    def clearance_margin_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`clearance_margin` over an ``(N, 3)`` point array."""
+        distances, in_grid = self._cell_distances(points)
+        return np.where(in_grid, distances - self.reach_radius, -np.inf)
+
+    def _cell_distances(self, points: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Grid distances plus the in-grid mask for a batch of points."""
+        from ..geometry import points_as_array
+
+        pts = points_as_array(points)
+        grid = self.grid
+        i = np.floor((pts[:, 0] - grid.origin_x) / grid.resolution).astype(int)
+        j = np.floor((pts[:, 1] - grid.origin_y) / grid.resolution).astype(int)
+        nx, ny = grid.shape
+        in_grid = (i >= 0) & (i < nx) & (j >= 0) & (j < ny)
+        distances = np.zeros(pts.shape[0])
+        distances[in_grid] = self.distance[i[in_grid], j[in_grid]]
+        return distances, in_grid
 
     def fraction_of_workspace(self) -> float:
         """Fraction of grid cells inside the backward reachable set."""

@@ -43,7 +43,17 @@ class ExecutionResult:
 
 
 class SimulatedTimeExecutor:
-    """Runs an RTA system in virtual time with optional monitors and environment."""
+    """Runs an RTA system in virtual time with optional monitors and environment.
+
+    ``monitor_batch`` selects the monitor-evaluation path: ``1`` (the
+    default) checks every monitor immediately at each sampling instant;
+    larger values snapshot the monitored values and evaluate them in
+    batched windows of that many samples (see
+    :meth:`~repro.core.monitor.MonitorSuite.flush`), which produces the
+    same violations — identical times, messages, order — while amortising
+    predicate dispatch.  A final flush runs before :meth:`run` returns, so
+    the result always reflects every sample.
+    """
 
     def __init__(
         self,
@@ -51,13 +61,17 @@ class SimulatedTimeExecutor:
         scheduler: Optional[SchedulingPolicy] = None,
         monitors: Optional[MonitorSuite] = None,
         monitor_period: float = 0.05,
+        monitor_batch: int = 1,
     ) -> None:
         if monitor_period <= 0.0:
             raise ValueError("monitor_period must be positive")
+        if monitor_batch < 1:
+            raise ValueError("monitor_batch must be at least 1")
         self.system = system
         self.scheduler = scheduler
         self.monitors = monitors or MonitorSuite()
         self.monitor_period = monitor_period
+        self.monitor_batch = monitor_batch
 
     def run(
         self,
@@ -70,16 +84,24 @@ class SimulatedTimeExecutor:
         engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
         started = _time.perf_counter()
         next_monitor_time = 0.0
+        batched = self.monitor_batch > 1
 
         def hook(inner_engine: SemanticsEngine, upcoming: float) -> None:
             nonlocal next_monitor_time
             if environment is not None:
                 environment(inner_engine, upcoming)
             while next_monitor_time <= upcoming + 1e-12:
-                self.monitors.check_all(inner_engine)
+                if batched:
+                    self.monitors.capture_all(inner_engine)
+                    if self.monitors.pending_samples >= self.monitor_batch:
+                        self.monitors.flush()
+                else:
+                    self.monitors.check_all(inner_engine)
                 next_monitor_time += self.monitor_period
 
         engine.run_until(duration, environment=hook, stop_when=stop_when)
+        if batched:
+            self.monitors.flush()
         wall = _time.perf_counter() - started
         return ExecutionResult(
             engine=engine,
@@ -104,19 +126,30 @@ class WallClockExecutor:
         system: RTASystem,
         time_scale: float = 1.0,
         scheduler: Optional[SchedulingPolicy] = None,
+        monitors: Optional[MonitorSuite] = None,
+        monitor_period: float = 0.05,
     ) -> None:
         if time_scale <= 0.0:
             raise ValueError("time_scale must be positive")
+        if monitor_period <= 0.0:
+            raise ValueError("monitor_period must be positive")
         self.system = system
         self.time_scale = time_scale
         self.scheduler = scheduler
+        self.monitors = monitors or MonitorSuite()
+        self.monitor_period = monitor_period
 
     def run(self, duration: float, environment: Optional[EnvironmentHook] = None) -> ExecutionResult:
-        """Execute for ``duration`` seconds of virtual time, paced in real time."""
+        """Execute for ``duration`` seconds of virtual time, paced in real time.
+
+        Monitors passed to the constructor are checked on the same
+        ``monitor_period`` schedule the :class:`SimulatedTimeExecutor`
+        uses, right before each discrete step whose time they precede.
+        """
         trace = ExecutionTrace()
         engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
-        monitors = MonitorSuite()
         start_wall = _time.perf_counter()
+        next_monitor_time = 0.0
         while True:
             next_time = engine.peek_next_time()
             if next_time is None or next_time > duration:
@@ -127,8 +160,15 @@ class WallClockExecutor:
                 _time.sleep(min(delay, 0.05))
             if environment is not None:
                 environment(engine, next_time)
+            while next_monitor_time <= next_time + 1e-12:
+                self.monitors.check_all(engine)
+                next_monitor_time += self.monitor_period
             engine.step()
         wall = _time.perf_counter() - start_wall
         return ExecutionResult(
-            engine=engine, trace=trace, monitors=monitors, wall_time=wall, end_time=engine.current_time
+            engine=engine,
+            trace=trace,
+            monitors=self.monitors,
+            wall_time=wall,
+            end_time=engine.current_time,
         )

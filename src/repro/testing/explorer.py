@@ -96,17 +96,33 @@ class TestReport:
 
 
 class SystematicTester:
-    """Explores executions of a SOTER model under a choice strategy."""
+    """Explores executions of a SOTER model under a choice strategy.
+
+    ``monitor_window`` batches monitor evaluation: instead of evaluating
+    every monitor after each discrete step, the tester snapshots the
+    monitored values and flushes them through the monitors' vectorised
+    path every ``monitor_window`` steps (and at the end of the execution).
+    The recorded violations — times, messages, order — are identical to
+    the per-step path (``monitor_window=1``, the default); see
+    :meth:`repro.core.monitor.MonitorSuite.flush`.  Windowing pays off
+    when the scalar monitor checks are expensive (many obstacles, no
+    warm :class:`~repro.geometry.ClearanceField`); with a warm cache the
+    per-step path is already cheap, so the default stays scalar.
+    """
 
     def __init__(
         self,
         harness_factory: Callable[[], ModelInstance],
         strategy: Optional[ChoiceStrategy] = None,
         max_permuted: int = 6,
+        monitor_window: int = 1,
     ) -> None:
+        if monitor_window < 1:
+            raise ValueError("monitor_window must be at least 1")
         self.harness_factory = harness_factory
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         self.max_permuted = max_permuted
+        self.monitor_window = monitor_window
 
     # ------------------------------------------------------------------ #
     # single execution
@@ -124,6 +140,7 @@ class SystematicTester:
         self._bind_strategy(harness)
         engine = SemanticsEngine(harness.system)
         steps = 0
+        windowed = self.monitor_window > 1
         violations: List[Violation] = []
         while True:
             next_time = engine.peek_next_time()
@@ -135,8 +152,15 @@ class SystematicTester:
             engine.current_time = max(engine.current_time, next_time)
             engine.stats.time_progress_steps += 1
             engine.fire_due_nodes(due, order=scheduler.order(due))
-            violations.extend(harness.monitors.check_all(engine))
+            if windowed:
+                harness.monitors.capture_all(engine)
+                if harness.monitors.pending_samples >= self.monitor_window:
+                    violations.extend(harness.monitors.flush())
+            else:
+                violations.extend(harness.monitors.check_all(engine))
             steps += 1
+        if windowed:
+            violations.extend(harness.monitors.flush())
         return ExecutionRecord(
             index=index,
             steps=steps,
@@ -150,7 +174,12 @@ class SystematicTester:
     def replay(self, trail: Sequence[int], index: int = 0) -> ExecutionRecord:
         """Deterministically re-execute a recorded counterexample trail."""
         strategy = ReplayStrategy(trail=list(trail))
-        replayer = SystematicTester(self.harness_factory, strategy, max_permuted=self.max_permuted)
+        replayer = SystematicTester(
+            self.harness_factory,
+            strategy,
+            max_permuted=self.max_permuted,
+            monitor_window=self.monitor_window,
+        )
         strategy.begin_execution()
         return replayer.run_single(index)
 

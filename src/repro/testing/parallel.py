@@ -70,6 +70,7 @@ class _RandomShard:
     indices: Tuple[int, ...]
     max_permuted: int
     stop_at_first_violation: bool
+    monitor_window: int = 1
 
 
 @dataclass(frozen=True)
@@ -82,11 +83,29 @@ class _ExhaustiveShard:
     max_executions: int
     max_permuted: int
     stop_at_first_violation: bool
+    monitor_window: int = 1
+
+
+def _warm_start(factory: HarnessFactory) -> None:
+    """Build (and discard) one model instance before the shard's real work.
+
+    Scenario builders memoise their immutable parts per process — the
+    shared world geometry and its :class:`~repro.geometry.ClearanceField`
+    (see :mod:`repro.apps.scenarios`) — so one warm build pays the
+    import/registry/geometry cost exactly once per worker instead of
+    inside the first timed execution.  Failures are deferred to the real
+    run, which reports them through the normal error channel.
+    """
+    try:
+        factory()
+    except Exception:
+        pass
 
 
 def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any) -> None:
     """Entry point of one worker process: run the shard, stream records back."""
     try:
+        _warm_start(shard.factory)
         if isinstance(shard, _RandomShard):
             _run_random_shard(worker_id, shard, result_queue, stop_event)
         else:
@@ -103,7 +122,12 @@ def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, st
         strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
         strategy.seek(index)
         strategy.begin_execution()
-        tester = SystematicTester(shard.factory, strategy, max_permuted=shard.max_permuted)
+        tester = SystematicTester(
+            shard.factory,
+            strategy,
+            max_permuted=shard.max_permuted,
+            monitor_window=shard.monitor_window,
+        )
         record = tester.run_single(index)
         record.worker = worker_id
         result_queue.put(("record", worker_id, record))
@@ -122,7 +146,12 @@ def _run_exhaustive_shard(
         strategy = ExhaustiveStrategy(
             max_depth=shard.max_depth, max_executions=shard.max_executions, prefix=prefix
         )
-        tester = SystematicTester(shard.factory, strategy, max_permuted=shard.max_permuted)
+        tester = SystematicTester(
+            shard.factory,
+            strategy,
+            max_permuted=shard.max_permuted,
+            monitor_window=shard.monitor_window,
+        )
         while strategy.has_more_executions():
             if stop_event.is_set():
                 return
@@ -200,14 +229,18 @@ class ParallelTester:
         max_permuted: int = 6,
         start_method: Optional[str] = None,
         scenario_overrides: Optional[dict] = None,
+        monitor_window: int = 1,
     ) -> None:
         if (scenario is None) == (harness_factory is None):
             raise ValueError("pass exactly one of scenario= or harness_factory=")
+        if monitor_window < 1:
+            raise ValueError("monitor_window must be at least 1")
         if scenario is not None:
             harness_factory = scenario_factory(scenario, **(scenario_overrides or {}))
         elif scenario_overrides:
             raise ValueError("scenario_overrides only applies with scenario=")
         self.harness_factory: HarnessFactory = harness_factory  # type: ignore[assignment]
+        self.monitor_window = monitor_window
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         if not isinstance(self.strategy, (RandomStrategy, ExhaustiveStrategy)):
             raise TypeError(
@@ -243,6 +276,7 @@ class ParallelTester:
                     indices=tuple(range(start, start + size)),
                     max_permuted=self.max_permuted,
                     stop_at_first_violation=stop_at_first_violation,
+                    monitor_window=self.monitor_window,
                 )
             )
             start += size
@@ -252,7 +286,12 @@ class ParallelTester:
         """Run one execution with ``prefix`` pinned; report the branching beyond it."""
         assert isinstance(self.strategy, ExhaustiveStrategy)
         strategy = ExhaustiveStrategy(max_depth=self.strategy.max_depth, prefix=prefix)
-        tester = SystematicTester(self.harness_factory, strategy, max_permuted=self.max_permuted)
+        tester = SystematicTester(
+            self.harness_factory,
+            strategy,
+            max_permuted=self.max_permuted,
+            monitor_window=self.monitor_window,
+        )
         strategy.begin_execution()
         tester.run_single(0)
         return strategy.option_counts()
@@ -299,6 +338,7 @@ class ParallelTester:
                 max_executions=self.strategy.max_executions,
                 max_permuted=self.max_permuted,
                 stop_at_first_violation=stop_at_first_violation,
+                monitor_window=self.monitor_window,
             )
             for prefix_group in assigned
         ]
@@ -445,7 +485,11 @@ class ParallelTester:
         same violation set (time, monitor, message).  Confirmations are
         recorded on the report; returns ``report.all_confirmed``.
         """
-        serial = SystematicTester(self.harness_factory, max_permuted=self.max_permuted)
+        serial = SystematicTester(
+            self.harness_factory,
+            max_permuted=self.max_permuted,
+            monitor_window=self.monitor_window,
+        )
         report.confirmations = []
         for record in report.failing:
             replayed = serial.replay(record.trail or [], index=record.index)

@@ -1,0 +1,155 @@
+"""Windowed (capture/flush) monitor evaluation must match the scalar path."""
+
+import numpy as np
+
+from repro.core import (
+    ConstantNode,
+    InvariantMonitor,
+    MonitorSuite,
+    Program,
+    SafetySpec,
+    SemanticsEngine,
+    SoterCompiler,
+    Topic,
+    TopicSafetyMonitor,
+)
+from repro.core.decision import Mode
+
+from .toy import build_toy_system
+
+
+def _engine():
+    program = Program(
+        name="p",
+        topics=[Topic("signal", float, None)],
+        nodes=[ConstantNode("n", {"other": 1}, period=0.1)],
+    )
+    return SemanticsEngine(SoterCompiler().compile(program).system)
+
+
+def _drive(engine, suite, samples, windowed, topic="signal"):
+    """Feed (time, value) samples through either monitor path."""
+    collected = []
+    for time, value in samples:
+        engine.current_time = time
+        if value is not None:
+            engine.set_input(topic, value)
+        if windowed:
+            suite.capture_all(engine)
+        else:
+            collected.extend(suite.check_all(engine))
+    if windowed:
+        collected.extend(suite.flush())
+    return collected
+
+
+SAMPLES = [
+    (0.0, 5.0),
+    (0.1, -1.0),
+    (0.2, 3.0),
+    (0.3, -2.0),
+    (0.4, -3.0),
+    (0.5, 1.0),
+]
+
+
+def _keys(violations):
+    return [(v.time, v.monitor, v.message, v.state) for v in violations]
+
+
+class TestTopicMonitorWindow:
+    def _suites(self, batch_predicate):
+        def build():
+            return MonitorSuite(
+                [
+                    TopicSafetyMonitor(
+                        "m",
+                        "signal",
+                        SafetySpec("pos", lambda x: x > 0, batch_predicate=batch_predicate),
+                    )
+                ]
+            )
+
+        return build(), build()
+
+    def test_window_matches_scalar_without_batch_predicate(self):
+        scalar_suite, windowed_suite = self._suites(None)
+        scalar = _drive(_engine(), scalar_suite, SAMPLES, windowed=False)
+        windowed = _drive(_engine(), windowed_suite, SAMPLES, windowed=True)
+        assert _keys(scalar) == _keys(windowed)
+        assert _keys(scalar_suite.violations) == _keys(windowed_suite.violations)
+
+    def test_window_matches_scalar_with_batch_predicate(self):
+        batch = lambda values: np.asarray(values) > 0
+        scalar_suite, windowed_suite = self._suites(batch)
+        scalar = _drive(_engine(), scalar_suite, SAMPLES, windowed=False)
+        windowed = _drive(_engine(), windowed_suite, SAMPLES, windowed=True)
+        assert _keys(scalar) == _keys(windowed)
+        assert len(windowed) == 3
+
+    def test_missing_values_ignored_consistently(self):
+        samples = [(0.0, None), (0.1, -1.0), (0.2, None)]
+        scalar_suite, windowed_suite = self._suites(None)
+        engine = _engine()
+        scalar = _drive(engine, scalar_suite, samples, windowed=False)
+        windowed = _drive(_engine(), windowed_suite, samples, windowed=True)
+        # The engine keeps the last published value, so only sample 2 differs
+        # in value; both paths must agree regardless.
+        assert _keys(scalar)[:1] == _keys(windowed)[:1]
+        assert len(scalar) == len(windowed)
+
+    def test_monitor_without_capture_falls_back(self):
+        class LegacyMonitor:
+            """A third-party monitor implementing only the scalar protocol."""
+
+            def __init__(self):
+                self.name = "legacy"
+                self.result = type("R", (), {"violations": [], "ok": True, "count": 0})()
+                self.checked = 0
+
+            def check(self, engine):
+                self.checked += 1
+                return None
+
+        legacy = LegacyMonitor()
+        suite = MonitorSuite([legacy])
+        engine = _engine()
+        suite.capture_all(engine)
+        suite.capture_all(engine)
+        assert legacy.checked == 2  # checked immediately at capture time
+        assert suite.flush() == []
+
+
+class TestInvariantMonitorWindow:
+    def _run(self, windowed, batch_hook):
+        system = build_toy_system(seed=3)
+        module = system.modules[0]
+
+        def may_leave(x, horizon):
+            return x + horizon >= 9.0
+
+        def may_leave_batch(states, horizon):
+            return np.asarray(states) + horizon >= 9.0
+
+        monitor = InvariantMonitor(
+            module=module,
+            may_leave_within=may_leave,
+            may_leave_within_batch=may_leave_batch if batch_hook else None,
+        )
+        suite = MonitorSuite([monitor])
+        engine = SemanticsEngine(system)
+        # Drive the state topic through safe and unsafe values while the
+        # decision module sits in AC mode, then force SC mode.
+        samples = [(0.05 * i, 2.0 + i * 1.2) for i in range(8)]
+        violations = _drive(engine, suite, samples, windowed=windowed, topic="state")
+        module.decision.mode = Mode.SC
+        more = _drive(engine, suite, [(1.0, 9.5), (1.1, 2.0)], windowed=windowed, topic="state")
+        return violations + more, monitor
+
+    def test_windowed_matches_scalar(self):
+        scalar, scalar_monitor = self._run(windowed=False, batch_hook=False)
+        windowed, windowed_monitor = self._run(windowed=True, batch_hook=False)
+        batched, batched_monitor = self._run(windowed=True, batch_hook=True)
+        assert _keys(scalar) == _keys(windowed) == _keys(batched)
+        assert scalar_monitor.samples == windowed_monitor.samples == batched_monitor.samples
+        assert scalar  # the drive must actually produce violations

@@ -1,0 +1,179 @@
+"""Property-style equivalence tests for the batched safety-query plane.
+
+The batching contract (see :mod:`repro.geometry.shapes`) promises that
+every ``*_batch`` query evaluates the same floating-point expressions as
+its scalar counterpart, so answers must match *bit-for-bit* — not just
+within a tolerance.  These tests check that on randomized workspaces, and
+check the conservativeness invariant of the :class:`ClearanceField` memo.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    AABB,
+    ClearanceField,
+    OccupancyGrid,
+    Vec3,
+    empty_workspace,
+    grid_city_workspace,
+    points_as_array,
+)
+
+
+def random_workspace(seed: int, obstacles: int = 6):
+    rng = random.Random(seed)
+    workspace = empty_workspace(side=30.0, ceiling=10.0, name=f"random-{seed}")
+    for _ in range(obstacles):
+        workspace.add_obstacle(
+            AABB.from_footprint(
+                x=rng.uniform(0.0, 24.0),
+                y=rng.uniform(0.0, 24.0),
+                width=rng.uniform(0.5, 5.0),
+                depth=rng.uniform(0.5, 5.0),
+                height=rng.uniform(2.0, 9.0),
+            )
+        )
+    return workspace
+
+
+def random_points(workspace, seed: int, count: int = 400):
+    rng = random.Random(seed + 1)
+    # Include points inside obstacles, outside the bounds, and on the floor.
+    pts = [workspace.bounds.random_point(rng) for _ in range(count)]
+    pts += [Vec3(-1.0, 5.0, 2.0), Vec3(50.0, 50.0, 50.0), Vec3(3.0, 3.0, 0.0)]
+    for obstacle in workspace.obstacles[:3]:
+        pts.append(obstacle.center)
+    return pts
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+class TestBatchScalarBitEquality:
+    def test_clearance_batch_matches_scalar(self, seed):
+        workspace = random_workspace(seed)
+        pts = random_points(workspace, seed)
+        scalar = np.array([workspace.clearance(p) for p in pts])
+        batch = workspace.clearance_batch(points_as_array(pts))
+        assert (scalar == batch).all(), "clearance_batch must be bit-identical"
+
+    def test_membership_batches_match_scalar(self, seed):
+        workspace = random_workspace(seed)
+        pts = random_points(workspace, seed)
+        arr = points_as_array(pts)
+        for margin in (0.0, 0.35):
+            assert (
+                np.array([workspace.in_bounds(p, margin=margin) for p in pts])
+                == workspace.in_bounds_batch(arr, margin=margin)
+            ).all()
+            assert (
+                np.array([workspace.in_obstacle(p, margin=margin) for p in pts])
+                == workspace.in_obstacle_batch(arr, margin=margin)
+            ).all()
+            assert (
+                np.array([workspace.is_free(p, margin=margin) for p in pts])
+                == workspace.is_free_batch(arr, margin=margin)
+            ).all()
+
+    def test_segment_batch_matches_scalar(self, seed):
+        workspace = random_workspace(seed)
+        pts = random_points(workspace, seed, count=120)
+        arr = points_as_array(pts)
+        for margin in (0.0, 0.4):
+            scalar = np.array(
+                [
+                    workspace.segment_is_free(a, b, margin=margin)
+                    for a, b in zip(pts[:-1], pts[1:])
+                ]
+            )
+            batch = workspace.segments_free_batch(arr[:-1], arr[1:], margin=margin)
+            assert (scalar == batch).all()
+
+    def test_occupancy_build_matches_scalar(self, seed):
+        workspace = random_workspace(seed)
+        batch = OccupancyGrid.from_workspace(workspace, resolution=0.5, inflate=0.3)
+        scalar = OccupancyGrid._from_workspace_scalar(workspace, resolution=0.5, inflate=0.3)
+        assert batch.shape == scalar.shape
+        assert (batch.occupied == scalar.occupied).all(), (
+            "vectorised rasterisation must mark exactly the scalar loop's cells"
+        )
+
+    def test_distance_transform_matches_dijkstra(self, seed):
+        workspace = random_workspace(seed)
+        grid = OccupancyGrid.from_workspace(workspace, resolution=0.5)
+        chamfer = grid.distance_to_occupied()
+        dijkstra = grid._distance_to_occupied_dijkstra()
+        # Same metric, different summation order: equal up to fp rounding.
+        assert np.allclose(chamfer, dijkstra, rtol=1e-9, atol=1e-9)
+
+    def test_clearance_field_is_conservative(self, seed):
+        workspace = random_workspace(seed)
+        field = ClearanceField(workspace, resolution=0.5)
+        for p in random_points(workspace, seed, count=200):
+            assert field.lower_bound(p) <= workspace.clearance(p), (
+                "cached bounds must never exceed the true clearance"
+            )
+
+    def test_clearance_field_threshold_queries_are_exact(self, seed):
+        workspace = random_workspace(seed)
+        field = ClearanceField(workspace, resolution=0.5)
+        rng = random.Random(seed + 2)
+        for p in random_points(workspace, seed, count=200):
+            threshold = rng.uniform(-1.0, 8.0)
+            clearance = workspace.clearance(p)
+            assert field.exceeds(p, threshold) == (clearance > threshold)
+            assert field.exceeds(p, threshold, strict=False) == (clearance >= threshold)
+            assert field.at_most(p, threshold) == (clearance <= threshold)
+
+    def test_lower_bound_batch_matches_scalar(self, seed):
+        workspace = random_workspace(seed)
+        pts = random_points(workspace, seed, count=150)
+        batched_field = ClearanceField(workspace, resolution=0.5)
+        scalar_field = ClearanceField(workspace, resolution=0.5)
+        batch = batched_field.lower_bound_batch(points_as_array(pts))
+        scalar = np.array([scalar_field.lower_bound(p) for p in pts])
+        assert (batch == scalar).all()
+
+
+class TestClearanceFieldBookkeeping:
+    def test_decisive_queries_skip_exact_computation(self):
+        workspace = grid_city_workspace()
+        field = ClearanceField(workspace, resolution=0.5)
+        center = Vec3(25.0, 3.0, 2.0)  # mid-street, metres of clearance
+        assert field.exceeds(center, 0.05)
+        assert field.stats.decisive == 1
+        assert field.stats.exact_fallbacks == 0
+        # Right next to a building the bound cannot decide: exact fallback.
+        wall = workspace.obstacles[0].center.with_z(2.0)
+        field.exceeds(wall, 0.05)
+        assert field.stats.exact_fallbacks == 1
+
+    def test_workspace_caches_and_invalidates_field(self):
+        workspace = empty_workspace(side=10.0)
+        field = workspace.clearance_field()
+        assert workspace.clearance_field() is field
+        workspace.add_obstacle(AABB.from_footprint(4.0, 4.0, 1.0, 1.0, 5.0))
+        rebuilt = workspace.clearance_field()
+        assert rebuilt is not field
+        point = Vec3(4.2, 4.2, 2.0)
+        assert rebuilt.at_most(point, 0.0) == (workspace.clearance(point) <= 0.0)
+
+    def test_field_resolution_validated(self):
+        with pytest.raises(ValueError):
+            ClearanceField(empty_workspace(), resolution=0.0)
+
+    def test_stale_field_reference_stays_sound_after_add_obstacle(self):
+        # Callers capture the field into closures at build time; a later
+        # add_obstacle must invalidate those cached bounds too, or the
+        # monitors would silently declare points inside the new obstacle
+        # clear.
+        workspace = empty_workspace(side=10.0)
+        field = workspace.clearance_field()
+        inside = Vec3(5.0, 5.0, 2.0)
+        assert field.exceeds(inside, 0.0)  # warms the cell, clearly free
+        workspace.add_obstacle(AABB.from_footprint(4.0, 4.0, 2.0, 2.0, 5.0))
+        assert field.lower_bound(inside) <= workspace.clearance(inside)
+        assert field.exceeds(inside, 0.0) == (workspace.clearance(inside) > 0.0)
+        assert not field.exceeds(inside, 0.0)  # it is inside the new box

@@ -1,0 +1,68 @@
+"""The batched plan validator must agree with a per-segment scalar check."""
+
+import random
+
+from repro.geometry import AABB, Vec3, empty_workspace
+from repro.planning import Plan
+from repro.planning.validation import PlanValidator
+
+
+def _workspace(seed):
+    rng = random.Random(seed)
+    workspace = empty_workspace(side=25.0, ceiling=10.0, name=f"val-{seed}")
+    for _ in range(5):
+        workspace.add_obstacle(
+            AABB.from_footprint(
+                rng.uniform(2.0, 20.0), rng.uniform(2.0, 20.0),
+                rng.uniform(1.0, 4.0), rng.uniform(1.0, 4.0), rng.uniform(3.0, 9.0),
+            )
+        )
+    return workspace
+
+
+def _random_plan(workspace, rng, waypoints):
+    pts = tuple(workspace.bounds.random_point(rng) for _ in range(waypoints))
+    return Plan(waypoints=pts, goal=pts[-1], planner="random")
+
+
+def _scalar_reference(validator, plan):
+    """The pre-batching per-segment loop, re-implemented as the oracle."""
+    waypoints = plan.waypoints
+    for a, b in zip(waypoints[:-1], waypoints[1:]):
+        if not validator.workspace.segment_is_free(a, b, margin=validator.clearance):
+            return False, (a, b)
+    return True, None
+
+
+class TestBatchedValidation:
+    def test_random_plans_match_scalar_loop(self):
+        for seed in range(4):
+            workspace = _workspace(seed)
+            validator = PlanValidator(workspace, clearance=0.5)
+            rng = random.Random(seed + 10)
+            for _ in range(60):
+                plan = _random_plan(workspace, rng, waypoints=rng.randint(2, 8))
+                expected_valid, expected_segment = _scalar_reference(validator, plan)
+                result = validator.validate(plan)
+                assert result.valid == expected_valid
+                if not expected_valid:
+                    assert result.offending_segment == expected_segment
+
+    def test_none_and_single_waypoint_paths_unchanged(self):
+        workspace = _workspace(0)
+        validator = PlanValidator(workspace, clearance=0.5)
+        assert not validator.validate(None).valid
+        free = Plan(waypoints=(Vec3(1.0, 1.0, 2.0),), goal=Vec3(1.0, 1.0, 2.0), planner="p")
+        assert validator.validate(free).valid == workspace.is_free(
+            free.waypoints[0], margin=0.5
+        )
+
+    def test_first_offending_segment_reported(self):
+        workspace = empty_workspace(side=20.0, name="one-pillar")
+        workspace.add_obstacle(AABB.from_footprint(8.0, 8.0, 4.0, 4.0, 8.0))
+        validator = PlanValidator(workspace, clearance=0.2)
+        a, b, c = Vec3(1.0, 1.0, 2.0), Vec3(18.0, 18.0, 2.0), Vec3(1.0, 18.0, 2.0)
+        plan = Plan(waypoints=(a, b, c), goal=c, planner="p")
+        result = validator.validate(plan)
+        assert not result.valid
+        assert result.offending_segment == (a, b)  # the diagonal through the pillar

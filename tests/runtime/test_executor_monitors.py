@@ -1,0 +1,70 @@
+"""Executor monitor paths: WallClock monitors and windowed SimulatedTime."""
+
+import pytest
+
+from repro.core import ConstantNode, Program, SafetySpec, SoterCompiler, Topic
+from repro.core.monitor import MonitorSuite, TopicSafetyMonitor
+from repro.runtime import SimulatedTimeExecutor, WallClockExecutor
+
+
+def _bad_tick_system(period=0.05):
+    # A node whose published value violates the spec on every sample.
+    node = ConstantNode("ticker", {"ticks": -1}, period=period)
+    program = Program(name="count", topics=[Topic("ticks", int, None)], nodes=[node])
+    return SoterCompiler().compile(program).system
+
+
+def _suite():
+    return MonitorSuite(
+        [TopicSafetyMonitor("positive", "ticks", SafetySpec("pos", lambda x: x > 0))]
+    )
+
+
+class TestWallClockExecutorMonitors:
+    def test_monitors_are_checked_on_schedule(self):
+        monitors = _suite()
+        executor = WallClockExecutor(
+            _bad_tick_system(),
+            time_scale=100.0,
+            monitors=monitors,
+            monitor_period=0.1,
+        )
+        result = executor.run(0.5)
+        assert result.monitors is monitors
+        assert not result.safe
+        # One check per monitor period that had a published value by then.
+        assert 3 <= len(monitors.violations) <= 6
+        times = [v.time for v in monitors.violations]
+        assert times == sorted(times)
+
+    def test_runs_without_monitors_as_before(self):
+        result = WallClockExecutor(_bad_tick_system(), time_scale=100.0).run(0.2)
+        assert result.safe  # no monitors -> nothing to violate
+        assert result.end_time > 0.0
+
+    def test_monitor_period_validated(self):
+        with pytest.raises(ValueError):
+            WallClockExecutor(_bad_tick_system(), monitor_period=0.0)
+
+
+class TestSimulatedTimeExecutorBatching:
+    def _violations(self, monitor_batch):
+        monitors = _suite()
+        executor = SimulatedTimeExecutor(
+            _bad_tick_system(),
+            monitors=monitors,
+            monitor_period=0.05,
+            monitor_batch=monitor_batch,
+        )
+        executor.run(1.0)
+        return [(v.time, v.monitor, v.message) for v in monitors.violations]
+
+    def test_batched_monitors_match_scalar(self):
+        scalar = self._violations(monitor_batch=1)
+        assert scalar  # the spec must actually fire
+        for window in (4, 64):
+            assert self._violations(monitor_batch=window) == scalar
+
+    def test_monitor_batch_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedTimeExecutor(_bad_tick_system(), monitor_batch=0)

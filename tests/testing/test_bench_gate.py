@@ -1,0 +1,48 @@
+"""Unit tests for the benchmark regression gate in benchmarks/conftest.py."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("bench_conftest", _BENCH_DIR / "conftest.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "REFERENCE_PATH", tmp_path / "benchmark_reference.json")
+    monkeypatch.delenv("BENCH_UPDATE_REFERENCE", raising=False)
+    return module
+
+
+class TestBenchmarkGate:
+    def test_first_measurement_becomes_reference(self, gate):
+        gate.gate_benchmark("suite/case", 0.5)
+        stored = json.loads(gate.REFERENCE_PATH.read_text())
+        assert stored == {"suite/case": 0.5}
+
+    def test_within_budget_passes(self, gate):
+        gate.gate_benchmark("suite/case", 0.5)
+        gate.gate_benchmark("suite/case", 0.9)  # < 2x: fine
+        assert json.loads(gate.REFERENCE_PATH.read_text()) == {"suite/case": 0.5}
+
+    def test_regression_fails_the_run(self, gate):
+        gate.gate_benchmark("suite/case", 0.5)
+        with pytest.raises(pytest.fail.Exception, match="regressed"):
+            gate.gate_benchmark("suite/case", 1.1)  # > 2x slowdown
+
+    def test_update_env_rewrites_reference(self, gate, monkeypatch):
+        gate.gate_benchmark("suite/case", 0.5)
+        monkeypatch.setenv("BENCH_UPDATE_REFERENCE", "1")
+        gate.gate_benchmark("suite/case", 1.4)
+        assert json.loads(gate.REFERENCE_PATH.read_text()) == {"suite/case": 1.4}
+
+    def test_repo_reference_file_exists_and_is_valid(self):
+        reference = _BENCH_DIR.parent / "benchmark_reference.json"
+        assert reference.exists(), "the committed reference numbers must ship with the repo"
+        stored = json.loads(reference.read_text())
+        assert stored and all(isinstance(v, float) for v in stored.values())

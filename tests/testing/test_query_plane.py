@@ -1,0 +1,95 @@
+"""End-to-end equivalence of the batched/cached safety-query plane.
+
+The tentpole guarantee of the query-plane refactor: routing the stack's
+clearance checks through the ClearanceField memo and evaluating monitors
+in vectorised windows changes *nothing* about what the systematic tester
+observes — same violations, same times, same trails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.scenarios import _shared_world
+from repro.testing import RandomStrategy, SystematicTester, scenario_factory
+
+
+def _report_key(report):
+    return [
+        (
+            record.index,
+            record.steps,
+            tuple((v.time, v.monitor, v.message) for v in record.violations),
+            tuple(record.trail or ()),
+        )
+        for record in report.executions
+    ]
+
+
+def _sweep(executions=40, *, use_query_cache=True, monitor_window=64, unsafe=True, seed=11):
+    factory = scenario_factory(
+        "drone-surveillance",
+        horizon=2.0,
+        include_unsafe_position=unsafe,
+        use_query_cache=use_query_cache,
+    )
+    tester = SystematicTester(
+        factory,
+        strategy=RandomStrategy(seed=seed, max_executions=executions),
+        monitor_window=monitor_window,
+    )
+    return tester.explore()
+
+
+class TestQueryPlaneEquivalence:
+    def test_cached_plane_reproduces_uncached_reports(self):
+        cached = _sweep(use_query_cache=True)
+        uncached = _sweep(use_query_cache=False)
+        assert _report_key(cached) == _report_key(uncached)
+        assert not cached.ok  # the unsafe variant must produce violations
+
+    def test_windowed_monitors_reproduce_per_step_reports(self):
+        windowed = _sweep(monitor_window=64)
+        per_step = _sweep(monitor_window=1)
+        assert _report_key(windowed) == _report_key(per_step)
+
+    def test_geofence_scenario_unaffected(self):
+        factory = scenario_factory("multi-obstacle-geofence", include_breach=True)
+        reports = [
+            SystematicTester(
+                factory,
+                strategy=RandomStrategy(seed=5, max_executions=24),
+                monitor_window=window,
+            ).explore()
+            for window in (1, 64)
+        ]
+        assert _report_key(reports[0]) == _report_key(reports[1])
+        assert not reports[0].ok
+
+    def test_monitor_window_validated(self):
+        with pytest.raises(ValueError):
+            SystematicTester(lambda: None, monitor_window=0)
+
+
+class TestWarmOracle:
+    def test_scenario_builders_share_one_world(self):
+        factory = scenario_factory("drone-surveillance", horizon=1.0)
+        first = factory()
+        second = factory()
+        assert first is not second  # fresh model per execution...
+        world = _shared_world()
+        assert world is _shared_world()  # ...but one immutable world per process
+
+    def test_clearance_field_cache_warms_across_executions(self):
+        world = _shared_world()
+        field = world.workspace.clearance_field()
+        _sweep(executions=4, unsafe=False)
+        assert len(field) > 0, "explored executions must warm the shared memo"
+        before = len(field)
+        _sweep(executions=4, unsafe=False)
+        # Re-running the same workload hits the warmed cells again.
+        assert len(field) == before
+
+    def test_disabled_cache_builds_private_world(self):
+        factory = scenario_factory("drone-surveillance", horizon=1.0, use_query_cache=False)
+        instance = factory()
+        assert instance.system is not None
