@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from ..control import MotionPrimitiveNode, SafeWaypointTracker, WaypointTracker
 from ..core.module import ModuleCertificate, RTAModuleSpec
@@ -32,6 +34,7 @@ from ..reachability import (
     SampledControllerReachability,
     StateSampler,
     WorstCaseReachability,
+    states_as_arrays,
     synthesize_safe_tracker,
 )
 from ..simulation.drone import BatteryStatus
@@ -259,6 +262,16 @@ class DroneClosedLoopModel:
     def sample_safer_state(self) -> DroneState:
         return self._safer_sampler.sample_satisfying(self.module.spec.safer_spec.contains, 1)[0]
 
+    def sample_safe_state_batch(self, count: int) -> List[DroneState]:
+        """``count`` φ_safe states, drawn from the same stream as repeated
+        :meth:`sample_safe_state` calls (the batched checker relies on
+        sample-for-sample agreement with the scalar path)."""
+        return self._safe_sampler.sample_satisfying(self.module.spec.safe_spec.contains, count)
+
+    def sample_safer_state_batch(self, count: int) -> List[DroneState]:
+        """``count`` φ_safer states; stream-identical to the scalar sampler."""
+        return self._safer_sampler.sample_satisfying(self.module.spec.safer_spec.contains, count)
+
     # -- closed-loop rollouts -------------------------------------------- #
     def rollout_under_safe_controller(self, state: DroneState, duration: float) -> Sequence[DroneState]:
         target = state.position
@@ -268,9 +281,89 @@ class DroneClosedLoopModel:
 
         return self.rollouts.rollout(state, controller, duration)
 
+    def rollout_under_safe_controller_batch(
+        self, states: Sequence[DroneState], duration: float
+    ) -> List[List[DroneState]]:
+        """All N SC rollouts at once through the vectorised query plane.
+
+        Integrates one ``(N, 6)`` structure-of-arrays state matrix through
+        :meth:`SafeWaypointTracker.command_batch` and the dynamics model's
+        ``step_batch`` — both bit-identical to their scalar laws — so the
+        returned per-sample trajectories equal the scalar
+        :meth:`rollout_under_safe_controller` state for state.
+        """
+        tracker = self.module.safe_tracker
+        targets = np.array([s.position.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+
+        def controller_batch(positions: np.ndarray, velocities: np.ndarray, now: float) -> np.ndarray:
+            return tracker.command_batch(positions, velocities, targets, now)
+
+        position_history, velocity_history = self.rollouts.rollout_batch(
+            states, controller_batch, duration
+        )
+        # One C-level conversion to Python floats, then plain constructor
+        # calls — materialising N×T states this way is ~3x cheaper than
+        # indexing numpy scalars row by row.
+        positions = position_history.transpose(1, 0, 2).tolist()  # (N, T+1, 3)
+        velocities = velocity_history.transpose(1, 0, 2).tolist()
+        return [
+            [
+                DroneState(position=Vec3(px, py, pz), velocity=Vec3(vx, vy, vz))
+                for (px, py, pz), (vx, vy, vz) in zip(sample_positions, sample_velocities)
+            ]
+            for sample_positions, sample_velocities in zip(positions, velocities)
+        ]
+
+    def _rollout_positions_batch(
+        self, states: Sequence[DroneState], duration: float
+    ) -> np.ndarray:
+        """Roll all N samples out and return the raw ``(T+1, N, 3)`` positions."""
+        tracker = self.module.safe_tracker
+        targets = np.array([s.position.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+
+        def controller_batch(positions: np.ndarray, velocities: np.ndarray, now: float) -> np.ndarray:
+            return tracker.command_batch(positions, velocities, targets, now)
+
+        position_history, _ = self.rollouts.rollout_batch(states, controller_batch, duration)
+        return position_history
+
+    def rollout_safe_flags_batch(self, count: int, duration: float):
+        """Draw ``count`` φ_safe starts, roll them out, verdict φ_safe per state.
+
+        The whole pass stays in structure-of-arrays form: one state matrix
+        through the batched SC law and dynamics, then a single
+        ``clearance_batch`` over every visited position.  The flags equal
+        mapping ``spec.safe_spec.contains`` over the scalar rollouts —
+        both reduce to the same ``clearance > collision_margin``
+        comparison on the same (bit-identical) trajectories.
+        """
+        starts = self.sample_safe_state_batch(count)
+        positions = self._rollout_positions_batch(starts, duration)
+        steps, samples, _ = positions.shape
+        clearances = self.workspace.clearance_batch(positions.reshape(-1, 3))
+        flags = (clearances > self.module.config.collision_margin).reshape(steps, samples)
+        return starts, flags.T  # (N, T+1)
+
+    def rollout_safer_flags_batch(self, count: int, duration: float):
+        """Like :meth:`rollout_safe_flags_batch` but with φ_safer verdicts
+        (clearance above the module's φ_safer threshold) — the P2b plane."""
+        starts = self.sample_safe_state_batch(count)
+        positions = self._rollout_positions_batch(starts, duration)
+        steps, samples, _ = positions.shape
+        clearances = self.workspace.clearance_batch(positions.reshape(-1, 3))
+        flags = (clearances > self.module.safer_clearance).reshape(steps, samples)
+        return starts, flags.T
+
     def worst_case_stays_safe(self, state: DroneState, horizon: float) -> bool:
         return not self.reach.may_leave_safe(
             state, self.workspace, horizon, margin=self.module.config.collision_margin
+        )
+
+    def worst_case_stays_safe_batch(self, states: Sequence[DroneState], horizon: float):
+        """Vectorised :meth:`worst_case_stays_safe` — one reachability query for N states."""
+        positions, speeds = states_as_arrays(states)
+        return ~self.reach.may_leave_safe_batch(
+            positions, speeds, self.workspace, horizon, margin=self.module.config.collision_margin
         )
 
 

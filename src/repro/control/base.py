@@ -12,6 +12,8 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
+import numpy as np
+
 from ..dynamics import ControlCommand, DroneState
 from ..geometry import Vec3
 
@@ -36,6 +38,34 @@ class WaypointTracker(abc.ABC):
 
     def reset(self) -> None:
         """Clear any internal state between missions (default: nothing to clear)."""
+
+    def command_batch(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        targets: np.ndarray,
+        now: float,
+    ) -> np.ndarray:
+        """Commanded accelerations for N (state, target) pairs at once.
+
+        ``positions``/``velocities``/``targets`` are ``(N, 3)`` arrays;
+        returns the ``(N, 3)`` commanded accelerations (yaw rates are not
+        batched — every tracker in the case study leaves them at zero).
+        Row *i* must equal ``command(state_i, target_i, now)``; the default
+        implementation guarantees that by looping over the scalar law,
+        while vectorised overrides (the certified safe tracker) evaluate
+        the same expressions over the whole batch.  The batched
+        well-formedness rollouts drive whole sample sets through this API.
+        """
+        positions = np.asarray(positions, dtype=float).reshape(-1, 3)
+        velocities = np.asarray(velocities, dtype=float).reshape(-1, 3)
+        targets = np.asarray(targets, dtype=float).reshape(-1, 3)
+        accelerations = np.empty_like(positions)
+        for i in range(positions.shape[0]):
+            state = DroneState(position=Vec3(*positions[i]), velocity=Vec3(*velocities[i]))
+            command = self.command(state, Vec3(*targets[i]), now)
+            accelerations[i] = command.acceleration.as_tuple()
+        return accelerations
 
 
 class HoverController(WaypointTracker):

@@ -11,6 +11,7 @@ from .errors import (
     TopicError,
     WellFormednessError,
 )
+from .resettable import Resettable, is_resettable, reset_all
 from .topics import Topic, TopicBoard, TopicRegistry
 from .node import ConstantNode, FunctionNode, Node, RelayNode, validate_outputs
 from .calendar import Calendar, CalendarEntry, hyperperiod
@@ -47,6 +48,9 @@ __all__ = [
     "SoterError",
     "TopicError",
     "WellFormednessError",
+    "Resettable",
+    "is_resettable",
+    "reset_all",
     "Topic",
     "TopicBoard",
     "TopicRegistry",

@@ -40,6 +40,7 @@ class Calendar:
 
     def __init__(self, nodes: Iterable[Node]) -> None:
         self._periods: Dict[str, float] = {}
+        self._offsets: Dict[str, float] = {}
         self._nominal_next: Dict[str, float] = {}
         self._effective_next: Dict[str, float] = {}
         for node in nodes:
@@ -50,8 +51,21 @@ class Calendar:
         if node.name in self._periods:
             raise SchedulingError(f"node {node.name!r} is already scheduled")
         self._periods[node.name] = node.period
+        self._offsets[node.name] = node.offset
         self._nominal_next[node.name] = node.offset
         self._effective_next[node.name] = node.offset
+
+    def reset(self) -> None:
+        """Restore every node's schedule to its construction-time offset.
+
+        Part of the :class:`~repro.core.resettable.Resettable` protocol:
+        after a reset the calendar is indistinguishable from one freshly
+        built over the same nodes, so a reused semantics engine replays
+        time from zero without rebuilding the time-table.
+        """
+        for name, offset in self._offsets.items():
+            self._nominal_next[name] = offset
+            self._effective_next[name] = offset
 
     def __contains__(self, node_name: str) -> bool:
         return node_name in self._periods
@@ -82,6 +96,19 @@ class Calendar:
             for name, t in self._effective_next.items()
             if abs(t - time) <= _TIME_EPS
         ]
+
+    def next_due(self) -> Optional[Tuple[float, List[str]]]:
+        """The earliest effective firing time plus its FN set, in one pass.
+
+        Equivalent to ``(next_time(), due_nodes(next_time()))`` but scans
+        the schedule once — this query runs once per discrete step on the
+        exploration hot path.
+        """
+        if not self._effective_next:
+            return None
+        earliest = min(self._effective_next.values())
+        threshold = earliest + _TIME_EPS
+        return earliest, [name for name, t in self._effective_next.items() if t <= threshold]
 
     def nominal_time_of(self, node_name: str) -> float:
         """The nominal (jitter-free) time of the node's next firing."""

@@ -60,6 +60,10 @@ class MonitorResult:
     def count(self) -> int:
         return len(self.violations)
 
+    def clear(self) -> None:
+        """Forget every recorded violation (used by the reset-and-reuse path)."""
+        self.violations.clear()
+
 
 class TopicSafetyMonitor:
     """Checks a :class:`SafetySpec` against the value of a topic every sample."""
@@ -77,6 +81,11 @@ class TopicSafetyMonitor:
         self.ignore_missing = ignore_missing
         self.result = MonitorResult(name=name)
         self._pending: List[Tuple[int, float, Any]] = []
+
+    def reset(self) -> None:
+        """Forget recorded violations and pending samples (Resettable)."""
+        self.result.clear()
+        self._pending.clear()
 
     def check(self, engine: SemanticsEngine) -> Optional[Violation]:
         """Evaluate the property on the current topic value; record any violation."""
@@ -151,6 +160,12 @@ class InvariantMonitor:
         self.result = MonitorResult(name=self.name)
         self.samples = 0
         self._pending: List[Tuple[int, float, Mode, Any]] = []
+
+    def reset(self) -> None:
+        """Forget recorded violations, samples, and pending windows (Resettable)."""
+        self.result.clear()
+        self.samples = 0
+        self._pending.clear()
 
     def holds(self, mode: Mode, state: Any) -> bool:
         """Evaluate φ_Inv on a (mode, state) pair."""
@@ -235,6 +250,27 @@ class MonitorSuite:
 
     def add(self, monitor: Any) -> None:
         self.monitors.append(monitor)
+
+    def reset(self) -> None:
+        """Restore the suite (and every monitor) to its just-built state.
+
+        Part of the :class:`~repro.core.resettable.Resettable` protocol:
+        the reset-and-reuse tester calls this between executions instead
+        of constructing a fresh suite.  Monitors implementing ``reset()``
+        restore themselves; monitors without one fall back to clearing
+        their ``result`` so recorded violations never leak across
+        executions.
+        """
+        self._serial = 0
+        self._immediate.clear()
+        for monitor in self.monitors:
+            reset = getattr(monitor, "reset", None)
+            if callable(reset):
+                reset()
+                continue
+            result = getattr(monitor, "result", None)
+            if result is not None:
+                result.violations.clear()
 
     def check_all(self, engine: SemanticsEngine) -> List[Violation]:
         """Run every monitor once; returns the new violations."""

@@ -43,6 +43,9 @@ class Node(abc.ABC):
         self.name = name
         self.subscribes: Tuple[str, ...] = subscribes_t
         self.publishes: Tuple[str, ...] = publishes_t
+        # Frozen lookup set for the per-firing output validation: building
+        # a set per step would dominate the semantics engine's hot loop.
+        self.publishes_set: frozenset = frozenset(publishes_t)
         self.period = float(period)
         self.offset = float(offset)
 
@@ -163,9 +166,11 @@ class ConstantNode(Node):
 
 def validate_outputs(node: Node, outputs: Mapping[str, Any]) -> Mapping[str, Any]:
     """Check that a node only published topics it declared (Section III-A)."""
-    extra = set(outputs.keys()) - set(node.publishes)
-    if extra:
-        raise NodeError(
-            f"node {node.name!r} published undeclared topics: {sorted(extra)}"
-        )
+    declared = node.publishes_set
+    for topic in outputs:
+        if topic not in declared:
+            extra = set(outputs.keys()) - declared
+            raise NodeError(
+                f"node {node.name!r} published undeclared topics: {sorted(extra)}"
+            )
     return outputs

@@ -96,20 +96,42 @@ class SemanticsEngine:
         self.system = system
         self.scheduler: SchedulingPolicy = scheduler or _PerfectPolicy()
         self.listeners: List[EngineListener] = list(listeners)
-        self.current_time = start_time
+        self._start_time = start_time
         self.board = TopicBoard(registry=system.topics)
         self.calendar: Calendar = system.build_calendar()
-        self.stats = EngineStatistics()
         self._nodes: Dict[str, Node] = {node.name: node for node in system.all_nodes()}
-        self._dm_for: Dict[str, DecisionModule] = {}
+        self._dm_for: Dict[str, DecisionModule] = {
+            module.decision.name: module.decision for module in system.modules
+        }
+        self.output_enabled: Dict[str, bool] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the engine to its construction-time configuration.
+
+        Part of the :class:`~repro.core.resettable.Resettable` protocol and
+        the heart of the reset-and-reuse exploration hot path: instead of
+        rebuilding system + board + calendar + engine per execution, a
+        reused engine rewinds them in place.  After a reset the engine is
+        observably identical to a freshly constructed one over the same
+        system — time at ``start_time``, topics at their defaults, the
+        calendar at every node's offset, statistics zeroed, the
+        output-enable map ``OE`` back to boot state (every module in SC
+        mode), and every node's local state ``L`` re-initialised.
+        Listeners and the scheduling policy are kept (they are engine
+        configuration, not execution state).
+        """
+        self.current_time = self._start_time
+        self.board.reset()
+        self.calendar.reset()
+        self.stats = EngineStatistics()
         # Output-enable map OE: SC nodes start enabled, AC nodes disabled
         # (every module boots in SC mode), everything else always enabled.
-        self.output_enabled: Dict[str, bool] = {}
-        for module in system.modules:
-            self._dm_for[module.decision.name] = module.decision
+        self.output_enabled.clear()
+        for module in self.system.modules:
             self.output_enabled[module.spec.advanced.name] = False
             self.output_enabled[module.spec.safe.name] = True
-        for node in system.all_nodes():
+        for node in self.system.all_nodes():
             node.reset()
 
     # ------------------------------------------------------------------ #
@@ -157,19 +179,65 @@ class SemanticsEngine:
     def fire_due_nodes(self, due: Sequence[str], order: Optional[Sequence[str]] = None) -> List[str]:
         """Fire the due nodes (DM-STEP / AC-OR-SC-STEP) in the given order."""
         ordering = list(order) if order is not None else list(due)
-        if set(ordering) != set(due):
+        if ordering != list(due) and set(ordering) != set(due):
             raise SimulationError("firing order must be a permutation of the due nodes")
+        return self._fire_ordered(ordering)
+
+    def _fire_ordered(self, ordering: Sequence[str]) -> List[str]:
+        """Fire nodes in a pre-validated order (the engine-internal hot loop).
+
+        Callers must guarantee ``ordering`` is a permutation of the due
+        set — the systematic tester's scheduler produces one by
+        construction, which lets the per-step permutation check be skipped.
+        Behaviour is identical to :meth:`fire_due_nodes`; the body hoists
+        the per-firing attribute lookups because this loop executes once
+        per node firing across millions of explored executions.
+        """
+        nodes = self._nodes
+        board = self.board
+        calendar = self.calendar
+        scheduler = self.scheduler
+        perfect = type(scheduler) is _PerfectPolicy
+        stats = self.stats
+        listeners = self.listeners
+        output_enabled = self.output_enabled
+        now = self.current_time
+        board_values = board.values
         fired: List[str] = []
         for name in ordering:
-            node = self._nodes[name]
-            nominal = self.calendar.nominal_time_of(name)
-            if self.scheduler.drops_execution(node, nominal):
-                self.stats.dropped_firings += 1
-                self._reschedule(node)
-                continue
-            self._fire(node)
+            node = nodes[name]
+            if not perfect:
+                nominal = calendar.nominal_time_of(name)
+                if scheduler.drops_execution(node, nominal):
+                    stats.dropped_firings += 1
+                    self._reschedule(node)
+                    continue
+            # -- the read → step → publish body of _fire, inlined -------- #
+            inputs = {topic: board_values.get(topic) for topic in node.subscribes}
+            outputs = node.step(now, inputs)
+            if outputs:
+                validate_outputs(node, outputs)
+            else:
+                outputs = {}
+            stats.node_firings += 1
+            if isinstance(node, DecisionModule):
+                self._apply_decision(node)
+                enabled = True
+            else:
+                enabled = output_enabled.get(name, True)
+                if enabled:
+                    if outputs:
+                        board.publish_many(outputs)
+                elif outputs:
+                    stats.suppressed_publishes += 1
+            if listeners:
+                for listener in listeners:
+                    listener.on_node_fired(now, node, outputs, enabled)
             fired.append(name)
-            self._reschedule(node)
+            if perfect:
+                calendar.reschedule(name, jitter=0.0, not_before=now)
+            else:
+                self._reschedule(node)
         return fired
 
     def _reschedule(self, node: Node) -> None:

@@ -124,6 +124,18 @@ class RTASystem:
         """The system calendar ``CS`` over all nodes."""
         return Calendar(self.all_nodes())
 
+    def reset(self) -> None:
+        """Restore every node's local state ``L`` to its initial valuation.
+
+        Part of the :class:`~repro.core.resettable.Resettable` protocol:
+        the system wiring (modules, topics, composition) is immutable, so
+        resetting a system is exactly resetting its nodes — decision
+        modules return to their initial mode, application nodes to their
+        construction-time counters and seeds.
+        """
+        for node in self.all_nodes():
+            node.reset()
+
     # ------------------------------------------------------------------ #
     # composition
     # ------------------------------------------------------------------ #

@@ -94,6 +94,24 @@ class TopicBoard:
             defaults = self.registry.defaults()
             defaults.update(self.values)
             self.values = defaults
+        self._initial_values: Dict[str, Any] = dict(self.values)
+        # Declared-topic lookup flattened to one dict access per publish
+        # (the publish path runs once per node firing on the hot loop).
+        # Aliases the registry's own mapping so later declarations stay
+        # visible.
+        self._declared: Dict[str, Topic] = (
+            self.registry._topics if self.registry is not None else {}
+        )
+
+    def reset(self) -> None:
+        """Restore the construction-time valuation (declared defaults plus
+        any initial values), dropping everything published since.
+
+        Part of the :class:`~repro.core.resettable.Resettable` protocol:
+        a reused semantics engine resets the board between executions
+        instead of building a new one.
+        """
+        self.values = dict(self._initial_values)
 
     def read(self, name: str) -> Any:
         """Current value of a topic (None if never published)."""
@@ -105,13 +123,17 @@ class TopicBoard:
 
     def publish(self, name: str, value: Any) -> None:
         """Publish ``value`` on topic ``name`` (type-checked when declared)."""
-        if self.registry is not None and name in self.registry:
-            topic = self.registry.get(name)
-            if not topic.accepts(value):
-                raise TopicError(
-                    f"value of type {type(value).__name__} is not admissible "
-                    f"for topic {name!r} (expects {topic.value_type.__name__})"
-                )
+        topic = self._declared.get(name)
+        if (
+            topic is not None
+            and value is not None
+            and topic.value_type is not object
+            and not isinstance(value, topic.value_type)
+        ):
+            raise TopicError(
+                f"value of type {type(value).__name__} is not admissible "
+                f"for topic {name!r} (expects {topic.value_type.__name__})"
+            )
         self.values[name] = value
 
     def publish_many(self, outputs: Mapping[str, Any]) -> None:

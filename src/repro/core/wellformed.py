@@ -36,6 +36,25 @@ class ClosedLoopModel(Protocol):
 
     The monitored state type is opaque to the checker; only the module's
     predicates and these hooks interpret it.
+
+    Models may additionally provide the ``*_batch`` variants below; when
+    every hook a check needs is present (and
+    :attr:`CheckerOptions.use_batch` is on), the checker routes the whole
+    falsification pass through them — N samples × T rollout steps collapse
+    into a handful of vectorised calls.  Batch hooks must agree with their
+    scalar counterparts sample for sample: ``sample_*_batch(n)`` draws the
+    same states as *n* scalar calls (same RNG stream), and batched
+    rollouts/reachability produce the same trajectories/verdicts, so
+    every check, run from the same sampler state, returns the same
+    verdict and detail on either plane.
+
+    One caveat on *sequences* of checks sharing a sampler: when a check
+    **fails**, the scalar loop stops drawing at the failing sample while
+    the batched plane has already drawn its whole chunk
+    (:attr:`CheckerOptions.batch_chunk`), so a later check continues the
+    shared RNG stream from a different position than it would under the
+    scalar plane.  Passing checks consume exactly ``samples`` draws on
+    both planes.
     """
 
     def sample_safe_state(self) -> Any:
@@ -48,7 +67,25 @@ class ClosedLoopModel(Protocol):
         """Monitored states visited when the SC alone controls the plant."""
 
     def worst_case_stays_safe(self, state: Any, horizon: float) -> bool:
-        """True if Reach(state, *, horizon) ⊆ φ_safe (sound over-approximation)."""
+        """True if Reach(state, *, horizon) ⊆ φ_safe (sound over-approximation).
+
+        Optional batch hooks (all, when present, must agree sample for
+        sample with the scalar paths above):
+
+        * ``sample_safe_state_batch(count)`` / ``sample_safer_state_batch(count)``
+          — ``count`` states from the same RNG stream as ``count`` scalar draws;
+        * ``rollout_under_safe_controller_batch(states, duration)``
+          — one trajectory (sequence of states) per start state;
+        * ``rollout_safe_flags_batch(count, duration)`` /
+          ``rollout_safer_flags_batch(count, duration)``
+          — draw ``count`` φ_safe starts, roll all of them out, and return
+          ``(starts, flags)`` where ``flags[i][t]`` is the module's
+          φ_safe / φ_safer verdict on visited state ``t`` of sample ``i``.
+          These keep the entire pass in structure-of-arrays form (no
+          per-state objects), which is the fastest plane the checker uses;
+        * ``worst_case_stays_safe_batch(states, horizon)`` — one verdict
+          per state.
+        """
 
 
 @dataclass(frozen=True)
@@ -102,18 +139,39 @@ class WellFormednessReport:
 
 @dataclass
 class CheckerOptions:
-    """Tunables for the sampling-based checks."""
+    """Tunables for the sampling-based checks.
+
+    ``use_batch`` routes P2a/P2b/P3 through the closed-loop model's
+    ``*_batch`` hooks when it provides them (see :class:`ClosedLoopModel`);
+    each check's verdict and detail are identical to the scalar loop run
+    from the same sampler state (a *failing* check consumes more sampler
+    draws on the batch plane — see the :class:`ClosedLoopModel` caveat).
+    The flag exists so the equivalence tests and benchmarks can compare
+    both planes.
+    """
 
     samples: int = 20
     p2a_horizon: float = 20.0
     p2b_max_time: float = 30.0
     trust_certificates: bool = True
+    use_batch: bool = True
+    #: The flags-plane checks process samples in chunks of this size: a
+    #: check that fails on an early sample stops after its chunk instead
+    #: of paying for every remaining rollout (the batched analogue of the
+    #: scalar loop's early exit), while passing checks still amortise the
+    #: whole pass over ``samples / batch_chunk`` vectorised calls.  The
+    #: per-step vectorisation overhead is (nearly) independent of the
+    #: chunk width, so wider chunks favour passing checks and narrower
+    #: ones favour fast falsification.
+    batch_chunk: int = 128
 
     def __post_init__(self) -> None:
         if self.samples < 1:
             raise ValueError("at least one sample is required")
         if self.p2a_horizon <= 0.0 or self.p2b_max_time <= 0.0:
             raise ValueError("check horizons must be positive")
+        if self.batch_chunk < 1:
+            raise ValueError("batch_chunk must be at least 1")
 
 
 class WellFormednessChecker:
@@ -126,6 +184,12 @@ class WellFormednessChecker:
     ) -> None:
         self.closed_loop = closed_loop
         self.options = options or CheckerOptions()
+
+    def _can_batch(self, *hooks: str) -> bool:
+        """True when batching is enabled and the model provides every hook."""
+        if not self.options.use_batch or self.closed_loop is None:
+            return False
+        return all(callable(getattr(self.closed_loop, hook, None)) for hook in hooks)
 
     # ------------------------------------------------------------------ #
     # structural checks
@@ -178,6 +242,10 @@ class WellFormednessChecker:
                 name="P2a", passed=False, evidence="missing",
                 detail="no certificate and no closed-loop model supplied",
             )
+        if self._can_batch("rollout_safe_flags_batch"):
+            return self._check_p2a_flags(spec)
+        if self._can_batch("sample_safe_state_batch", "rollout_under_safe_controller_batch"):
+            return self._check_p2a_batch(spec)
         for index in range(self.options.samples):
             start = self.closed_loop.sample_safe_state()
             visited = self.closed_loop.rollout_under_safe_controller(
@@ -194,6 +262,77 @@ class WellFormednessChecker:
             detail=f"{self.options.samples} rollouts of {self.options.p2a_horizon}s stayed in φ_safe",
         )
 
+    def _chunk_sizes(self) -> List[int]:
+        """The sample counts of each flags-plane chunk (sums to ``samples``)."""
+        remaining = self.options.samples
+        chunk = self.options.batch_chunk
+        sizes = []
+        while remaining > 0:
+            sizes.append(min(chunk, remaining))
+            remaining -= sizes[-1]
+        return sizes
+
+    def _check_p2a_flags(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2a entirely on the structure-of-arrays plane (no per-state objects).
+
+        The closed-loop model rolls each chunk of samples out as one state
+        matrix and evaluates the module's φ_safe verdicts with one
+        vectorised query; the returned flags are, by the hook's contract,
+        equal to mapping ``spec.safe_spec.contains`` over the scalar
+        rollouts, and chunking preserves the sampler stream and the
+        first-failing-sample detail.
+        """
+        assert self.closed_loop is not None
+        samples = self.options.samples
+        offset = 0
+        for size in self._chunk_sizes():
+            starts, flags = self.closed_loop.rollout_safe_flags_batch(
+                size, self.options.p2a_horizon
+            )
+            for index, sample_flags in enumerate(flags):
+                ok = sample_flags.all() if hasattr(sample_flags, "all") else all(sample_flags)
+                if not ok:
+                    return CheckResult(
+                        name="P2a", passed=False, evidence="falsification",
+                        detail=f"sample {offset + index}: SC left φ_safe from {starts[index]!r}",
+                    )
+            offset += size
+        return CheckResult(
+            name="P2a", passed=True, evidence="falsification",
+            detail=f"{samples} rollouts of {self.options.p2a_horizon}s stayed in φ_safe",
+        )
+
+    def _check_p2a_batch(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2a with all rollouts integrated and checked through the batch plane.
+
+        The sampler draws all N start states in one call (same RNG stream
+        as N scalar draws), the SC rollouts integrate one structure-of-
+        arrays state matrix, and φ_safe is evaluated over every visited
+        state with one batched predicate call — verdict and failing-sample
+        detail are identical to the scalar loop.
+        """
+        assert self.closed_loop is not None
+        samples = self.options.samples
+        starts = list(self.closed_loop.sample_safe_state_batch(samples))
+        trajectories = self.closed_loop.rollout_under_safe_controller_batch(
+            starts, self.options.p2a_horizon
+        )
+        flat = [state for visited in trajectories for state in visited]
+        verdicts = spec.safe_spec.contains_batch(flat)
+        offset = 0
+        for index, visited in enumerate(trajectories):
+            count = len(visited)
+            if not all(verdicts[offset : offset + count]):
+                return CheckResult(
+                    name="P2a", passed=False, evidence="falsification",
+                    detail=f"sample {index}: SC left φ_safe from {starts[index]!r}",
+                )
+            offset += count
+        return CheckResult(
+            name="P2a", passed=True, evidence="falsification",
+            detail=f"{samples} rollouts of {self.options.p2a_horizon}s stayed in φ_safe",
+        )
+
     def check_p2b(self, spec: RTAModuleSpec) -> CheckResult:
         """P2b: from φ_safe the SC eventually keeps the system in φ_safer for ≥ Δ."""
         if self.options.trust_certificates and spec.certificate and spec.certificate.proves_p2b:
@@ -206,6 +345,10 @@ class WellFormednessChecker:
                 name="P2b", passed=False, evidence="missing",
                 detail="no certificate and no closed-loop model supplied",
             )
+        if self._can_batch("rollout_safer_flags_batch"):
+            return self._check_p2b_flags(spec)
+        if self._can_batch("sample_safe_state_batch", "rollout_under_safe_controller_batch"):
+            return self._check_p2b_batch(spec)
         for index in range(self.options.samples):
             start = self.closed_loop.sample_safe_state()
             visited = list(
@@ -229,6 +372,65 @@ class WellFormednessChecker:
             detail=f"{self.options.samples} rollouts reached φ_safer and stayed ≥ Δ",
         )
 
+    def _check_p2b_flags(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2b entirely on the structure-of-arrays plane (no per-state objects)."""
+        assert self.closed_loop is not None
+        samples = self.options.samples
+        offset = 0
+        for size in self._chunk_sizes():
+            starts, flags = self.closed_loop.rollout_safer_flags_batch(
+                size, self.options.p2b_max_time
+            )
+            for index, sample_flags in enumerate(flags):
+                sample_flags = list(sample_flags)
+                if not sample_flags:
+                    return CheckResult(
+                        name="P2b", passed=False, evidence="falsification",
+                        detail=f"sample {offset + index}: empty rollout",
+                    )
+                if not self._flags_reach_safer_window(spec, sample_flags):
+                    return CheckResult(
+                        name="P2b", passed=False, evidence="falsification",
+                        detail=(
+                            f"sample {offset + index}: SC did not reach a φ_safer-invariant window "
+                            f"within {self.options.p2b_max_time}s from {starts[index]!r}"
+                        ),
+                    )
+            offset += size
+        return CheckResult(
+            name="P2b", passed=True, evidence="falsification",
+            detail=f"{samples} rollouts reached φ_safer and stayed ≥ Δ",
+        )
+
+    def _check_p2b_batch(self, spec: RTAModuleSpec) -> CheckResult:
+        """P2b over batched rollouts; verdicts identical to the scalar loop."""
+        assert self.closed_loop is not None
+        samples = self.options.samples
+        starts = list(self.closed_loop.sample_safe_state_batch(samples))
+        trajectories = self.closed_loop.rollout_under_safe_controller_batch(
+            starts, self.options.p2b_max_time
+        )
+        for index, visited in enumerate(trajectories):
+            visited = list(visited)
+            if not visited:
+                return CheckResult(
+                    name="P2b", passed=False, evidence="falsification",
+                    detail=f"sample {index}: empty rollout",
+                )
+            flags = [bool(ok) for ok in spec.safer_spec.contains_batch(visited)]
+            if not self._flags_reach_safer_window(spec, flags):
+                return CheckResult(
+                    name="P2b", passed=False, evidence="falsification",
+                    detail=(
+                        f"sample {index}: SC did not reach a φ_safer-invariant window "
+                        f"within {self.options.p2b_max_time}s from {starts[index]!r}"
+                    ),
+                )
+        return CheckResult(
+            name="P2b", passed=True, evidence="falsification",
+            detail=f"{samples} rollouts reached φ_safer and stayed ≥ Δ",
+        )
+
     def _eventually_stays_in_safer(self, spec: RTAModuleSpec, visited: Sequence[Any]) -> bool:
         """True if some suffix window of length ≥ Δ lies entirely in φ_safer."""
         if len(visited) < 2:
@@ -239,6 +441,23 @@ class WellFormednessChecker:
         run = 0
         for state in visited:
             if spec.safer_spec.contains(state):
+                run += 1
+                if run >= window:
+                    return True
+            else:
+                run = 0
+        return False
+
+    def _flags_reach_safer_window(self, spec: RTAModuleSpec, flags: Sequence[bool]) -> bool:
+        """:meth:`_eventually_stays_in_safer` over precomputed φ_safer verdicts."""
+        if len(flags) < 2:
+            return bool(flags[0])
+        total = self.options.p2b_max_time
+        dt = total / (len(flags) - 1)
+        window = max(1, int(round(spec.delta / dt)))
+        run = 0
+        for ok in flags:
+            if ok:
                 run += 1
                 if run >= window:
                     return True
@@ -259,6 +478,19 @@ class WellFormednessChecker:
                 detail="no certificate and no closed-loop model supplied",
             )
         horizon = 2.0 * spec.delta
+        if self._can_batch("sample_safer_state_batch", "worst_case_stays_safe_batch"):
+            states = list(self.closed_loop.sample_safer_state_batch(self.options.samples))
+            verdicts = self.closed_loop.worst_case_stays_safe_batch(states, horizon)
+            for index, stays_safe in enumerate(verdicts):
+                if not stays_safe:
+                    return CheckResult(
+                        name="P3", passed=False, evidence="falsification",
+                        detail=f"sample {index}: Reach(s, *, 2Δ) escapes φ_safe from {states[index]!r}",
+                    )
+            return CheckResult(
+                name="P3", passed=True, evidence="falsification",
+                detail=f"{self.options.samples} sampled φ_safer states stay safe for 2Δ",
+            )
         for index in range(self.options.samples):
             state = self.closed_loop.sample_safer_state()
             if not self.closed_loop.worst_case_stays_safe(state, horizon):

@@ -179,3 +179,37 @@ class DynamicsModel(abc.ABC):
         if self.max_acceleration <= 0.0:
             return np.where(speeds > 0.0, np.inf, 0.0)
         return speeds * speeds / (2.0 * self.max_acceleration)
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        accelerations: np.ndarray,
+        dt: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance N plant states at once (structure-of-arrays layout).
+
+        ``positions``/``velocities``/``accelerations`` are ``(N, 3)``
+        arrays; returns the new ``(positions, velocities)`` pair.  The
+        contract matches :meth:`step` on a per-row basis (non-finite
+        commanded accelerations are treated as "no thrust", exactly like a
+        malformed :class:`ControlCommand`).  The default implementation
+        loops over the scalar :meth:`step`; models with closed-form
+        updates override it with a vectorised, bit-identical version —
+        the batched well-formedness rollouts integrate whole sample sets
+        through this API.
+        """
+        positions = np.asarray(positions, dtype=float).reshape(-1, 3)
+        velocities = np.asarray(velocities, dtype=float).reshape(-1, 3)
+        accelerations = np.asarray(accelerations, dtype=float).reshape(-1, 3)
+        new_positions = np.empty_like(positions)
+        new_velocities = np.empty_like(velocities)
+        for i in range(positions.shape[0]):
+            state = DroneState(
+                position=Vec3(*positions[i]), velocity=Vec3(*velocities[i])
+            )
+            command = ControlCommand(acceleration=Vec3(*accelerations[i]))
+            stepped = self.step(state, command, dt)
+            new_positions[i] = stepped.position.as_tuple()
+            new_velocities[i] = stepped.velocity.as_tuple()
+        return new_positions, new_velocities

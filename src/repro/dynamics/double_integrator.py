@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..geometry import Vec3
+import numpy as np
+
+from ..geometry import Vec3, clamp_norm_rows
 from .base import ControlCommand, DroneState, DynamicsModel
 
 
@@ -68,6 +70,36 @@ class BoundedDoubleIntegrator(DynamicsModel):
         velocity = velocity.clamp_norm(self.params.max_speed)
         position = state.position + (state.velocity + velocity) * (0.5 * dt)
         return DroneState(position=position, velocity=velocity)
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        accelerations: np.ndarray,
+        dt: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`step` over ``(N, 3)`` state arrays.
+
+        Evaluates the same floating-point expressions in the same order as
+        the scalar step (clamp commanded acceleration, drag, trapezoidal
+        position update, speed saturation), so the integrated trajectories
+        are bit-for-bit identical to stepping each row through
+        :meth:`step` — the property the batched well-formedness rollouts
+        rely on.  Non-finite command rows are treated as "no thrust",
+        mirroring the malformed-command guard of the scalar path.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        positions = np.asarray(positions, dtype=float).reshape(-1, 3)
+        velocities = np.asarray(velocities, dtype=float).reshape(-1, 3)
+        accel = np.asarray(accelerations, dtype=float).reshape(-1, 3)
+        accel = np.where(np.isfinite(accel).all(axis=1)[:, None], accel, 0.0)
+        accel = clamp_norm_rows(accel, self.params.max_acceleration)
+        drag_accel = velocities * (-self.params.drag)
+        new_velocities = velocities + (accel + drag_accel) * dt
+        new_velocities = clamp_norm_rows(new_velocities, self.params.max_speed)
+        new_positions = positions + (velocities + new_velocities) * (0.5 * dt)
+        return new_positions, new_velocities
 
     def brake_command(self, state: DroneState) -> ControlCommand:
         """Command that decelerates the drone as fast as possible."""

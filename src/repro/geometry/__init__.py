@@ -2,9 +2,13 @@
 
 from .vec import (
     Vec3,
+    clamp_norm_rows,
     closest_point_on_segment,
     distance_point_to_polyline,
     distance_point_to_segment,
+    row_dots,
+    row_norms,
+    unit_rows,
 )
 from .shapes import (
     AABB,
@@ -35,9 +39,13 @@ from .trajectory import (
 
 __all__ = [
     "Vec3",
+    "clamp_norm_rows",
     "closest_point_on_segment",
     "distance_point_to_polyline",
     "distance_point_to_segment",
+    "row_dots",
+    "row_norms",
+    "unit_rows",
     "AABB",
     "Sphere",
     "any_box_contains_batch",

@@ -47,6 +47,7 @@ class ClearanceFieldStats:
     queries: int = 0
     decisive: int = 0  # answered from the cached bound alone
     exact_fallbacks: int = 0  # needed the exact workspace computation
+    exact_memo_hits: int = 0  # exact value served from the point memo
 
     @property
     def hit_rate(self) -> float:
@@ -76,6 +77,14 @@ class ClearanceField:
         self.cell_radius = 0.5 * resolution * math.sqrt(3.0)
         self.stats = ClearanceFieldStats()
         self._bounds: Dict[Cell, float] = {}
+        # Exact clearance per *exact* query point.  Systematic testing
+        # re-asks the same handful of points (finite abstraction menus,
+        # periodic estimates) thousands of times per sweep; memoising the
+        # exact value turns every repeat into a dict hit while staying
+        # trivially bit-identical.  Bounded so continuous workloads (noisy
+        # simulation estimates) cannot grow it without limit.
+        self._exact: Dict[Tuple[float, float, float], float] = {}
+        self._exact_limit = 65536
         self._obstacle_count = len(workspace.obstacles)
 
     def __len__(self) -> int:
@@ -94,7 +103,21 @@ class ClearanceField:
         count = len(self.workspace.obstacles)
         if count != self._obstacle_count:
             self._bounds.clear()
+            self._exact.clear()
             self._obstacle_count = count
+
+    def _exact_clearance(self, point: Vec3) -> float:
+        """The exact clearance, served from the point memo when possible."""
+        key = (point.x, point.y, point.z)
+        value = self._exact.get(key)
+        if value is None:
+            value = self.workspace.clearance(point)
+            self.stats.exact_fallbacks += 1
+            if len(self._exact) < self._exact_limit:
+                self._exact[key] = value
+        else:
+            self.stats.exact_memo_hits += 1
+        return value
 
     # ------------------------------------------------------------------ #
     # bounds
@@ -124,9 +147,9 @@ class ClearanceField:
         return bound
 
     def clearance(self, point: Vec3) -> float:
-        """The exact clearance (delegates to the workspace; counted as a fallback)."""
-        self.stats.exact_fallbacks += 1
-        return self.workspace.clearance(point)
+        """The exact clearance (memoised per point; counted as a fallback)."""
+        self._check_freshness()
+        return self._exact_clearance(point)
 
     # ------------------------------------------------------------------ #
     # threshold queries (bit-identical to the uncached comparisons)
@@ -143,8 +166,7 @@ class ClearanceField:
         if (bound > threshold) if strict else (bound >= threshold):
             self.stats.decisive += 1
             return True
-        exact = self.workspace.clearance(point)
-        self.stats.exact_fallbacks += 1
+        exact = self._exact_clearance(point)
         return (exact > threshold) if strict else (exact >= threshold)
 
     def at_most(self, point: Vec3, threshold: float) -> bool:

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Vec3:
@@ -139,6 +141,48 @@ class Vec3:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Vec3({self.x:.3f}, {self.y:.3f}, {self.z:.3f})"
+
+
+# --------------------------------------------------------------------- #
+# structure-of-arrays row helpers (bit-identical to the Vec3 methods)
+# --------------------------------------------------------------------- #
+# The batched kernels (vectorised dynamics steps, batched controller laws)
+# operate on (N, 3) float64 arrays.  Each helper evaluates exactly the
+# floating-point expressions of the corresponding Vec3 method, in the same
+# order, so a row-wise result equals the scalar result bit for bit.
+
+
+def row_norms(rows: np.ndarray) -> np.ndarray:
+    """Euclidean length of every row: ``sqrt((x*x + y*y) + z*z)`` like :meth:`Vec3.norm`."""
+    x, y, z = rows[:, 0], rows[:, 1], rows[:, 2]
+    return np.sqrt(x * x + y * y + z * z)
+
+
+def row_dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot products, with :meth:`Vec3.dot`'s summation order."""
+    return a[:, 0] * b[:, 0] + a[:, 1] * b[:, 1] + a[:, 2] * b[:, 2]
+
+
+def unit_rows(rows: np.ndarray) -> np.ndarray:
+    """Row-wise :meth:`Vec3.unit`: zero rows map to zero, others to ``row / norm``."""
+    norms = row_norms(rows)
+    zero = norms == 0.0
+    safe = np.where(zero, 1.0, norms)
+    return np.where(zero[:, None], 0.0, rows / safe[:, None])
+
+
+def clamp_norm_rows(rows: np.ndarray, max_norm: float) -> np.ndarray:
+    """Row-wise :meth:`Vec3.clamp_norm`: scale rows whose norm exceeds ``max_norm``."""
+    if max_norm < 0.0:
+        raise ValueError("max_norm must be non-negative")
+    norms = row_norms(rows)
+    # The scalar method returns the vector unchanged when n <= max or n == 0;
+    # n > max_norm >= 0 already implies n != 0.
+    needs_scaling = norms > max_norm
+    scale = np.divide(
+        max_norm, norms, out=np.ones_like(norms), where=needs_scaling
+    )
+    return np.where(needs_scaling[:, None], rows * scale[:, None], rows)
 
 
 def distance_point_to_segment(point: Vec3, seg_a: Vec3, seg_b: Vec3) -> float:

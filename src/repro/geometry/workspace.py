@@ -190,8 +190,21 @@ class Workspace:
         return self.in_bounds_batch(points) & ~self.in_obstacle_batch(points, margin=margin)
 
     def distance_to_nearest_obstacle_batch(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`distance_to_nearest_obstacle` (inf with no obstacles)."""
-        return min_distance_to_boxes_batch(points, self.obstacles)
+        """Vectorised :meth:`distance_to_nearest_obstacle` (inf with no obstacles).
+
+        One fused ``(M, N)`` clamp-and-norm over the cached obstacle-corner
+        arrays instead of a per-box Python loop; the per-element operations
+        (axis clamps, ``(dx*dx + dy*dy) + dz*dz`` norm, running minimum)
+        are exactly the scalar ones, so answers stay bit-identical.
+        """
+        pts = points_as_array(points)
+        if not self.obstacles:
+            return np.full(pts.shape[0], np.inf)
+        lo, hi = self.obstacle_arrays()  # (M, 3)
+        closest = np.minimum(np.maximum(pts[None, :, :], lo[:, None, :]), hi[:, None, :])
+        delta = pts[None, :, :] - closest  # (M, N, 3)
+        dx, dy, dz = delta[:, :, 0], delta[:, :, 1], delta[:, :, 2]
+        return np.sqrt(dx * dx + dy * dy + dz * dz).min(axis=0)
 
     def distance_to_boundary_batch(self, points: np.ndarray, include_floor: bool = False) -> np.ndarray:
         """Vectorised :meth:`distance_to_boundary` over an ``(N, 3)`` point array."""

@@ -241,6 +241,42 @@ class SampledControllerReachability:
         """True if every state visited during the rollout satisfies ``predicate``."""
         return all(predicate(s) for s in self.rollout(state, controller, duration))
 
+    def rollout_batch(
+        self,
+        states: Sequence[DroneState],
+        controller_batch: Callable[[np.ndarray, np.ndarray, float], np.ndarray],
+        duration: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Simulate N closed loops simultaneously (structure-of-arrays).
+
+        ``controller_batch(positions, velocities, time)`` must return the
+        ``(N, 3)`` commanded accelerations for the batch at ``time``.  The
+        state matrix is integrated through the dynamics model's
+        :meth:`~repro.dynamics.DynamicsModel.step_batch` API; the returned
+        ``(T+1, N, 3)`` position and velocity tensors contain exactly the
+        states the scalar :meth:`rollout` visits per sample (the time grid
+        replicates the scalar float accumulation, and vectorised
+        controllers/models are bit-identical to their scalar laws).  This
+        is the kernel of the batched P2a/P2b falsification checks: N
+        samples × T steps collapse into T vectorised calls.
+        """
+        if duration < 0.0:
+            raise ValueError("duration must be non-negative")
+        positions = np.array([s.position.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+        velocities = np.array([s.velocity.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+        position_history = [positions]
+        velocity_history = [velocities]
+        time = 0.0
+        while time < duration - 1e-12:
+            accelerations = controller_batch(positions, velocities, time)
+            positions, velocities = self.model.step_batch(
+                positions, velocities, accelerations, self.dt
+            )
+            time += self.dt
+            position_history.append(positions)
+            velocity_history.append(velocities)
+        return np.stack(position_history), np.stack(velocity_history)
+
 
 def reach_ball_union(balls: Iterable[ReachBall]) -> AABB:
     """Bounding box of a union of reach balls (used for region visualisation)."""

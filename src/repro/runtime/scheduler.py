@@ -60,6 +60,10 @@ class JitteryOSScheduler:
             raise SchedulingError("drop_rate must be a probability")
         self._rng = random.Random(self.seed)
 
+    def reset(self) -> None:
+        """Re-seed the jitter/drop stream from the construction seed (Resettable)."""
+        self._rng = random.Random(self.seed)
+
     def _affects(self, node: Node) -> bool:
         return self.only_nodes is None or node.name in self.only_nodes
 

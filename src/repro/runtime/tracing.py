@@ -62,6 +62,14 @@ class ExecutionTrace:
     samples: List[SampleEvent] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
+    def reset(self) -> None:
+        """Forget every recorded event (Resettable: reuse across missions)."""
+        self.firings.clear()
+        self.switches.clear()
+        self.inputs = 0
+        self.samples.clear()
+        self.notes.clear()
+
     # ------------------------------------------------------------------ #
     # EngineListener protocol
     # ------------------------------------------------------------------ #

@@ -61,16 +61,28 @@ class DronePlant:
         self.model = model
         self.workspace = workspace
         self.battery_model = battery_model or BatteryModel()
-        self.state = initial_state or DroneState(position=Vec3(1.0, 1.0, 2.0))
-        self.battery = BatteryState(charge=initial_charge)
+        self._initial_state = initial_state or DroneState(position=Vec3(1.0, 1.0, 2.0))
+        self._initial_charge = initial_charge
         self.collision_margin = collision_margin
         self.ground_altitude = ground_altitude
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the plant to its construction-time state (Resettable).
+
+        The workspace geometry and dynamics model are immutable and stay
+        warm; only the evolving plant state — pose, battery, collision
+        bookkeeping, odometry — rewinds, which lets a co-simulation reuse
+        one plant across missions instead of rebuilding it.
+        """
+        self.state = self._initial_state
+        self.battery = BatteryState(charge=self._initial_charge)
         self.collided = False
         self.collision_position: Optional[Vec3] = None
         self.battery_failed = False
         self.distance_flown = 0.0
         self.time = 0.0
-        self.min_clearance = workspace.clearance(self.state.position)
+        self.min_clearance = self.workspace.clearance(self.state.position)
 
     # ------------------------------------------------------------------ #
     # plant evolution

@@ -30,6 +30,10 @@ class StateEstimator:
             raise ValueError("noise bounds must be non-negative")
         self._rng = random.Random(self.seed)
 
+    def reset(self) -> None:
+        """Re-seed the noise stream from the construction seed (Resettable)."""
+        self._rng = random.Random(self.seed)
+
     def _bounded_noise(self, bound: float) -> Vec3:
         return Vec3(
             self._rng.uniform(-bound, bound),
@@ -58,6 +62,10 @@ class BatterySensor:
             raise ValueError("charge noise must be non-negative")
         self._rng = random.Random(self.seed)
 
+    def reset(self) -> None:
+        """Re-seed the noise stream from the construction seed (Resettable)."""
+        self._rng = random.Random(self.seed)
+
     def measure(self, plant: DronePlant) -> BatteryStatus:
         """A noisy battery reading (clamped to [0, 1])."""
         noise = self._rng.uniform(-self.charge_noise, self.charge_noise)
@@ -71,3 +79,6 @@ class PerfectEstimator:
 
     def estimate(self, state: DroneState) -> DroneState:
         return state
+
+    def reset(self) -> None:
+        """Stateless; present for Resettable-protocol uniformity."""

@@ -99,6 +99,27 @@ class DroneSimulation:
         # already see a state estimate.
         self._publish_sensors()
 
+    def reset(self) -> None:
+        """Rewind the whole co-simulation to mission start (Resettable).
+
+        Resets the plant, sensors, scheduler, monitors, trace, trajectory
+        and semantics engine in place — the compiled system, workspace
+        geometry and warm clearance caches are reused, so back-to-back
+        missions skip the entire construction cost.
+        """
+        self.plant.reset()
+        for component in (self.estimator, self.battery_sensor, self.scheduler):
+            reset = getattr(component, "reset", None)
+            if callable(reset):
+                reset()
+        self.monitors.reset()
+        self.trace.reset()
+        self.engine.reset()
+        self.trajectory.samples.clear()
+        self._last_physics_time = 0.0
+        self._next_monitor_time = 0.0
+        self._publish_sensors()
+
     # ------------------------------------------------------------------ #
     # the environment hook (plant physics + sensor publication)
     # ------------------------------------------------------------------ #

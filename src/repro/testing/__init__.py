@@ -25,7 +25,14 @@ from .scenarios import (
     scenario_factory,
 )
 from .scheduler import BoundedAsynchronyScheduler
-from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy, record_trail
+from .strategies import (
+    ChoiceStrategy,
+    ExhaustiveStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    record_trail,
+    start_execution,
+)
 
 __all__ = [
     "AbstractEnvironment",
@@ -52,4 +59,5 @@ __all__ = [
     "RandomStrategy",
     "ReplayStrategy",
     "record_trail",
+    "start_execution",
 ]

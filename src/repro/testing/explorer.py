@@ -6,6 +6,20 @@ many times, each time resolving scheduling and abstraction choices through
 a strategy (random or exhaustive), evaluates the safety monitors after
 every discrete step, and reports any execution that violates them together
 with the choice trail needed to replay it.
+
+Reset-and-reuse hot path
+------------------------
+Exploration throughput lives and dies by per-execution overhead.  With the
+safety queries cached and batched (see :mod:`repro.geometry.clearance`),
+the dominant remaining cost used to be *rebuilding the model* — every
+execution re-ran the harness factory, reconstructing nodes, topics,
+wiring, calendar, monitors, and a fresh semantics engine.  By default the
+tester now builds the model instance **once**, resets it between
+executions through the :class:`~repro.core.resettable.Resettable`
+protocol, and reuses the engine, scheduler and violation buffer.
+``reuse_instances=False`` restores the fresh-build-per-execution path; the
+two are proven equivalent (identical trails, step counts and violation
+sequences) in ``tests/testing/test_reset_reuse.py``.
 """
 
 from __future__ import annotations
@@ -18,16 +32,26 @@ from ..core.semantics import SemanticsEngine
 from ..core.system import RTASystem
 from .abstractions import AbstractEnvironment, NondeterministicNode
 from .scheduler import BoundedAsynchronyScheduler
-from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, ReplayStrategy, record_trail
+from .strategies import (
+    ChoiceStrategy,
+    ExhaustiveStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    record_trail,
+    start_execution,
+)
 
 
 @dataclass
 class ModelInstance:
-    """One freshly-built instance of the model under test.
+    """One built instance of the model under test.
 
-    The factory passed to :class:`SystematicTester` must return a new
-    instance per execution so that executions are independent (node local
-    state is re-created, monitors start empty).
+    The factory passed to :class:`SystematicTester` must return an
+    independent instance on every call (node local state re-created,
+    monitors empty).  With the default reset-and-reuse path the tester
+    calls the factory once and rewinds the instance between executions
+    via :meth:`reset`; with ``reuse_instances=False`` it calls the
+    factory once per execution.
     """
 
     # Not a pytest test class, despite living in a module named "testing".
@@ -37,6 +61,21 @@ class ModelInstance:
     monitors: MonitorSuite
     environment: Optional[AbstractEnvironment] = None
     horizon: float = 5.0
+
+    def reset(self) -> None:
+        """Restore the instance's own components to their just-built state.
+
+        Rewinds node local state, recorded monitor violations, and the
+        abstract environment's injection clock.  Engine-held execution
+        state (time, topic board, calendar, OE map) belongs to whoever
+        built the :class:`~repro.core.semantics.SemanticsEngine` and must
+        be rewound with ``engine.reset()`` — the tester's reuse path does
+        both (the node resets compose idempotently).
+        """
+        self.system.reset()
+        self.monitors.reset()
+        if self.environment is not None:
+            self.environment.reset()
 
 
 #: Deprecated alias — the class was renamed to :class:`ModelInstance` so that
@@ -61,11 +100,46 @@ class ExecutionRecord:
 
 @dataclass
 class TestReport:
-    """Aggregated result of a systematic testing run."""
+    """Aggregated result of a systematic testing run.
+
+    The failing-execution list and violation totals are maintained
+    incrementally: records appended to :attr:`executions` are folded into
+    the caches on the next property access, so hot loops that poll
+    ``report.ok`` after every execution stay O(new records) instead of
+    rescanning the whole history.  Code that reorders or removes records
+    (the parallel aggregator does both) must call
+    :meth:`invalidate_caches` afterwards.
+    """
 
     __test__ = False
 
     executions: List[ExecutionRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._failing_cache: List[ExecutionRecord] = []
+        self._violation_total = 0
+        self._scanned = 0
+
+    # -- incremental bookkeeping ---------------------------------------- #
+    def invalidate_caches(self) -> None:
+        """Drop the incremental caches after out-of-band list surgery."""
+        self._failing_cache = []
+        self._violation_total = 0
+        self._scanned = 0
+
+    def _refresh(self) -> None:
+        if self._scanned > len(self.executions):
+            # Records were removed; the incremental prefix no longer exists.
+            self.invalidate_caches()
+        for record in self.executions[self._scanned :]:
+            if not record.ok:
+                self._failing_cache.append(record)
+            self._violation_total += len(record.violations)
+        self._scanned = len(self.executions)
+
+    def add(self, record: ExecutionRecord) -> None:
+        """Append a record (the preferred way to grow the report)."""
+        self.executions.append(record)
 
     @property
     def execution_count(self) -> int:
@@ -73,22 +147,28 @@ class TestReport:
 
     @property
     def failing(self) -> List[ExecutionRecord]:
-        return [record for record in self.executions if not record.ok]
+        self._refresh()
+        return list(self._failing_cache)
 
     @property
     def ok(self) -> bool:
-        return not self.failing
+        self._refresh()
+        return not self._failing_cache
 
     @property
     def total_violations(self) -> int:
-        return sum(len(record.violations) for record in self.executions)
+        self._refresh()
+        return self._violation_total
 
     def first_counterexample(self) -> Optional[ExecutionRecord]:
-        failing = self.failing
-        return failing[0] if failing else None
+        """The first failing record, without materialising the failing list."""
+        self._refresh()
+        return self._failing_cache[0] if self._failing_cache else None
 
     def summary(self) -> str:
-        status = "all executions safe" if self.ok else f"{len(self.failing)} failing execution(s)"
+        self._refresh()
+        failing = len(self._failing_cache)
+        status = "all executions safe" if not failing else f"{failing} failing execution(s)"
         return (
             f"systematic testing: {self.execution_count} execution(s) explored, {status}, "
             f"{self.total_violations} violation(s) recorded"
@@ -97,6 +177,12 @@ class TestReport:
 
 class SystematicTester:
     """Explores executions of a SOTER model under a choice strategy.
+
+    ``reuse_instances`` (default) builds the model instance and semantics
+    engine once and resets them between executions — the zero-rebuild hot
+    path.  Pass ``reuse_instances=False`` to rebuild everything from the
+    factory per execution (the original behaviour; kept as an escape hatch
+    and as the oracle for the equivalence tests).
 
     ``monitor_window`` batches monitor evaluation: instead of evaluating
     every monitor after each discrete step, the tester snapshots the
@@ -116,6 +202,7 @@ class SystematicTester:
         strategy: Optional[ChoiceStrategy] = None,
         max_permuted: int = 6,
         monitor_window: int = 1,
+        reuse_instances: bool = True,
     ) -> None:
         if monitor_window < 1:
             raise ValueError("monitor_window must be at least 1")
@@ -123,6 +210,45 @@ class SystematicTester:
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         self.max_permuted = max_permuted
         self.monitor_window = monitor_window
+        self.reuse_instances = reuse_instances
+        # Reused across executions on the hot path: the built instance,
+        # its engine, the strategy-bound scheduler, and the violation
+        # accumulation buffer (cleared, never reallocated).
+        self._instance: Optional[ModelInstance] = None
+        self._engine: Optional[SemanticsEngine] = None
+        self._scheduler: Optional[BoundedAsynchronyScheduler] = None
+        self._violation_buffer: List[Violation] = []
+
+    # ------------------------------------------------------------------ #
+    # instance lifecycle
+    # ------------------------------------------------------------------ #
+    def _acquire(self) -> tuple[ModelInstance, SemanticsEngine]:
+        """The model instance + engine for the next execution.
+
+        Fresh-build path: a new instance and engine per call.  Reuse path:
+        build once, then rewind in place — the engine reset restores time,
+        topics, calendar, statistics and node state; the monitor reset
+        forgets recorded violations.
+        """
+        if not self.reuse_instances:
+            harness = self.harness_factory()
+            return harness, SemanticsEngine(harness.system)
+        if self._instance is None:
+            self._instance = self.harness_factory()
+            self._engine = SemanticsEngine(self._instance.system)
+        else:
+            assert self._engine is not None
+            self._engine.reset()
+            self._instance.reset()
+        return self._instance, self._engine  # type: ignore[return-value]
+
+    def _order_scheduler(self) -> BoundedAsynchronyScheduler:
+        """The bounded-asynchrony scheduler bound to the current strategy."""
+        if self._scheduler is None or self._scheduler.strategy is not self.strategy:
+            self._scheduler = BoundedAsynchronyScheduler(
+                self.strategy, max_permuted=self.max_permuted
+            )
+        return self._scheduler
 
     # ------------------------------------------------------------------ #
     # single execution
@@ -135,36 +261,47 @@ class SystematicTester:
         do the parallel workers that reuse this method to run individual
         executions out of their serial order.
         """
-        harness = self.harness_factory()
-        scheduler = BoundedAsynchronyScheduler(self.strategy, max_permuted=self.max_permuted)
+        harness, engine = self._acquire()
+        scheduler = self._order_scheduler()
         self._bind_strategy(harness)
-        engine = SemanticsEngine(harness.system)
         steps = 0
         windowed = self.monitor_window > 1
-        violations: List[Violation] = []
+        violations = self._violation_buffer
+        violations.clear()
+        # Hoisted loop invariants: this is the innermost exploration loop.
+        environment = harness.environment
+        monitors = harness.monitors
+        calendar = engine.calendar
+        stats = engine.stats
+        horizon = harness.horizon + 1e-12
         while True:
-            next_time = engine.peek_next_time()
-            if next_time is None or next_time > harness.horizon + 1e-12:
+            pending = calendar.next_due()
+            if pending is None:
                 break
-            if harness.environment is not None:
-                harness.environment.apply(engine, next_time)
-            due = engine.calendar.due_nodes(next_time)
-            engine.current_time = max(engine.current_time, next_time)
-            engine.stats.time_progress_steps += 1
-            engine.fire_due_nodes(due, order=scheduler.order(due))
+            next_time, due = pending
+            if next_time > horizon:
+                break
+            if environment is not None:
+                environment.apply(engine, next_time)
+            if next_time > engine.current_time:
+                engine.current_time = next_time
+            stats.time_progress_steps += 1
+            # The scheduler's order is a permutation of ``due`` by
+            # construction, so the validation-free engine path applies.
+            engine._fire_ordered(scheduler.order(due))
             if windowed:
-                harness.monitors.capture_all(engine)
-                if harness.monitors.pending_samples >= self.monitor_window:
-                    violations.extend(harness.monitors.flush())
+                monitors.capture_all(engine)
+                if monitors.pending_samples >= self.monitor_window:
+                    violations.extend(monitors.flush())
             else:
-                violations.extend(harness.monitors.check_all(engine))
+                violations.extend(monitors.check_all(engine))
             steps += 1
         if windowed:
-            violations.extend(harness.monitors.flush())
+            violations.extend(monitors.flush())
         return ExecutionRecord(
             index=index,
             steps=steps,
-            violations=violations,
+            violations=list(violations),
             trail=record_trail(self.strategy),
         )
 
@@ -172,16 +309,22 @@ class SystematicTester:
     _run_one = run_single
 
     def replay(self, trail: Sequence[int], index: int = 0) -> ExecutionRecord:
-        """Deterministically re-execute a recorded counterexample trail."""
+        """Deterministically re-execute a recorded counterexample trail.
+
+        On the reuse path the replay runs on the tester's own (reset)
+        instance — replaying a counterexample costs one reset, not a
+        rebuild.  The exploration strategy is restored afterwards.
+        """
         strategy = ReplayStrategy(trail=list(trail))
-        replayer = SystematicTester(
-            self.harness_factory,
-            strategy,
-            max_permuted=self.max_permuted,
-            monitor_window=self.monitor_window,
-        )
-        strategy.begin_execution()
-        return replayer.run_single(index)
+        saved_strategy, saved_scheduler = self.strategy, self._scheduler
+        self.strategy = strategy
+        self._scheduler = None
+        try:
+            strategy.begin_execution()
+            return self.run_single(index)
+        finally:
+            self.strategy = saved_strategy
+            self._scheduler = saved_scheduler
 
     def _bind_strategy(self, harness: ModelInstance) -> None:
         if harness.environment is not None:
@@ -199,11 +342,10 @@ class SystematicTester:
         report = TestReport()
         index = 0
         while self.strategy.has_more_executions():
-            self.strategy.begin_execution()
-            if isinstance(self.strategy, ExhaustiveStrategy) and self.strategy._exhausted:
+            if not start_execution(self.strategy):
                 break
             record = self.run_single(index)
-            report.executions.append(record)
+            report.add(record)
             index += 1
             if stop_at_first_violation and not record.ok:
                 break

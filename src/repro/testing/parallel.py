@@ -45,7 +45,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..core.monitor import Violation
 from .explorer import ExecutionRecord, ModelInstance, SystematicTester, TestReport
 from .scenarios import scenario_factory
-from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy
+from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, start_execution
 
 HarnessFactory = Callable[[], ModelInstance]
 
@@ -71,6 +71,7 @@ class _RandomShard:
     max_permuted: int
     stop_at_first_violation: bool
     monitor_window: int = 1
+    reuse_instances: bool = True
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,7 @@ class _ExhaustiveShard:
     max_permuted: int
     stop_at_first_violation: bool
     monitor_window: int = 1
+    reuse_instances: bool = True
 
 
 def _warm_start(factory: HarnessFactory) -> None:
@@ -105,7 +107,12 @@ def _warm_start(factory: HarnessFactory) -> None:
 def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any) -> None:
     """Entry point of one worker process: run the shard, stream records back."""
     try:
-        _warm_start(shard.factory)
+        if not shard.reuse_instances:
+            # The reset-and-reuse path builds (and keeps) its one instance on
+            # the first execution, which *is* the warm start; only the
+            # fresh-build path needs a throwaway build to pre-warm the
+            # per-process scenario memos outside the first timed execution.
+            _warm_start(shard.factory)
         if isinstance(shard, _RandomShard):
             _run_random_shard(worker_id, shard, result_queue, stop_event)
         else:
@@ -116,18 +123,24 @@ def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any)
 
 
 def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, stop_event: Any) -> None:
+    # One strategy + one tester for the whole shard: the strategy re-derives
+    # execution *i*'s RNG stream from ``(seed, i)`` at every
+    # ``begin_execution``, so seeking per index reproduces exactly what a
+    # per-index strategy would do, while the tester's reset-and-reuse path
+    # keeps the built model instance warm across the slice.
+    strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
+    tester = SystematicTester(
+        shard.factory,
+        strategy,
+        max_permuted=shard.max_permuted,
+        monitor_window=shard.monitor_window,
+        reuse_instances=shard.reuse_instances,
+    )
     for index in shard.indices:
         if stop_event.is_set():
             break
-        strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
         strategy.seek(index)
         strategy.begin_execution()
-        tester = SystematicTester(
-            shard.factory,
-            strategy,
-            max_permuted=shard.max_permuted,
-            monitor_window=shard.monitor_window,
-        )
         record = tester.run_single(index)
         record.worker = worker_id
         result_queue.put(("record", worker_id, record))
@@ -140,23 +153,28 @@ def _run_exhaustive_shard(
     worker_id: int, shard: _ExhaustiveShard, result_queue: Any, stop_event: Any
 ) -> None:
     local_index = 0
+    tester: Optional[SystematicTester] = None
     for prefix in shard.prefixes:
         if stop_event.is_set():
             break
         strategy = ExhaustiveStrategy(
             max_depth=shard.max_depth, max_executions=shard.max_executions, prefix=prefix
         )
-        tester = SystematicTester(
-            shard.factory,
-            strategy,
-            max_permuted=shard.max_permuted,
-            monitor_window=shard.monitor_window,
-        )
+        if tester is None:
+            tester = SystematicTester(
+                shard.factory,
+                strategy,
+                max_permuted=shard.max_permuted,
+                monitor_window=shard.monitor_window,
+                reuse_instances=shard.reuse_instances,
+            )
+        else:
+            # Keep the warm model instance; only the subtree changes.
+            tester.strategy = strategy
         while strategy.has_more_executions():
             if stop_event.is_set():
                 return
-            strategy.begin_execution()
-            if strategy._exhausted:
+            if not start_execution(strategy):
                 break
             record = tester.run_single(local_index)
             record.worker = worker_id
@@ -230,6 +248,7 @@ class ParallelTester:
         start_method: Optional[str] = None,
         scenario_overrides: Optional[dict] = None,
         monitor_window: int = 1,
+        reuse_instances: bool = True,
     ) -> None:
         if (scenario is None) == (harness_factory is None):
             raise ValueError("pass exactly one of scenario= or harness_factory=")
@@ -241,6 +260,8 @@ class ParallelTester:
             raise ValueError("scenario_overrides only applies with scenario=")
         self.harness_factory: HarnessFactory = harness_factory  # type: ignore[assignment]
         self.monitor_window = monitor_window
+        self.reuse_instances = reuse_instances
+        self._probe_tester: Optional[SystematicTester] = None
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         if not isinstance(self.strategy, (RandomStrategy, ExhaustiveStrategy)):
             raise TypeError(
@@ -277,23 +298,32 @@ class ParallelTester:
                     max_permuted=self.max_permuted,
                     stop_at_first_violation=stop_at_first_violation,
                     monitor_window=self.monitor_window,
+                    reuse_instances=self.reuse_instances,
                 )
             )
             start += size
         return shards
 
     def _probe_option_counts(self, prefix: Tuple[int, ...]) -> List[int]:
-        """Run one execution with ``prefix`` pinned; report the branching beyond it."""
+        """Run one execution with ``prefix`` pinned; report the branching beyond it.
+
+        All probes share one reset-and-reuse tester, so partitioning the
+        choice tree costs one model build total rather than one per probe.
+        """
         assert isinstance(self.strategy, ExhaustiveStrategy)
         strategy = ExhaustiveStrategy(max_depth=self.strategy.max_depth, prefix=prefix)
-        tester = SystematicTester(
-            self.harness_factory,
-            strategy,
-            max_permuted=self.max_permuted,
-            monitor_window=self.monitor_window,
-        )
+        if self._probe_tester is None:
+            self._probe_tester = SystematicTester(
+                self.harness_factory,
+                strategy,
+                max_permuted=self.max_permuted,
+                monitor_window=self.monitor_window,
+                reuse_instances=self.reuse_instances,
+            )
+        else:
+            self._probe_tester.strategy = strategy
         strategy.begin_execution()
-        tester.run_single(0)
+        self._probe_tester.run_single(0)
         return strategy.option_counts()
 
     def partition_prefixes(self, target: Optional[int] = None, depth_cap: int = 4) -> List[Tuple[int, ...]]:
@@ -339,6 +369,7 @@ class ParallelTester:
                 max_permuted=self.max_permuted,
                 stop_at_first_violation=stop_at_first_violation,
                 monitor_window=self.monitor_window,
+                reuse_instances=self.reuse_instances,
             )
             for prefix_group in assigned
         ]
@@ -468,12 +499,14 @@ class ParallelTester:
         """
         if isinstance(self.strategy, RandomStrategy):
             report.executions.sort(key=lambda record: record.index)
+            report.invalidate_caches()
             return
         report.executions.sort(key=lambda record: tuple(record.trail or ()))
         if not stop_at_first_violation:
             del report.executions[self.strategy.max_executions :]
         for position, record in enumerate(report.executions):
             record.index = position
+        report.invalidate_caches()
 
     # ------------------------------------------------------------------ #
     # serial confirmation
@@ -489,6 +522,7 @@ class ParallelTester:
             self.harness_factory,
             max_permuted=self.max_permuted,
             monitor_window=self.monitor_window,
+            reuse_instances=self.reuse_instances,
         )
         report.confirmations = []
         for record in report.failing:

@@ -32,6 +32,34 @@ class ChoiceStrategy(Protocol):
     def has_more_executions(self) -> bool:
         """True if running another execution can explore new behaviour."""
 
+    def execution_started(self) -> bool:
+        """Begin the next execution; False when none is actually available.
+
+        Some strategies only discover exhaustion *while* advancing to the
+        next execution (the depth-first odometer of
+        :class:`ExhaustiveStrategy` pops its last trail entry).  This is
+        the public way to begin an execution and learn whether it is real,
+        replacing callers poking at strategy internals.
+        """
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True once the strategy has enumerated every execution it ever will."""
+
+
+def start_execution(strategy: ChoiceStrategy) -> bool:
+    """Begin the strategy's next execution; False if it turned out exhausted.
+
+    Uses the public :meth:`ChoiceStrategy.execution_started` API when the
+    strategy provides it and degrades gracefully for minimal third-party
+    strategies that only implement ``begin_execution``.
+    """
+    started = getattr(strategy, "execution_started", None)
+    if started is not None:
+        return bool(started())
+    strategy.begin_execution()
+    return not bool(getattr(strategy, "is_exhausted", False))
+
 
 @dataclass
 class RandomStrategy:
@@ -81,6 +109,16 @@ class RandomStrategy:
         if index < 0:
             raise ValueError("execution index must be non-negative")
         self._executions = index
+
+    def execution_started(self) -> bool:
+        """Random executions always exist until the budget runs out."""
+        self.begin_execution()
+        return True
+
+    @property
+    def is_exhausted(self) -> bool:
+        """Random testing never exhausts the behaviour space, only its budget."""
+        return False
 
     def has_more_executions(self) -> bool:
         return self._executions < self.max_executions
@@ -147,6 +185,16 @@ class ExhaustiveStrategy:
         self._position += 1
         return min(chosen, options - 1)
 
+    def execution_started(self) -> bool:
+        """Advance the odometer; False when the subtree is fully enumerated."""
+        self.begin_execution()
+        return not self._exhausted
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True once every choice combination (under the prefix) was enumerated."""
+        return self._exhausted
+
     def option_counts(self) -> List[int]:
         """Option counts observed at each non-prefix choice point of the last execution."""
         return [options for _, options in self._trail]
@@ -181,6 +229,18 @@ class ReplayStrategy:
             choice = 0
         self._position += 1
         return min(max(choice, 0), options - 1)
+
+    def execution_started(self) -> bool:
+        """The recorded trail supports exactly one (re-)execution."""
+        already_done = self._executions >= 1
+        self.begin_execution()
+        return not already_done
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True once the single supported replay has begun (mirrors
+        :meth:`has_more_executions` going False)."""
+        return self._executions >= 1
 
     def has_more_executions(self) -> bool:
         return self._executions < 1
