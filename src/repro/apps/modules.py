@@ -39,7 +39,14 @@ from ..reachability import (
 )
 from ..simulation.drone import BatteryStatus
 from .nodes import PlanForwardNode, PlannerNode, SafeLandingPlannerNode
-from .topics import ACTIVE_PLAN_TOPIC, BATTERY_TOPIC, COMMAND_TOPIC, MOTION_PLAN_TOPIC, POSITION_TOPIC
+from .topics import (
+    ACTIVE_PLAN_TOPIC,
+    BATTERY_TOPIC,
+    COMMAND_TOPIC,
+    GOAL_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -372,11 +379,20 @@ class DroneClosedLoopModel:
 # --------------------------------------------------------------------------- #
 @dataclass
 class BatteryModuleConfig:
-    """Tunables of the battery-safety RTA module."""
+    """Tunables of the battery-safety RTA module.
+
+    The topic fields default to the single-drone names; a multi-vehicle
+    composition passes its vehicle namespace's names instead so every
+    fleet member carries its own battery plane.
+    """
 
     delta: float = 1.0
     node_period: float = 0.2
     safer_charge: float = 0.85
+    motion_plan_topic: str = MOTION_PLAN_TOPIC
+    active_plan_topic: str = ACTIVE_PLAN_TOPIC
+    position_topic: str = POSITION_TOPIC
+    battery_topic: str = BATTERY_TOPIC
 
     def __post_init__(self) -> None:
         if self.delta <= 0.0 or self.node_period <= 0.0:
@@ -406,8 +422,19 @@ def build_battery_safety(
     """Construct the battery-safety RTA module of Section V-B."""
     config = config or BatteryModuleConfig()
     battery_model = battery_model or BatteryModel()
-    forward = PlanForwardNode(name=f"{name}.ac", period=config.node_period)
-    landing = SafeLandingPlannerNode(name=f"{name}.sc", period=config.node_period)
+    forward = PlanForwardNode(
+        name=f"{name}.ac",
+        period=config.node_period,
+        input_topic=config.motion_plan_topic,
+        output_topic=config.active_plan_topic,
+    )
+    landing = SafeLandingPlannerNode(
+        name=f"{name}.sc",
+        period=config.node_period,
+        position_topic=config.position_topic,
+        battery_topic=config.battery_topic,
+        output_topic=config.active_plan_topic,
+    )
 
     safe_spec: SafetySpec[BatteryStatus] = SafetySpec(
         name="phi_bat",
@@ -452,7 +479,7 @@ def build_battery_safety(
         safe_spec=safe_spec,
         safer_spec=safer_spec,
         ttf=ttf,
-        state_topics=(BATTERY_TOPIC,),
+        state_topics=(config.battery_topic,),
         certificate=certificate,
         description="RTA-protected battery safety (safe landing on low charge)",
     )
@@ -475,6 +502,9 @@ class PlannerModuleConfig:
     delta: float = 0.5
     node_period: float = 0.5
     plan_clearance: float = 0.8
+    goal_topic: str = GOAL_TOPIC
+    position_topic: str = POSITION_TOPIC
+    plan_topic: str = MOTION_PLAN_TOPIC
 
     def __post_init__(self) -> None:
         if self.delta <= 0.0 or self.node_period <= 0.0:
@@ -507,10 +537,20 @@ def build_safe_motion_planner(
     config = config or PlannerModuleConfig()
     validator = PlanValidator(workspace, clearance=config.plan_clearance)
     advanced_node = PlannerNode(
-        name=f"{name}.ac", planner=advanced_planner, period=config.node_period
+        name=f"{name}.ac",
+        planner=advanced_planner,
+        period=config.node_period,
+        output_topic=config.plan_topic,
+        goal_topic=config.goal_topic,
+        position_topic=config.position_topic,
     )
     safe_node = PlannerNode(
-        name=f"{name}.sc", planner=certified_planner, period=config.node_period
+        name=f"{name}.sc",
+        planner=certified_planner,
+        period=config.node_period,
+        output_topic=config.plan_topic,
+        goal_topic=config.goal_topic,
+        position_topic=config.position_topic,
     )
     safe_spec = SafetySpec(
         name="phi_plan",
@@ -549,7 +589,7 @@ def build_safe_motion_planner(
         safe_spec=safe_spec,
         safer_spec=safer_spec,
         ttf=ttf,
-        state_topics=(MOTION_PLAN_TOPIC,),
+        state_topics=(config.plan_topic,),
         certificate=certificate,
         description="RTA-protected motion planner (plan-level collision avoidance)",
     )

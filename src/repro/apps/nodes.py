@@ -62,13 +62,17 @@ class SurveillanceNode(Node):
         altitude: float = 2.0,
         goal_margin: float = 3.0,
         seed: int = 0,
+        position_topic: str = POSITION_TOPIC,
+        goal_topic: str = GOAL_TOPIC,
     ) -> None:
         super().__init__(
             name=name,
-            subscribes=(POSITION_TOPIC,),
-            publishes=(GOAL_TOPIC,),
+            subscribes=(position_topic,),
+            publishes=(goal_topic,),
             period=period,
         )
+        self.position_topic = position_topic
+        self.goal_topic = goal_topic
         if not goals and random_goals == 0:
             raise ValueError("the surveillance node needs goals (fixed or random)")
         if goal_tolerance <= 0.0:
@@ -106,7 +110,7 @@ class SurveillanceNode(Node):
         return self.goals[self.index]
 
     def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
-        state = inputs.get(POSITION_TOPIC)
+        state = inputs.get(self.position_topic)
         goal = self.current_goal
         if goal is None:
             return {}
@@ -120,7 +124,7 @@ class SurveillanceNode(Node):
                     self.mission_complete = True
                     return {}
             goal = self.goals[self.index]
-        return {GOAL_TOPIC: goal}
+        return {self.goal_topic: goal}
 
 
 class PlannerNode(Node):
@@ -140,13 +144,17 @@ class PlannerNode(Node):
         replan_distance: float = 0.5,
         replan_interval: float = 3.0,
         output_topic: str = MOTION_PLAN_TOPIC,
+        goal_topic: str = GOAL_TOPIC,
+        position_topic: str = POSITION_TOPIC,
     ) -> None:
         super().__init__(
             name=name,
-            subscribes=(GOAL_TOPIC, POSITION_TOPIC),
+            subscribes=(goal_topic, position_topic),
             publishes=(output_topic,),
             period=period,
         )
+        self.goal_topic = goal_topic
+        self.position_topic = position_topic
         if replan_interval <= 0.0:
             raise ValueError("replan_interval must be positive")
         self.planner = planner
@@ -165,8 +173,8 @@ class PlannerNode(Node):
         self.failed_queries = 0
 
     def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
-        goal = inputs.get(GOAL_TOPIC)
-        state = inputs.get(POSITION_TOPIC)
+        goal = inputs.get(self.goal_topic)
+        state = inputs.get(self.position_topic)
         if not isinstance(goal, Vec3) or not isinstance(state, DroneState):
             return {}
         if self._needs_replan(goal, now):
@@ -197,19 +205,27 @@ class PlanForwardNode(Node):
     module.")
     """
 
-    def __init__(self, name: str = "batteryForward", period: float = 0.2) -> None:
+    def __init__(
+        self,
+        name: str = "batteryForward",
+        period: float = 0.2,
+        input_topic: str = MOTION_PLAN_TOPIC,
+        output_topic: str = ACTIVE_PLAN_TOPIC,
+    ) -> None:
         super().__init__(
             name=name,
-            subscribes=(MOTION_PLAN_TOPIC,),
-            publishes=(ACTIVE_PLAN_TOPIC,),
+            subscribes=(input_topic,),
+            publishes=(output_topic,),
             period=period,
         )
+        self.input_topic = input_topic
+        self.output_topic = output_topic
 
     def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
-        plan = inputs.get(MOTION_PLAN_TOPIC)
+        plan = inputs.get(self.input_topic)
         if not isinstance(plan, Plan):
             return {}
-        return {ACTIVE_PLAN_TOPIC: plan}
+        return {self.output_topic: plan}
 
 
 class SafeLandingPlannerNode(Node):
@@ -225,26 +241,31 @@ class SafeLandingPlannerNode(Node):
         name: str = "batterySafeLanding",
         period: float = 0.2,
         refresh_distance: float = 1.5,
+        position_topic: str = POSITION_TOPIC,
+        battery_topic: str = BATTERY_TOPIC,
+        output_topic: str = ACTIVE_PLAN_TOPIC,
     ) -> None:
         super().__init__(
             name=name,
-            subscribes=(POSITION_TOPIC, BATTERY_TOPIC),
-            publishes=(ACTIVE_PLAN_TOPIC,),
+            subscribes=(position_topic, battery_topic),
+            publishes=(output_topic,),
             period=period,
         )
         self.refresh_distance = refresh_distance
+        self.position_topic = position_topic
+        self.output_topic = output_topic
         self.reset()
 
     def reset(self) -> None:
         self._plan: Optional[Plan] = None
 
     def step(self, now: float, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
-        state = inputs.get(POSITION_TOPIC)
+        state = inputs.get(self.position_topic)
         if not isinstance(state, DroneState):
             return {}
         if self._plan is None or self._stale(state):
             self._plan = landing_plan(state.position, created_at=now)
-        return {ACTIVE_PLAN_TOPIC: self._plan}
+        return {self.output_topic: self._plan}
 
     def _stale(self, state: DroneState) -> bool:
         assert self._plan is not None

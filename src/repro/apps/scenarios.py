@@ -20,10 +20,19 @@ serial and the parallel tester construct these workloads by name:
   corner-cutting plan; the tester must find the φ_plan violation.
 * ``multi-obstacle-geofence``— position estimates ranging over a pillar
   field; ``include_breach=True`` adds a point inside a pillar.
+* ``multi-drone-surveillance`` — N protected stacks composed in one
+  shared airspace with the pairwise :class:`SeparationMonitor`; a fleet
+  of one is bit-identical to ``drone-surveillance``, and
+  ``include_conflict=True`` adds a shared rendezvous point two drones can
+  pick simultaneously (separation 0).
+* ``multi-drone-crossing``    — two drones flying crossing street paths
+  through one intersection; counterexamples (both at the crossing) are
+  plentiful.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
 from typing import List
 
@@ -42,8 +51,14 @@ from ..testing.abstractions import AbstractEnvironment, NondeterministicNode
 from ..testing.explorer import ModelInstance
 from ..testing.scenarios import register_scenario
 from .nodes import PlanForwardNode
-from .stack import StackConfig, build_discrete_model
-from .topics import ACTIVE_PLAN_TOPIC, BATTERY_TOPIC, MOTION_PLAN_TOPIC, POSITION_TOPIC
+from .stack import FleetConfig, StackConfig, build_discrete_model, build_fleet_discrete_model, fleet_configs
+from .topics import (
+    ACTIVE_PLAN_TOPIC,
+    BATTERY_TOPIC,
+    MOTION_PLAN_TOPIC,
+    POSITION_TOPIC,
+    vehicle_namespace,
+)
 
 
 @lru_cache(maxsize=None)
@@ -288,4 +303,146 @@ def build_multi_obstacle_geofence(
     environment = AbstractEnvironment(menus={"position": points}, period=environment_period)
     return ModelInstance(
         system=system, monitors=monitors, environment=environment, horizon=horizon
+    )
+
+
+# --------------------------------------------------------------------- #
+# multi-drone shared-airspace scenarios
+# --------------------------------------------------------------------- #
+
+#: Rendezvous point shared by every vehicle's menu under include_conflict:
+#: a free street point all drones may pick in the same window (separation 0).
+_RENDEZVOUS_INDEX = 8
+
+
+def _fleet_base_config(world, seed: int, use_query_cache: bool) -> StackConfig:
+    """The per-vehicle stack configuration all fleet scenarios share.
+
+    Identical to ``drone-surveillance``'s configuration, which is what
+    makes the one-vehicle fleet composition bit-identical to the
+    single-drone scenario.
+    """
+    return StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=False,
+        protect_motion_primitive=True,
+        use_query_cache=use_query_cache,
+        seed=seed,
+    )
+
+
+@register_scenario(
+    "multi-drone-surveillance",
+    description=(
+        "N RTA-protected surveillance stacks composed in one shared airspace "
+        "(per-vehicle topic namespaces) with a pairwise SeparationMonitor; the "
+        "abstract environment places every vehicle's estimate at its own "
+        "surveillance points.  Safe by default for up to three drones; "
+        "include_conflict=True adds a shared rendezvous point that two drones "
+        "can pick simultaneously (separation 0 < the minimum), and "
+        "include_unsafe_position=True teleports drone 0 into a building "
+        "(φ_obs).  A fleet of one is bit-identical to 'drone-surveillance'."
+    ),
+    tags=("drone", "stack", "fleet"),
+)
+def build_multi_drone_surveillance(
+    drones: int = 2,
+    include_conflict: bool = False,
+    include_unsafe_position: bool = False,
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    seed: int = 0,
+    use_query_cache: bool = True,
+    min_separation: float = 2.0,
+    use_batch_separation: bool = True,
+) -> ModelInstance:
+    if drones < 1:
+        raise ValueError("the fleet needs at least one drone")
+    world = _shared_world() if use_query_cache else surveillance_city()
+    base = _fleet_base_config(world, seed, use_query_cache)
+    fleet = FleetConfig(
+        vehicles=fleet_configs(drones, base),
+        name="multi-drone-surveillance",
+        min_separation=min_separation,
+        use_batch_separation=use_batch_separation,
+    )
+    model = build_fleet_discrete_model(fleet)
+    points = world.surveillance_points
+    menus = {}
+    for index, vehicle in enumerate(fleet.vehicles):
+        if drones == 1:
+            # The single-drone menu, exactly as 'drone-surveillance' builds it.
+            indices = (0, 3, 8)
+        else:
+            # Disjoint menu triples per vehicle (up to three conflict-free
+            # drones on the nine-point circuit; larger fleets share points
+            # and separation counterexamples become findable by default).
+            indices = tuple((offset + index) % len(points) for offset in (0, 3, 6))
+        menu = [DroneState(position=points[i]) for i in indices]
+        if include_conflict and drones >= 2 and _RENDEZVOUS_INDEX not in indices:
+            # Vehicles whose base menu already covers the rendezvous point
+            # (vehicle 2 of a 3-drone fleet) must not list it twice: a
+            # duplicate choice skews random sweeps and makes exhaustive
+            # enumeration explore identical branches twice.  With one drone
+            # there is nothing to rendezvous with.
+            menu.append(DroneState(position=points[_RENDEZVOUS_INDEX]))
+        if include_unsafe_position and index == 0:
+            menu.append(DroneState(position=world.workspace.obstacles[0].center))
+        menus[vehicle.namespace.position] = menu
+    environment = AbstractEnvironment(menus=menus, period=environment_period)
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+@register_scenario(
+    "multi-drone-crossing",
+    description=(
+        "Two protected stacks flying crossing street paths through one "
+        "intersection of the surveillance city; both menus contain the "
+        "crossing point, so executions in which the drones occupy it in the "
+        "same window violate the pairwise separation minimum — "
+        "counterexamples are plentiful, exercising early-stop and replay on "
+        "a composed fleet."
+    ),
+    tags=("drone", "fleet", "unsafe"),
+)
+def build_multi_drone_crossing(
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    seed: int = 0,
+    min_separation: float = 2.0,
+    use_batch_separation: bool = True,
+) -> ModelInstance:
+    world = _shared_world()
+    altitude = world.cruise_altitude
+    crossing = Vec3(18.5, 18.5, altitude)  # free street intersection
+    east_west = [Vec3(4.0, 18.5, altitude), crossing, Vec3(31.5, 18.5, altitude)]
+    north_south = [Vec3(18.5, 4.0, altitude), crossing, Vec3(18.5, 31.5, altitude)]
+    base = _fleet_base_config(world, seed, use_query_cache=True)
+    vehicles = [
+        replace(
+            base,
+            namespace=vehicle_namespace(index, 2),
+            seed=seed + 2 * index,  # two sensor streams per vehicle seed
+            goals=path,
+            start_position=path[0],
+        )
+        for index, path in enumerate((east_west, north_south))
+    ]
+    fleet = FleetConfig(
+        vehicles=vehicles,
+        name="multi-drone-crossing",
+        min_separation=min_separation,
+        use_batch_separation=use_batch_separation,
+    )
+    model = build_fleet_discrete_model(fleet)
+    menus = {
+        vehicle.namespace.position: [DroneState(position=point) for point in path]
+        for vehicle, path in zip(fleet.vehicles, (east_west, north_south))
+    }
+    environment = AbstractEnvironment(menus=menus, period=environment_period)
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
     )

@@ -18,8 +18,8 @@ and the mission-metric extraction used by every benchmark.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..control import (
     AggressiveTracker,
@@ -29,7 +29,7 @@ from ..control import (
     WaypointTracker,
 )
 from ..core.compiler import Program, SoterCompiler
-from ..core.monitor import InvariantMonitor, MonitorSuite, TopicSafetyMonitor
+from ..core.monitor import InvariantMonitor, MonitorSuite, SeparationMonitor, TopicSafetyMonitor
 from ..core.semantics import SchedulingPolicy
 from ..core.specs import SafetySpec
 from ..core.system import RTASystem
@@ -48,10 +48,14 @@ from ..simulation import (
     BatterySensor,
     DronePlant,
     DroneSimulation,
+    FleetResult,
+    FleetSimulation,
+    FleetSimulationConfig,
     MissionWorld,
     SimulationConfig,
     SimulationResult,
     StateEstimator,
+    VehicleChannels,
     surveillance_city,
 )
 from .metrics import MissionMetrics, metrics_from_result
@@ -67,13 +71,7 @@ from .modules import (
     build_safe_motion_primitive,
 )
 from .nodes import PlanForwardNode, PlannerNode, StraightLinePlanner, SurveillanceNode
-from .topics import (
-    ACTIVE_PLAN_TOPIC,
-    COMMAND_TOPIC,
-    MOTION_PLAN_TOPIC,
-    POSITION_TOPIC,
-    standard_topics,
-)
+from .topics import DEFAULT_NAMESPACE, TopicNamespace, vehicle_namespace
 
 
 @dataclass
@@ -131,6 +129,12 @@ class StackConfig:
     # (bit-identical decisions; off only for equivalence tests/benchmarks).
     use_query_cache: bool = True
     seed: int = 0
+
+    # Per-vehicle namespace over every topic, node, module and monitor name.
+    # The default (empty-prefix) namespace reproduces the original
+    # single-drone stack name for name; fleets give each vehicle its own
+    # prefix so N protected stacks compose in one RTASystem.
+    namespace: TopicNamespace = DEFAULT_NAMESPACE
 
     def mission_goals(self) -> Sequence[Vec3]:
         """The fixed goal sequence (the world's surveillance points by default)."""
@@ -239,15 +243,23 @@ class AssembledProgram:
 
 
 def _assemble_program(config: StackConfig) -> AssembledProgram:
-    """Assemble the (uncompiled) drone program described by ``config``."""
+    """Assemble the (uncompiled) drone program described by ``config``.
+
+    Every topic, node, module and monitor name is drawn from
+    ``config.namespace``; the default namespace's empty prefix makes this
+    exactly the original single-drone program, while per-vehicle prefixes
+    let :func:`build_fleet_discrete_model` merge N assemblies into one
+    composable system.
+    """
     world = config.world
     workspace = world.workspace
+    ns = config.namespace
     model = BoundedDoubleIntegrator(
         DoubleIntegratorParams(max_speed=config.max_speed, max_acceleration=config.max_acceleration)
     )
     battery_model = BatteryModel(config.battery_params or BatteryParams())
 
-    program = Program(name="drone-surveillance", topics=standard_topics())
+    program = Program(name=ns.scoped("drone-surveillance"), topics=ns.topics())
 
     # ----------------------------------------------------------------- #
     # application layer
@@ -255,12 +267,15 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
     surveillance = SurveillanceNode(
         goals=config.mission_goals(),
         workspace=workspace,
+        name=ns.scoped("surveillance"),
         period=config.surveillance_period,
         goal_tolerance=config.goal_tolerance,
         loop=config.loop_goals,
         random_goals=config.random_goals,
         altitude=world.cruise_altitude,
         seed=config.seed,
+        position_topic=ns.position,
+        goal_topic=ns.goal,
     )
     program.add_node(surveillance)
 
@@ -283,12 +298,23 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
                 delta=config.planner_delta,
                 node_period=config.planner_period,
                 plan_clearance=max(0.5, config.planner_clearance - 0.6),
+                goal_topic=ns.goal,
+                position_topic=ns.position,
+                plan_topic=ns.motion_plan,
             ),
+            name=ns.scoped("SafeMotionPlanner"),
         )
         program.add_module(planner_module.spec)
     else:
         program.add_node(
-            PlannerNode(name="motionPlanner", planner=advanced_planner, period=config.planner_period)
+            PlannerNode(
+                name=ns.scoped("motionPlanner"),
+                planner=advanced_planner,
+                period=config.planner_period,
+                output_topic=ns.motion_plan,
+                goal_topic=ns.goal,
+                position_topic=ns.position,
+            )
         )
 
     # ----------------------------------------------------------------- #
@@ -299,12 +325,25 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
         battery_module = build_battery_safety(
             battery_model=battery_model,
             config=BatteryModuleConfig(
-                delta=config.battery_delta, node_period=config.battery_period
+                delta=config.battery_delta,
+                node_period=config.battery_period,
+                motion_plan_topic=ns.motion_plan,
+                active_plan_topic=ns.active_plan,
+                position_topic=ns.position,
+                battery_topic=ns.battery,
             ),
+            name=ns.scoped("BatterySafety"),
         )
         program.add_module(battery_module.spec)
     else:
-        program.add_node(PlanForwardNode(name="planRelay", period=config.battery_period))
+        program.add_node(
+            PlanForwardNode(
+                name=ns.scoped("planRelay"),
+                period=config.battery_period,
+                input_topic=ns.motion_plan,
+                output_topic=ns.active_plan,
+            )
+        )
 
     # ----------------------------------------------------------------- #
     # motion primitives (plain or RTA-protected)
@@ -323,7 +362,11 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
                 safer_extra_margin=config.safer_extra_margin,
                 safe_speed_fraction=config.safe_speed_fraction,
                 use_query_cache=config.use_query_cache,
+                plan_topic=ns.active_plan,
+                position_topic=ns.position,
+                command_topic=ns.command,
             ),
+            name=ns.scoped("SafeMotionPrimitive"),
         )
         if config.tracker_fault is not None:
             faulty_ac = FaultInjector(
@@ -341,15 +384,17 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
         else:
             tracker = advanced_tracker
         primitive = MotionPrimitiveNode(
-            name="motionPrimitive",
+            name=ns.scoped("motionPrimitive"),
             tracker=tracker,
-            plan_topic=ACTIVE_PLAN_TOPIC,
-            position_topic=POSITION_TOPIC,
-            command_topic=COMMAND_TOPIC,
+            plan_topic=ns.active_plan,
+            position_topic=ns.position,
+            command_topic=ns.command,
             period=config.mp_period,
         )
         if config.tracker_fault is not None:
-            primitive = FaultInjector(primitive, config.tracker_fault, rename="motionPrimitive.faulty")
+            primitive = FaultInjector(
+                primitive, config.tracker_fault, rename=ns.scoped("motionPrimitive.faulty")
+            )
         program.add_node(primitive)
 
     return AssembledProgram(
@@ -363,22 +408,25 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
     )
 
 
-def _safety_monitors(
+def _vehicle_monitors(
     config: StackConfig,
     system: RTASystem,
     model: BoundedDoubleIntegrator,
     mp_module: Optional[MotionPrimitiveModule],
-) -> MonitorSuite:
-    """The φ_obs topic monitor plus (optionally) the φ_Inv monitor of the MP module.
+) -> list:
+    """One vehicle's monitors: the φ_obs topic monitor plus (optionally) φ_Inv.
 
     Both monitors are wired to the batched safety-query plane: their scalar
     checks hit the workspace's cached :class:`ClearanceField` and their
     batch hooks evaluate whole monitor windows with one vectorised
-    clearance/reachability query.
+    clearance/reachability query.  Names and topics come from the
+    vehicle's namespace, so fleet compositions get one independent monitor
+    set per vehicle.
     """
     workspace = config.world.workspace
+    ns = config.namespace
     field = workspace.clearance_field() if config.use_query_cache else None
-    monitors = MonitorSuite()
+    monitors = []
 
     def _phi_obs(state) -> bool:
         if field is not None:
@@ -389,10 +437,10 @@ def _safety_monitors(
         positions = [s.position.as_tuple() for s in states]
         return workspace.clearance_batch(positions) > 0.0
 
-    monitors.add(
+    monitors.append(
         TopicSafetyMonitor(
-            name="phi_obs(estimated)",
-            topic=POSITION_TOPIC,
+            name=ns.scoped("phi_obs(estimated)"),
+            topic=ns.position,
             spec=SafetySpec(
                 name="phi_obs",
                 predicate=_phi_obs,
@@ -414,7 +462,7 @@ def _safety_monitors(
                 positions, speeds, workspace, horizon, margin=config.collision_margin
             )
 
-        monitors.add(
+        monitors.append(
             InvariantMonitor(
                 module=system.module_named(mp_module.spec.name),
                 may_leave_within=_may_leave,
@@ -422,6 +470,16 @@ def _safety_monitors(
             )
         )
     return monitors
+
+
+def _safety_monitors(
+    config: StackConfig,
+    system: RTASystem,
+    model: BoundedDoubleIntegrator,
+    mp_module: Optional[MotionPrimitiveModule],
+) -> MonitorSuite:
+    """The single-vehicle monitor suite (see :func:`_vehicle_monitors`)."""
+    return MonitorSuite(_vehicle_monitors(config, system, model, mp_module))
 
 
 @dataclass
@@ -503,7 +561,14 @@ def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
         battery_sensor=BatterySensor(seed=config.seed + 1),
         scheduler=config.scheduler,
         monitors=monitors,
-        config=SimulationConfig(),
+        # Sensor/command wiring must follow the vehicle's namespace: with a
+        # prefixed namespace the default topic names would publish where no
+        # node listens (a dead, vacuously-safe mission).
+        config=SimulationConfig(
+            position_topic=config.namespace.position,
+            battery_topic=config.namespace.battery,
+            command_topic=config.namespace.command,
+        ),
     )
     return BuiltStack(
         config=config,
@@ -527,3 +592,270 @@ def run_mission(
     """Convenience wrapper: build the stack and run one mission."""
     stack = build_stack(config)
     return stack.run(duration, stop_on_complete=stop_on_complete)
+
+
+# --------------------------------------------------------------------------- #
+# multi-vehicle fleets: N protected stacks in one shared airspace
+# --------------------------------------------------------------------------- #
+@dataclass
+class FleetConfig:
+    """N per-vehicle stack configurations sharing one airspace.
+
+    Every vehicle must carry a distinct :class:`TopicNamespace` (the
+    composability precondition: disjoint node names and output topics) and
+    the same workspace instance (the shared coordinate frame the
+    separation monitor reasons about).  Use :func:`fleet_configs` to build
+    a conforming list from a single base configuration.
+    """
+
+    vehicles: Sequence[StackConfig]
+    name: str = "drone-fleet"
+    min_separation: float = 2.0
+    with_separation_monitor: bool = True
+    use_batch_separation: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.vehicles:
+            raise ValueError("a fleet needs at least one vehicle")
+        prefixes = [config.namespace.prefix for config in self.vehicles]
+        if len(set(prefixes)) != len(prefixes):
+            raise ValueError(f"vehicle namespaces must be distinct, got {prefixes}")
+        workspace = self.vehicles[0].world.workspace
+        for config in self.vehicles[1:]:
+            if config.world.workspace is not workspace:
+                raise ValueError(
+                    "all fleet vehicles must share one workspace instance "
+                    "(the separation monitor needs a common coordinate frame)"
+                )
+        if self.min_separation <= 0.0:
+            raise ValueError("min_separation must be positive")
+
+
+def fleet_configs(count: int, base: Optional[StackConfig] = None) -> List[StackConfig]:
+    """``count`` per-vehicle configurations derived from one base config.
+
+    Vehicle ``i`` gets the :func:`~repro.apps.topics.vehicle_namespace`
+    convention, seed ``base.seed + 2*i`` (spaced by two because each
+    vehicle derives *two* sensor streams from its seed — estimator at
+    ``seed``, battery sensor at ``seed + 1`` — and adjacent seeds would
+    alias one vehicle's battery stream with the next one's estimator),
+    and (for ``i > 0``) the mission's goal cycle rotated by three points
+    with a matching start position, so fleet members fly interleaved
+    tours of the same surveillance circuit.  Vehicle 0 keeps the base
+    configuration untouched — a fleet of one is exactly the single-drone
+    stack.
+    """
+    if count < 1:
+        raise ValueError("a fleet needs at least one vehicle")
+    base = base or StackConfig()
+    configs: List[StackConfig] = []
+    goals = list(base.mission_goals())
+    for index in range(count):
+        namespace = vehicle_namespace(index, count)
+        if index == 0:
+            configs.append(replace(base, namespace=namespace))
+            continue
+        shift = (3 * index) % len(goals) if goals else 0
+        rotated = goals[shift:] + goals[:shift]
+        configs.append(
+            replace(
+                base,
+                namespace=namespace,
+                seed=base.seed + 2 * index,
+                goals=rotated,
+                start_position=rotated[0] if rotated else base.start_position,
+            )
+        )
+    return configs
+
+
+@dataclass
+class FleetVehicle:
+    """One vehicle's handles inside a composed fleet."""
+
+    config: StackConfig
+    surveillance: SurveillanceNode
+    model: BoundedDoubleIntegrator
+    battery_model: BatteryModel
+    motion_primitive: Optional[MotionPrimitiveModule] = None
+    battery: Optional[BatteryModule] = None
+    planner: Optional[PlannerModule] = None
+
+
+@dataclass
+class FleetModel:
+    """The compiled discrete model of an N-vehicle fleet (no plants)."""
+
+    config: FleetConfig
+    program: Program
+    system: RTASystem
+    monitors: MonitorSuite
+    vehicles: List[FleetVehicle]
+    separation: Optional[SeparationMonitor] = None
+
+
+def _merge_fleet_program(config: FleetConfig, assemblies: Sequence[AssembledProgram]) -> Program:
+    """One program holding every vehicle's topics, nodes and modules."""
+    program = Program(name=config.name)
+    for assembled in assemblies:
+        program.topics.extend(assembled.program.topics)
+        program.nodes.extend(assembled.program.nodes)
+        program.modules.extend(assembled.program.modules)
+    return program
+
+
+def _fleet_vehicles(
+    config: FleetConfig, assemblies: Sequence[AssembledProgram]
+) -> List[FleetVehicle]:
+    return [
+        FleetVehicle(
+            config=vehicle_config,
+            surveillance=assembled.surveillance,
+            model=assembled.model,
+            battery_model=assembled.battery_model,
+            motion_primitive=assembled.mp_module,
+            battery=assembled.battery_module,
+            planner=assembled.planner_module,
+        )
+        for vehicle_config, assembled in zip(config.vehicles, assemblies)
+    ]
+
+
+def _fleet_monitors(
+    config: FleetConfig, system: RTASystem, assemblies: Sequence[AssembledProgram]
+) -> Tuple[MonitorSuite, Optional[SeparationMonitor]]:
+    """Per-vehicle monitor sets plus the shared-airspace separation monitor.
+
+    The separation monitor is only added for actual fleets (two or more
+    vehicles): with a single vehicle there are no pairs to separate, and
+    omitting it keeps the N=1 composition bit-identical to the
+    single-drone stack.
+    """
+    monitors = MonitorSuite()
+    for vehicle_config, assembled in zip(config.vehicles, assemblies):
+        for monitor in _vehicle_monitors(
+            vehicle_config, system, assembled.model, assembled.mp_module
+        ):
+            monitors.add(monitor)
+    separation: Optional[SeparationMonitor] = None
+    if config.with_separation_monitor and len(config.vehicles) >= 2:
+        separation = SeparationMonitor(
+            topics=[vehicle.namespace.position for vehicle in config.vehicles],
+            min_separation=config.min_separation,
+            use_batch=config.use_batch_separation,
+        )
+        monitors.add(separation)
+    return monitors, separation
+
+
+def build_fleet_discrete_model(config: FleetConfig) -> FleetModel:
+    """Assemble and compile the fleet's discrete model for systematic testing.
+
+    The per-vehicle programs are merged into one :class:`Program`
+    (disjoint namespaces make the composition valid by construction,
+    re-checked by the compiler) and every vehicle keeps its own φ_obs and
+    φ_Inv monitors; fleets of two or more additionally get the pairwise
+    :class:`~repro.core.monitor.SeparationMonitor` over all position
+    topics.
+    """
+    assemblies = [_assemble_program(vehicle) for vehicle in config.vehicles]
+    program = _merge_fleet_program(config, assemblies)
+    system = SoterCompiler(strict=True).compile(program).system
+    monitors, separation = _fleet_monitors(config, system, assemblies)
+    return FleetModel(
+        config=config,
+        program=program,
+        system=system,
+        monitors=monitors,
+        vehicles=_fleet_vehicles(config, assemblies),
+        separation=separation,
+    )
+
+
+@dataclass
+class FleetStack:
+    """A compiled fleet plus its co-simulation and bookkeeping handles."""
+
+    config: FleetConfig
+    program: Program
+    system: RTASystem
+    simulation: FleetSimulation
+    monitors: MonitorSuite
+    vehicles: List[FleetVehicle]
+    channels: List[VehicleChannels]
+    separation: Optional[SeparationMonitor] = None
+
+    @property
+    def mission_complete(self) -> bool:
+        return all(vehicle.surveillance.mission_complete for vehicle in self.vehicles)
+
+    def run(self, duration: float, stop_on_complete: bool = True) -> FleetResult:
+        """Run the fleet mission (stopping when every tour is complete)."""
+
+        def stop(sim: FleetSimulation) -> bool:
+            return stop_on_complete and self.mission_complete
+
+        return self.simulation.run(duration, stop_when=stop)
+
+
+def build_fleet_stack(
+    config: FleetConfig, sim_config: Optional[FleetSimulationConfig] = None
+) -> FleetStack:
+    """Assemble, compile, and wire the N-vehicle fleet with per-vehicle plants.
+
+    Every vehicle gets its own :class:`DronePlant`, state estimator and
+    battery sensor, publishing on its namespace's sensor topics; one
+    semantics engine drives the composed program while all plants
+    integrate in lock-step (see
+    :class:`~repro.simulation.FleetSimulation`).  The compiled system and
+    monitors come from :func:`build_fleet_discrete_model`, so the
+    simulated fleet and the discrete model the testers explore are the
+    same composition by construction.
+    """
+    model = build_fleet_discrete_model(config)
+    channels: List[VehicleChannels] = []
+    for index, vehicle in enumerate(model.vehicles):
+        vehicle_config = vehicle.config
+        world = vehicle_config.world
+        ns = vehicle_config.namespace
+        start = vehicle_config.start_position or world.home
+        plant = DronePlant(
+            model=vehicle.model,
+            workspace=world.workspace,
+            battery_model=vehicle.battery_model,
+            initial_state=DroneState(position=start),
+            initial_charge=vehicle_config.initial_charge,
+            collision_margin=0.0,
+        )
+        channels.append(
+            VehicleChannels(
+                name=ns.prefix.rstrip("/") if ns.prefix else f"drone{index}",
+                plant=plant,
+                estimator=StateEstimator(
+                    position_noise=vehicle_config.estimator_noise,
+                    velocity_noise=vehicle_config.estimator_noise,
+                    seed=vehicle_config.seed,
+                ),
+                battery_sensor=BatterySensor(seed=vehicle_config.seed + 1),
+                position_topic=ns.position,
+                battery_topic=ns.battery,
+                command_topic=ns.command,
+            )
+        )
+    simulation = FleetSimulation(
+        system=model.system,
+        vehicles=channels,
+        scheduler=config.vehicles[0].scheduler,
+        monitors=model.monitors,
+        config=sim_config or FleetSimulationConfig(),
+    )
+    return FleetStack(
+        config=config,
+        program=model.program,
+        system=model.system,
+        simulation=simulation,
+        monitors=model.monitors,
+        vehicles=model.vehicles,
+        channels=channels,
+        separation=model.separation,
+    )

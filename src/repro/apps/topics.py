@@ -3,10 +3,23 @@
 The stack of Figure 3 / Figure 8 uses a small set of topics; declaring
 them in one place keeps the node wiring consistent and gives the compiler
 typed declarations to validate against.
+
+Multi-vehicle namespaces
+------------------------
+To compose several protected stacks in one shared airspace every vehicle
+gets its own copy of the topic plane.  A :class:`TopicNamespace` maps the
+base names below to per-vehicle names by prefixing a vehicle tag
+(``drone0/localPosition``, ``drone1/localPosition``, …); node and module
+names are prefixed the same way, which is what keeps the composed system's
+node names unique and its module outputs disjoint (Section IV's
+composability conditions).  The empty prefix is the identity: a
+single-vehicle stack built through the default namespace is exactly the
+original surveillance stack, name for name.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 from ..core.topics import Topic
@@ -29,13 +42,73 @@ ACTIVE_PLAN_TOPIC = "activePlan"
 COMMAND_TOPIC = "controlCommand"
 
 
+@dataclass(frozen=True)
+class TopicNamespace:
+    """A per-vehicle prefix over the stack's topic, node and monitor names."""
+
+    prefix: str = ""
+
+    # -- name mapping ---------------------------------------------------- #
+    def scoped(self, base: str) -> str:
+        """``base`` under this namespace (topic, node, or monitor name)."""
+        return f"{self.prefix}{base}"
+
+    # -- the six stack topics -------------------------------------------- #
+    @property
+    def position(self) -> str:
+        return self.scoped(POSITION_TOPIC)
+
+    @property
+    def battery(self) -> str:
+        return self.scoped(BATTERY_TOPIC)
+
+    @property
+    def goal(self) -> str:
+        return self.scoped(GOAL_TOPIC)
+
+    @property
+    def motion_plan(self) -> str:
+        return self.scoped(MOTION_PLAN_TOPIC)
+
+    @property
+    def active_plan(self) -> str:
+        return self.scoped(ACTIVE_PLAN_TOPIC)
+
+    @property
+    def command(self) -> str:
+        return self.scoped(COMMAND_TOPIC)
+
+    def topics(self) -> List[Topic]:
+        """The typed topic declarations of this vehicle's stack."""
+        return [
+            Topic(self.position, DroneState, description="estimated drone state"),
+            Topic(self.battery, BatteryStatus, description="battery charge and altitude"),
+            Topic(self.goal, Vec3, description="next surveillance goal"),
+            Topic(self.motion_plan, Plan, description="motion plan toward the goal"),
+            Topic(self.active_plan, Plan, description="plan forwarded to the motion primitives"),
+            Topic(self.command, ControlCommand, description="low-level control command"),
+        ]
+
+
+#: The identity namespace of the original single-drone stack.
+DEFAULT_NAMESPACE = TopicNamespace()
+
+
+def vehicle_namespace(index: int, fleet_size: int = 2) -> TopicNamespace:
+    """The namespace convention for vehicle ``index`` of an N-vehicle fleet.
+
+    A fleet of one *is* the plain stack: it keeps the default (empty)
+    namespace, so N=1 compositions are bit-identical to the original
+    single-drone program.  Larger fleets tag every vehicle, including the
+    first, as ``drone<i>/``.
+    """
+    if index < 0 or fleet_size < 1 or index >= fleet_size:
+        raise ValueError(f"vehicle index {index} out of range for a fleet of {fleet_size}")
+    if fleet_size == 1:
+        return DEFAULT_NAMESPACE
+    return TopicNamespace(prefix=f"drone{index}/")
+
+
 def standard_topics() -> List[Topic]:
-    """The typed topic declarations of the surveillance stack."""
-    return [
-        Topic(POSITION_TOPIC, DroneState, description="estimated drone state"),
-        Topic(BATTERY_TOPIC, BatteryStatus, description="battery charge and altitude"),
-        Topic(GOAL_TOPIC, Vec3, description="next surveillance goal"),
-        Topic(MOTION_PLAN_TOPIC, Plan, description="motion plan toward the goal"),
-        Topic(ACTIVE_PLAN_TOPIC, Plan, description="plan forwarded to the motion primitives"),
-        Topic(COMMAND_TOPIC, ControlCommand, description="low-level control command"),
-    ]
+    """The typed topic declarations of the (single-drone) surveillance stack."""
+    return DEFAULT_NAMESPACE.topics()

@@ -32,6 +32,7 @@ from .monitor import (
     InvariantMonitor,
     MonitorResult,
     MonitorSuite,
+    SeparationMonitor,
     TopicSafetyMonitor,
     Violation,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "InvariantMonitor",
     "MonitorResult",
     "MonitorSuite",
+    "SeparationMonitor",
     "TopicSafetyMonitor",
     "Violation",
     "CompilationResult",

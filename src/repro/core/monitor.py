@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..geometry import min_pairwise_separation, pairwise_index_pairs, pairwise_separations
 from .decision import Mode
 from .module import RTAModuleInstance
 from .semantics import SemanticsEngine
@@ -131,6 +134,137 @@ class TopicSafetyMonitor:
             )
             self.result.violations.append(violation)
             flushed.append((serial, violation))
+        return flushed
+
+
+class SeparationMonitor:
+    """Checks pairwise minimum separation between N vehicles' position topics.
+
+    This is the shared-airspace safety plane of a multi-vehicle
+    composition: every sample it reads one state topic per vehicle,
+    extracts positions, and flags the closest pair whenever its distance
+    drops below ``min_separation``.  Samples in which any vehicle's topic
+    is still unset are skipped (nothing to separate yet), mirroring
+    :class:`TopicSafetyMonitor`'s ``ignore_missing`` behaviour.
+
+    The scalar :meth:`check` walks the ``N*(N-1)/2`` pairs with
+    :func:`~repro.geometry.min_pairwise_separation` — the oracle.  The
+    windowed :meth:`capture`/:meth:`flush` path answers a whole window of
+    samples with **one** batched N² query
+    (:func:`~repro.geometry.pairwise_separations` over an ``(S, N, 3)``
+    array); both planes evaluate the same floating-point expressions in
+    the same order, so verdicts, offending pairs, times and messages are
+    bit-for-bit identical (``use_batch=False`` keeps the scalar loop in
+    ``flush`` for the equivalence tests).
+    """
+
+    def __init__(
+        self,
+        topics: Sequence[str],
+        min_separation: float,
+        name: str = "phi_separation",
+        position_of: Optional[Callable[[Any], Any]] = None,
+        use_batch: bool = True,
+    ) -> None:
+        if len(topics) < 2:
+            raise ValueError("a separation monitor needs at least two vehicle topics")
+        if len(set(topics)) != len(topics):
+            raise ValueError("vehicle topics must be distinct")
+        if min_separation <= 0.0:
+            raise ValueError("min_separation must be positive")
+        self.topics: Tuple[str, ...] = tuple(topics)
+        self.min_separation = float(min_separation)
+        self.name = name
+        # Default extractor handles both DroneState-like payloads (with a
+        # ``.position``) and raw Vec3 positions.
+        self.position_of = position_of or (lambda value: getattr(value, "position", value))
+        self.use_batch = use_batch
+        self.result = MonitorResult(name=name)
+        self._pairs = pairwise_index_pairs(len(self.topics))
+        self._pending: List[Tuple[int, float, Tuple[Any, ...]]] = []
+
+    def reset(self) -> None:
+        """Forget recorded violations and pending samples (Resettable)."""
+        self.result.clear()
+        self._pending.clear()
+
+    # -- shared scalar/batch pieces -------------------------------------- #
+    def _read_all(self, engine: SemanticsEngine) -> Tuple[Any, ...]:
+        return tuple(engine.read_topic(topic) for topic in self.topics)
+
+    def _positions(self, values: Sequence[Any]) -> Optional[List[Any]]:
+        """The per-vehicle positions, or ``None`` if any topic is unset."""
+        positions = []
+        for value in values:
+            if value is None:
+                return None
+            positions.append(self.position_of(value))
+        return positions
+
+    def _violation(
+        self, time: float, distance: float, pair: Tuple[int, int], values: Sequence[Any]
+    ) -> Violation:
+        i, j = pair
+        violation = Violation(
+            time=time,
+            monitor=self.name,
+            message=(
+                f"separation {self.topics[i]!r}<->{self.topics[j]!r} is "
+                f"{distance:.3f} m < {self.min_separation:.3f} m"
+            ),
+            state=(values[i], values[j]),
+        )
+        self.result.violations.append(violation)
+        return violation
+
+    # -- immediate evaluation (the scalar oracle) ------------------------- #
+    def check(self, engine: SemanticsEngine) -> Optional[Violation]:
+        """Evaluate pairwise separation now; record the closest offending pair."""
+        values = self._read_all(engine)
+        positions = self._positions(values)
+        if positions is None:
+            return None
+        distance, pair = min_pairwise_separation(positions)
+        if distance >= self.min_separation:
+            return None
+        return self._violation(engine.current_time, float(distance), pair, values)
+
+    # -- windowed evaluation -------------------------------------------- #
+    def capture(self, engine: SemanticsEngine, serial: int) -> None:
+        """Snapshot every vehicle topic; separations are deferred to :meth:`flush`."""
+        self._pending.append((serial, engine.current_time, self._read_all(engine)))
+
+    def flush(self) -> List[Tuple[int, Violation]]:
+        """Evaluate all captured samples — one batched N² query per window."""
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        rows = [(entry, self._positions(entry[2])) for entry in pending]
+        complete = [(entry, positions) for entry, positions in rows if positions is not None]
+        if not complete:
+            return []
+        flushed: List[Tuple[int, Violation]] = []
+        if self.use_batch:
+            stacked = np.array(
+                [[tuple(position) for position in positions] for _, positions in complete],
+                dtype=float,
+            )
+            separations = pairwise_separations(stacked)  # (S, P)
+            worst = separations.argmin(axis=1)  # first minimal pair, like the scalar scan
+            for row, ((serial, time, values), _) in enumerate(complete):
+                pair_index = int(worst[row])
+                distance = float(separations[row, pair_index])
+                if distance >= self.min_separation:
+                    continue
+                flushed.append(
+                    (serial, self._violation(time, distance, self._pairs[pair_index], values))
+                )
+            return flushed
+        for (serial, time, values), positions in complete:
+            distance, pair = min_pairwise_separation(positions)
+            if distance >= self.min_separation:
+                continue
+            flushed.append((serial, self._violation(time, float(distance), pair, values)))
         return flushed
 
 

@@ -6,6 +6,9 @@ from .vec import (
     closest_point_on_segment,
     distance_point_to_polyline,
     distance_point_to_segment,
+    min_pairwise_separation,
+    pairwise_index_pairs,
+    pairwise_separations,
     row_dots,
     row_norms,
     unit_rows,
@@ -43,6 +46,9 @@ __all__ = [
     "closest_point_on_segment",
     "distance_point_to_polyline",
     "distance_point_to_segment",
+    "min_pairwise_separation",
+    "pairwise_index_pairs",
+    "pairwise_separations",
     "row_dots",
     "row_norms",
     "unit_rows",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -183,6 +183,61 @@ def clamp_norm_rows(rows: np.ndarray, max_norm: float) -> np.ndarray:
         max_norm, norms, out=np.ones_like(norms), where=needs_scaling
     )
     return np.where(needs_scaling[:, None], rows * scale[:, None], rows)
+
+
+def pairwise_index_pairs(count: int) -> List[Tuple[int, int]]:
+    """The ``(i, j)`` index pairs with ``i < j``, in lexicographic order.
+
+    This is the canonical condensed-matrix ordering shared by the scalar
+    pairwise-separation oracle and its batched counterpart: entry ``k`` of
+    either result refers to ``pairwise_index_pairs(n)[k]``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [(i, j) for i in range(count) for j in range(i + 1, count)]
+
+
+def pairwise_separations(points: np.ndarray) -> np.ndarray:
+    """Condensed pairwise distances over the second-to-last (vehicle) axis.
+
+    ``points`` is ``(..., N, 3)``; the result is ``(..., N*(N-1)/2)`` in
+    :func:`pairwise_index_pairs` order.  One call answers a whole window of
+    N² separation queries — ``(S, N, 3)`` in, ``(S, P)`` out — and each
+    entry evaluates exactly :meth:`Vec3.distance_to`'s expression
+    (``sqrt((dx*dx + dy*dy) + dz*dz)``), so batched separations are
+    bit-for-bit identical to the scalar pair loop.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim < 2 or pts.shape[-1] != 3:
+        raise ValueError(f"expected a (..., N, 3) point array, got shape {pts.shape}")
+    count = pts.shape[-2]
+    pairs = pairwise_index_pairs(count)
+    if not pairs:
+        return np.zeros(pts.shape[:-2] + (0,))
+    first = np.array([i for i, _ in pairs])
+    second = np.array([j for _, j in pairs])
+    delta = pts[..., first, :] - pts[..., second, :]
+    x, y, z = delta[..., 0], delta[..., 1], delta[..., 2]
+    return np.sqrt(x * x + y * y + z * z)
+
+
+def min_pairwise_separation(positions: Sequence[Vec3]) -> Tuple[float, Tuple[int, int]]:
+    """The smallest pairwise distance and its ``(i, j)`` pair (scalar oracle).
+
+    Scans pairs in :func:`pairwise_index_pairs` order with a strict ``<``
+    comparison, so ties resolve to the first minimal pair — exactly what
+    ``np.argmin`` over :func:`pairwise_separations` returns.
+    """
+    if len(positions) < 2:
+        raise ValueError("pairwise separation needs at least two positions")
+    best = math.inf
+    best_pair = (0, 1)
+    for i, j in pairwise_index_pairs(len(positions)):
+        distance = positions[i].distance_to(positions[j])
+        if distance < best:
+            best = distance
+            best_pair = (i, j)
+    return best, best_pair
 
 
 def distance_point_to_segment(point: Vec3, seg_a: Vec3, seg_b: Vec3) -> float:

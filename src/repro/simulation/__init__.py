@@ -2,6 +2,12 @@
 
 from .drone import BatteryStatus, DronePlant, PlantStatus
 from .environment import ConstantWind, GustyWind, NoWind
+from .fleet import (
+    FleetResult,
+    FleetSimulation,
+    FleetSimulationConfig,
+    VehicleChannels,
+)
 from .sensors import BatterySensor, PerfectEstimator, StateEstimator
 from .sim import DroneSimulation, SimulationConfig, SimulationResult
 from .world import MissionWorld, figure_eight_range, surveillance_city, waypoint_range
@@ -10,6 +16,10 @@ __all__ = [
     "BatteryStatus",
     "DronePlant",
     "PlantStatus",
+    "FleetResult",
+    "FleetSimulation",
+    "FleetSimulationConfig",
+    "VehicleChannels",
     "ConstantWind",
     "GustyWind",
     "NoWind",

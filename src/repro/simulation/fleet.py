@@ -1,0 +1,227 @@
+"""Co-simulation of N drone plants sharing one compiled RTA system.
+
+The multi-vehicle counterpart of :class:`~repro.simulation.sim.DroneSimulation`:
+every vehicle brings its own plant, state estimator and battery sensor,
+publishing on its namespace's sensor topics, while one
+:class:`~repro.core.semantics.SemanticsEngine` drives the composed fleet
+program.  Between discrete steps all plants integrate their currently
+published control commands at the shared physics step, so the vehicles
+evolve in lock-step through the same airspace — which is what the
+pairwise :class:`~repro.core.monitor.SeparationMonitor` observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.monitor import MonitorSuite
+from ..core.semantics import SchedulingPolicy, SemanticsEngine
+from ..core.system import RTASystem
+from ..dynamics import ControlCommand
+from ..geometry import Trajectory, pairwise_separations
+from ..runtime.tracing import ExecutionTrace
+from .drone import DronePlant
+from .environment import NoWind
+from .sensors import BatterySensor, StateEstimator
+
+
+@dataclass
+class VehicleChannels:
+    """One vehicle's plant, sensors, and the topics they publish/read."""
+
+    name: str
+    plant: DronePlant
+    estimator: StateEstimator
+    battery_sensor: BatterySensor
+    position_topic: str
+    battery_topic: str
+    command_topic: str
+
+
+@dataclass
+class FleetSimulationConfig:
+    """Fidelity knobs shared by every vehicle of the fleet co-simulation."""
+
+    physics_dt: float = 0.02
+    monitor_period: float = 0.1
+    record_trajectories: bool = True
+
+    def __post_init__(self) -> None:
+        if self.physics_dt <= 0.0:
+            raise ValueError("physics_dt must be positive")
+        if self.monitor_period <= 0.0:
+            raise ValueError("monitor_period must be positive")
+
+
+@dataclass
+class FleetResult:
+    """Everything one simulated fleet mission produced."""
+
+    engine: SemanticsEngine
+    vehicles: List[VehicleChannels]
+    monitors: MonitorSuite
+    trace: ExecutionTrace
+    trajectories: Dict[str, Trajectory]
+    end_time: float
+    stop_reason: str
+
+    @property
+    def collided(self) -> bool:
+        return any(channel.plant.collided for channel in self.vehicles)
+
+    @property
+    def crashed(self) -> bool:
+        return any(channel.plant.crashed for channel in self.vehicles)
+
+    @property
+    def safe(self) -> bool:
+        return not self.crashed and self.monitors.ok
+
+    def min_separation_observed(self) -> float:
+        """The smallest recorded pairwise separation across the mission.
+
+        Trajectories are sampled at the same instants (every environment
+        transition), so stacking them gives an ``(S, N, 3)`` window that
+        one batched :func:`~repro.geometry.pairwise_separations` call
+        reduces — the same query plane the separation monitor uses.
+        """
+        if len(self.vehicles) < 2:
+            return float("inf")
+        samples = [
+            [sample.position.as_tuple() for sample in self.trajectories[channel.name].samples]
+            for channel in self.vehicles
+        ]
+        length = min(len(track) for track in samples)
+        if length == 0:
+            return float("inf")
+        stacked = np.array([track[:length] for track in samples], dtype=float)  # (N, S, 3)
+        return float(pairwise_separations(stacked.transpose(1, 0, 2)).min())
+
+
+class FleetSimulation:
+    """Couples N :class:`DronePlant`\\ s with one compiled :class:`RTASystem`."""
+
+    def __init__(
+        self,
+        system: RTASystem,
+        vehicles: Sequence[VehicleChannels],
+        wind=None,
+        scheduler: Optional[SchedulingPolicy] = None,
+        monitors: Optional[MonitorSuite] = None,
+        config: Optional[FleetSimulationConfig] = None,
+    ) -> None:
+        if not vehicles:
+            raise ValueError("a fleet simulation needs at least one vehicle")
+        names = [channel.name for channel in vehicles]
+        if len(set(names)) != len(names):
+            raise ValueError("vehicle names must be distinct")
+        self.system = system
+        self.vehicles = list(vehicles)
+        self.wind = wind or NoWind()
+        self.scheduler = scheduler
+        self.monitors = monitors or MonitorSuite()
+        self.config = config or FleetSimulationConfig()
+        self.trace = ExecutionTrace()
+        self.engine = SemanticsEngine(system, scheduler=scheduler, listeners=[self.trace])
+        self.trajectories: Dict[str, Trajectory] = {
+            channel.name: Trajectory() for channel in self.vehicles
+        }
+        self._last_physics_time = 0.0
+        self._next_monitor_time = 0.0
+        self._publish_sensors()
+
+    def reset(self) -> None:
+        """Rewind the whole fleet co-simulation to mission start (Resettable)."""
+        for channel in self.vehicles:
+            channel.plant.reset()
+            for component in (channel.estimator, channel.battery_sensor):
+                reset = getattr(component, "reset", None)
+                if callable(reset):
+                    reset()
+        scheduler_reset = getattr(self.scheduler, "reset", None)
+        if callable(scheduler_reset):
+            scheduler_reset()
+        self.monitors.reset()
+        self.trace.reset()
+        self.engine.reset()
+        for trajectory in self.trajectories.values():
+            trajectory.samples.clear()
+        self._last_physics_time = 0.0
+        self._next_monitor_time = 0.0
+        self._publish_sensors()
+
+    # ------------------------------------------------------------------ #
+    # the environment hook (plants' physics + sensor publication)
+    # ------------------------------------------------------------------ #
+    def _advance_plants(self, until: float) -> None:
+        until = max(until, self._last_physics_time)
+        commands: List[Optional[ControlCommand]] = []
+        for channel in self.vehicles:
+            command = self.engine.read_topic(channel.command_topic)
+            if command is not None and not isinstance(command, ControlCommand):
+                command = None
+            commands.append(command)
+        while self._last_physics_time < until - 1e-12:
+            dt = min(self.config.physics_dt, until - self._last_physics_time)
+            disturbance = self.wind.acceleration(self._last_physics_time)
+            for channel, command in zip(self.vehicles, commands):
+                channel.plant.apply(command, dt, disturbance=disturbance)
+            self._last_physics_time += dt
+        if self.config.record_trajectories:
+            for channel in self.vehicles:
+                self.trajectories[channel.name].append(
+                    time=until,
+                    position=channel.plant.state.position,
+                    velocity=channel.plant.state.velocity,
+                )
+
+    def _publish_sensors(self) -> None:
+        for channel in self.vehicles:
+            estimate = channel.estimator.estimate(channel.plant.state)
+            self.engine.set_input(channel.position_topic, estimate)
+            self.engine.set_input(
+                channel.battery_topic, channel.battery_sensor.measure(channel.plant)
+            )
+
+    def _environment(self, engine: SemanticsEngine, upcoming: float) -> None:
+        self._advance_plants(upcoming)
+        self._publish_sensors()
+        while self._next_monitor_time <= upcoming + 1e-12:
+            self.monitors.check_all(engine)
+            self._next_monitor_time += self.config.monitor_period
+
+    # ------------------------------------------------------------------ #
+    # running missions
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        duration: float,
+        stop_when: Optional[Callable[["FleetSimulation"], bool]] = None,
+        stop_on_crash: bool = True,
+    ) -> FleetResult:
+        """Run the fleet mission for up to ``duration`` seconds of simulated time."""
+        stop_reason = "duration elapsed"
+
+        def should_stop(engine: SemanticsEngine) -> bool:
+            nonlocal stop_reason
+            if stop_on_crash and any(channel.plant.crashed for channel in self.vehicles):
+                stop_reason = "crash"
+                return True
+            if stop_when is not None and stop_when(self):
+                stop_reason = "stop condition"
+                return True
+            return False
+
+        self.engine.run_until(duration, environment=self._environment, stop_when=should_stop)
+        return FleetResult(
+            engine=self.engine,
+            vehicles=self.vehicles,
+            monitors=self.monitors,
+            trace=self.trace,
+            trajectories=self.trajectories,
+            end_time=self.engine.current_time,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,155 @@
+"""Differential proof: an N=1 fleet composition IS the single-drone stack.
+
+The multi-drone tentpole threads per-vehicle namespaces through every
+layer of the stack (topics, nodes, modules, monitors).  These tests pin
+the refactor's central guarantee: composing a fleet of **one** through
+the namespace/merge machinery produces an exploration that is
+bit-identical — trails, step counts, violation sequences — to the
+original ``drone-surveillance`` scenario, under random sweeps, exhaustive
+enumeration, and process-pool sharding alike.  The 2-drone cases then
+show the composition actually grows the behaviour (separation
+counterexamples exist and replay).
+"""
+
+import pytest
+
+from repro.testing import (
+    ExhaustiveStrategy,
+    ParallelTester,
+    RandomStrategy,
+    SystematicTester,
+    scenario_factory,
+)
+
+#: The single-drone scenario and its N=1 fleet composition, same knobs.
+SINGLE = ("drone-surveillance", {"include_unsafe_position": True})
+FLEET_OF_ONE = ("multi-drone-surveillance", {"drones": 1, "include_unsafe_position": True})
+
+
+def _record_key(record):
+    """Everything an ExecutionRecord observably contains (cf. test_reset_reuse)."""
+    return (
+        record.index,
+        record.steps,
+        tuple(record.trail or ()),
+        tuple(
+            (violation.time, violation.monitor, violation.message, type(violation.state).__name__)
+            for violation in record.violations
+        ),
+    )
+
+
+def _report_keys(report):
+    return [_record_key(record) for record in report.executions]
+
+
+class TestFleetOfOneIsBitIdentical:
+    @pytest.mark.parametrize("reuse", [True, False], ids=["reset-reuse", "fresh-build"])
+    def test_random_sweeps_identical(self, reuse):
+        reports = {}
+        for name, overrides in (SINGLE, FLEET_OF_ONE):
+            tester = SystematicTester(
+                scenario_factory(name, **overrides),
+                RandomStrategy(seed=3, max_executions=15),
+                reuse_instances=reuse,
+            )
+            reports[name] = tester.explore()
+        assert _report_keys(reports[SINGLE[0]]) == _report_keys(reports[FLEET_OF_ONE[0]])
+        # The sweep must exercise real violations, or the claim is hollow.
+        assert not reports[SINGLE[0]].ok
+
+    def test_exhaustive_enumerations_identical(self):
+        reports = {}
+        for name, overrides in (SINGLE, FLEET_OF_ONE):
+            tester = SystematicTester(
+                scenario_factory(name, **overrides),
+                ExhaustiveStrategy(max_depth=4, max_executions=30),
+            )
+            reports[name] = tester.explore()
+        assert _report_keys(reports[SINGLE[0]]) == _report_keys(reports[FLEET_OF_ONE[0]])
+        assert reports[SINGLE[0]].execution_count > 1
+
+    def test_parallel_sweeps_identical(self):
+        reports = {}
+        for name, overrides in (SINGLE, FLEET_OF_ONE):
+            tester = ParallelTester(
+                scenario=name,
+                scenario_overrides=overrides,
+                strategy=RandomStrategy(seed=7, max_executions=12),
+                workers=2,
+            )
+            reports[name] = tester.explore()
+        assert _report_keys(reports[SINGLE[0]]) == _report_keys(reports[FLEET_OF_ONE[0]])
+        assert reports[FLEET_OF_ONE[0]].all_confirmed
+        assert not reports[FLEET_OF_ONE[0]].ok
+
+    def test_safe_variant_also_identical(self):
+        # No violations anywhere: the equivalence is not an artefact of the
+        # unsafe-position menus.
+        reports = {}
+        for name, overrides in (("drone-surveillance", {}), ("multi-drone-surveillance", {"drones": 1})):
+            tester = SystematicTester(
+                scenario_factory(name, **overrides),
+                RandomStrategy(seed=11, max_executions=10),
+            )
+            reports[name] = tester.explore()
+        assert _report_keys(reports["drone-surveillance"]) == _report_keys(
+            reports["multi-drone-surveillance"]
+        )
+        assert reports["drone-surveillance"].ok
+
+
+class TestTwoDroneExploration:
+    def test_conflict_counterexamples_found_and_replayable(self):
+        factory = scenario_factory(
+            "multi-drone-surveillance", drones=2, include_conflict=True
+        )
+        tester = SystematicTester(factory, RandomStrategy(seed=2, max_executions=25))
+        report = tester.explore()
+        counterexample = report.first_counterexample()
+        assert counterexample is not None
+        assert any(v.monitor == "phi_separation" for v in counterexample.violations)
+        replayed = tester.replay(counterexample.trail, index=counterexample.index)
+        assert _record_key(replayed) == _record_key(counterexample)
+
+    def test_default_two_drone_menus_are_conflict_free(self):
+        tester = SystematicTester(
+            scenario_factory("multi-drone-surveillance", drones=2),
+            RandomStrategy(seed=5, max_executions=15),
+        )
+        assert tester.explore().ok
+
+    def test_parallel_matches_serial_on_the_crossing_scenario(self):
+        serial = SystematicTester(
+            scenario_factory("multi-drone-crossing"),
+            ExhaustiveStrategy(max_depth=4, max_executions=90),
+        ).explore()
+        parallel = ParallelTester(
+            scenario="multi-drone-crossing",
+            strategy=ExhaustiveStrategy(max_depth=4, max_executions=90),
+            workers=2,
+        ).explore()
+        assert _report_keys(parallel) == _report_keys(serial)
+        assert not serial.ok  # crossing conflicts are plentiful by design
+        assert parallel.all_confirmed
+
+    def test_parallel_early_stop_on_separation_violation(self):
+        tester = ParallelTester(
+            scenario="multi-drone-crossing",
+            strategy=RandomStrategy(seed=1, max_executions=40),
+            workers=2,
+        )
+        report = tester.explore(stop_at_first_violation=True)
+        assert not report.ok
+        assert report.execution_count <= 40
+        assert report.all_confirmed
+
+    def test_three_drone_fleet_shards_like_any_scenario(self):
+        report = ParallelTester(
+            scenario="multi-drone-surveillance",
+            scenario_overrides={"drones": 3, "include_conflict": True},
+            strategy=RandomStrategy(seed=9, max_executions=12),
+            workers=3,
+        ).explore()
+        assert report.execution_count == 12
+        assert report.all_confirmed

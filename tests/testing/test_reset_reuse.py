@@ -20,13 +20,18 @@ from repro.testing import (
 )
 
 #: Every registered scenario, with overrides that make violations likely so
-#: the equivalence claim covers non-empty violation sequences too.
+#: the equivalence claim covers non-empty violation sequences too.  The
+#: multi-drone entries prove the Resettable contract holds for N-vehicle
+#: fleet compositions (N stacks, per-vehicle monitors, and the pairwise
+#: separation monitor all rewind in place).
 SCENARIOS = [
     ("toy-closed-loop", {"broken_ttf": True}),
     ("drone-surveillance", {"include_unsafe_position": True}),
     ("battery-safety-abort", {"include_critical": True}),
     ("faulty-planner", {}),
     ("multi-obstacle-geofence", {"include_breach": True}),
+    ("multi-drone-surveillance", {"drones": 2, "include_conflict": True}),
+    ("multi-drone-crossing", {}),
 ]
 
 
@@ -95,6 +100,23 @@ class TestResetVsRebuildEquivalence:
         assert _record_key(replayed) == _record_key(counterexample)
         # And the exploration strategy survives the replay untouched.
         assert isinstance(tester.strategy, RandomStrategy)
+
+    def test_replay_on_reused_multi_drone_instance_matches_original(self):
+        # A separation counterexample replays on the reused 2-drone fleet
+        # instance: the composed system, per-vehicle monitors and the
+        # pairwise separation monitor all rewind in place.
+        factory = scenario_factory(
+            "multi-drone-surveillance", drones=2, include_conflict=True
+        )
+        tester = SystematicTester(
+            factory, RandomStrategy(seed=5, max_executions=25), reuse_instances=True
+        )
+        report = tester.explore()
+        counterexample = report.first_counterexample()
+        assert counterexample is not None
+        assert any(v.monitor == "phi_separation" for v in counterexample.violations)
+        replayed = tester.replay(counterexample.trail, index=counterexample.index)
+        assert _record_key(replayed) == _record_key(counterexample)
 
     def test_reuse_builds_the_instance_exactly_once(self):
         builds = []

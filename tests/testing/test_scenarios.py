@@ -21,6 +21,8 @@ EXPECTED_SCENARIOS = {
     "battery-safety-abort",
     "faulty-planner",
     "multi-obstacle-geofence",
+    "multi-drone-surveillance",
+    "multi-drone-crossing",
 }
 
 
