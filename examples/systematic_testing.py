@@ -9,14 +9,32 @@ nodes under bounded asynchrony — while safety monitors check every step.
 Workloads come from the scenario registry: every named scenario builds a
 fresh model instance, so the serial tester, the parallel tester,
 benchmarks, and this example all construct the same workloads through one
-API.  The example:
+API.  Three exploration strategies are on show (the fourth, replay, is
+what re-executes counterexamples):
+
+* **random** — seeded independent executions; cheap, replayable,
+  shardable across workers;
+* **exhaustive** — depth-first enumeration of every choice combination
+  up to a bound (bounded model checking);
+* **coverage-guided** — novelty search over the mode/region coverage
+  plane: every monitor sample classifies each protected module into the
+  paper's Figure-10 regions, and the strategy biases choices toward
+  ``(vehicle, mode, region)`` pairs the sweep has not visited yet.
+
+The example:
 
 1. lists the registered scenarios,
 2. explores the toy closed loop serially, with a correct and with a
    deliberately broken decision module (the tester finds the bug),
-3. shards a sweep of the faulty-planner scenario across worker processes
+3. pits random against coverage-guided exploration on the
+   coverage-hostile ``deep-menu-surveillance`` scenario at an equal
+   budget and prints the guided sweep's coverage table,
+4. shards a sweep of the faulty-planner scenario across worker processes
    with early stop, and replays the counterexample trail on the serial
    engine to confirm it.
+
+See docs/exploration.md for the strategy protocol and the coverage-plane
+semantics, and docs/scenarios.md for the scenario catalogue.
 
 Run with:  python examples/systematic_testing.py
 """
@@ -24,6 +42,7 @@ Run with:  python examples/systematic_testing.py
 from __future__ import annotations
 
 from repro.testing import (
+    CoverageGuidedStrategy,
     ParallelTester,
     RandomStrategy,
     SystematicTester,
@@ -56,6 +75,35 @@ def explore_serial(label: str, broken_ttf: bool) -> None:
         print(f"  replayable trail: {counterexample.trail}")
 
 
+def explore_with_coverage() -> None:
+    """Random vs coverage-guided at an equal budget, with the coverage table.
+
+    ``deep-menu-surveillance`` is hostile by construction: a thirty-plus
+    option estimate menu in which almost every option is deep-safe, so
+    uniform random keeps re-sampling known regions while the guided
+    strategy sweeps untried options first and mutates novelty-producing
+    trails.  Coverage tracking is free to combine with any strategy —
+    pass ``track_coverage=True`` — and auto-enables for the guided one.
+    """
+    budget = 32
+    reports = {}
+    for label, strategy in (
+        ("random", RandomStrategy(seed=0, max_executions=budget)),
+        ("coverage-guided", CoverageGuidedStrategy(seed=0, max_executions=budget)),
+    ):
+        tester = SystematicTester(
+            scenario_factory("deep-menu-surveillance"), strategy, track_coverage=True
+        )
+        reports[label] = tester.explore()
+    print(f"deep-menu-surveillance, {budget} executions each:")
+    for label, report in reports.items():
+        print(f"  {label:16s} {len(report.coverage)} distinct (vehicle, mode, region) pair(s)")
+    print()
+    print("coverage-guided occupancy:")
+    for line in reports["coverage-guided"].coverage.table().splitlines():
+        print(f"  {line}")
+
+
 def explore_parallel() -> None:
     tester = ParallelTester(
         "faulty-planner",
@@ -80,6 +128,8 @@ def main() -> None:
     print()
     explore_serial("well-formed module   ", broken_ttf=False)
     explore_serial("broken ttf_2Δ variant", broken_ttf=True)
+    print()
+    explore_with_coverage()
     print()
     explore_parallel()
 

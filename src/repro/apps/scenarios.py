@@ -34,18 +34,21 @@ from __future__ import annotations
 
 from dataclasses import replace
 from functools import lru_cache
-from typing import List
+from typing import List, Optional
 
 from ..core.compiler import Program, SoterCompiler
+from ..core.module import RTAModuleSpec
 from ..core.monitor import MonitorSuite, TopicSafetyMonitor
 from ..core.node import FunctionNode
+from ..core.regions import Region, classify_region
 from ..core.specs import SafetySpec
 from ..core.topics import Topic
 from ..dynamics import DroneState
 from ..geometry import AABB, Vec3, empty_workspace
+from ..geometry.workspace import Workspace
 from ..planning import Plan
 from ..planning.validation import PlanValidator
-from ..simulation import surveillance_city
+from ..simulation import MissionWorld, surveillance_city
 from ..simulation.drone import BatteryStatus
 from ..testing.abstractions import AbstractEnvironment, NondeterministicNode
 from ..testing.explorer import ModelInstance
@@ -303,6 +306,239 @@ def build_multi_obstacle_geofence(
     environment = AbstractEnvironment(menus={"position": points}, period=environment_period)
     return ModelInstance(
         system=system, monitors=monitors, environment=environment, horizon=horizon
+    )
+
+
+# --------------------------------------------------------------------- #
+# coverage-hostile scenarios (the coverage plane's evaluation workloads)
+# --------------------------------------------------------------------- #
+#
+# Both scenarios below are *coverage-hostile by construction*: most menu
+# options keep the module deep inside φ_safer (region R5), so the rarely
+# chosen options near an obstacle — and the mode transitions they cause —
+# are what unlock new (vehicle, mode, region) pairs.  Reaching a pair
+# like (SC, R4:nominal) needs a *sequence* (a switching-region estimate
+# to force SC mode, then a nominal estimate while still in SC), which
+# uniform random sampling over a deep menu rarely produces.  They exist
+# to evaluate CoverageGuidedStrategy against RandomStrategy
+# (benchmarks/bench_coverage_guided.py) and are registered like every
+# other scenario so the testers build them by name.
+#
+# Both protect *two* modules — the motion primitive and the battery — so
+# the coverage plane spans two vehicles' worth of (mode, region) pairs
+# whose rare branches live in independent menus (position estimates and
+# battery readings); covering the product takes joint exploration.
+
+#: Adversarial battery readings spanning the battery module's regions:
+#: six nominal mid-charges (R4) diluting one full-charge recovery reading
+#: (R5, > 85 % — the only way the battery DM ever reaches AC mode) and one
+#: reading just above empty (R3: ``ttf_2Δ`` fires, the DM must land).
+#: None violates φ_bat (charge stays positive), so the default scenarios
+#: remain counterexample-free.
+_COVERAGE_BATTERY_MENU = (0.5, 0.6, 0.4, 0.3, 0.7, 0.2, 1.0, 0.02)
+
+
+def _battery_menu_states() -> List[BatteryStatus]:
+    return [BatteryStatus(charge=charge, altitude=2.0) for charge in _COVERAGE_BATTERY_MENU]
+
+
+def _region_menu_points(
+    spec: RTAModuleSpec, workspace: Workspace, altitude: float, step: float = 0.05
+) -> dict:
+    """Deterministic menu points per observable region, derived from the spec.
+
+    Walks outward from the first obstacle's +x face and classifies each
+    candidate with :func:`~repro.core.regions.classify_region`, so the
+    returned points carry their region *by construction* — parameter
+    drift in Δ, margins or the synthesized φ_safer threshold moves the
+    points instead of silently re-labelling them.  ``SWITCHING`` is the
+    outermost switching-shell point (maximal clearance while ``ttf_2Δ``
+    still holds), which keeps the default scenarios φ_Inv-clean: the DM
+    reacts one Δ later, and by then the worst-case Δ-reach ball still
+    clears the obstacle.
+    """
+    box = workspace.obstacles[0]
+    y = (box.lo.y + box.hi.y) / 2.0
+    shell: Optional[Vec3] = None
+    nominal: Optional[Vec3] = None
+    safer: Optional[Vec3] = None
+    radius = step
+    while radius < 40.0 and (nominal is None or safer is None):
+        point = Vec3(box.hi.x + radius, y, altitude)
+        region = classify_region(spec, DroneState(position=point))
+        if region is Region.SWITCHING:
+            shell = point  # keep the outermost one seen
+        elif region is Region.NOMINAL and nominal is None:
+            nominal = point
+        elif region is Region.SAFER and safer is None:
+            safer = point
+        radius += step
+    if shell is None or nominal is None or safer is None:
+        missing = [
+            name
+            for name, found in (("switching", shell), ("nominal", nominal), ("safer", safer))
+            if found is None
+        ]
+        raise ValueError(f"no {'/'.join(missing)} point found along the probe ray")
+    return {
+        Region.UNSAFE: Vec3(box.center.x, box.center.y, altitude),
+        Region.SWITCHING: shell,
+        Region.NOMINAL: nominal,
+        Region.SAFER: safer,
+    }
+
+
+def _region_grid_points(
+    spec: RTAModuleSpec,
+    workspace: Workspace,
+    altitude: float,
+    count: int,
+    region: Region,
+    spacing: float = 1.5,
+) -> List[Vec3]:
+    """The first ``count`` grid points classified into ``region``.
+
+    A deterministic raster scan over the workspace floor plan; these are
+    the "boring" menu options that dilute the interesting ones.
+    """
+    points: List[Vec3] = []
+    lo, hi = workspace.bounds.lo, workspace.bounds.hi
+    x = lo.x + 2.0
+    while x < hi.x - 1.0 and len(points) < count:
+        y = lo.y + 2.0
+        while y < hi.y - 1.0 and len(points) < count:
+            point = Vec3(x, y, altitude)
+            if classify_region(spec, DroneState(position=point)) is region:
+                points.append(point)
+            y += spacing
+        x += spacing
+    if len(points) < count:
+        raise ValueError(
+            f"only found {len(points)} {region.value} grid points, wanted {count}"
+        )
+    return points
+
+
+@lru_cache(maxsize=None)
+def _pillar_world() -> MissionWorld:
+    """The three-pillar field as a mission world (shared per process)."""
+    workspace = _geofence_workspace()
+    return MissionWorld(
+        workspace=workspace,
+        surveillance_points=[Vec3(10.0, 4.0, 2.0), Vec3(17.0, 17.0, 2.0), Vec3(3.0, 10.0, 2.0)],
+        home=Vec3(10.0, 4.0, 2.0),
+        cruise_altitude=2.0,
+    )
+
+
+@register_scenario(
+    "rare-branch-geofence",
+    description=(
+        "The doubly-protected stack (motion primitive + battery) over the "
+        "three-pillar field with a sequence-hostile estimate menu: "
+        "boring_options nominal (R4) points dilute exactly one deep-safe "
+        "(R5) recovery point and one switching-shell (R3) point.  Both "
+        "decision modules boot in SC and only reach AC through the rare "
+        "recovery estimate, so every (AC, region) coverage pair hides "
+        "behind a rare *sequence* of choices (recovery first, then the "
+        "region).  Safe by default; include_breach=True adds an estimate "
+        "inside the pillar (φ_obs), making time-to-first-counterexample "
+        "measurable."
+    ),
+    tags=("drone", "stack", "coverage"),
+)
+def build_rare_branch_geofence(
+    include_breach: bool = False,
+    boring_options: int = 12,
+    horizon: float = 0.5,
+    environment_period: float = 0.25,
+    seed: int = 0,
+    use_query_cache: bool = True,
+) -> ModelInstance:
+    world = _pillar_world()
+    config = StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=True,
+        protect_motion_primitive=True,
+        use_query_cache=use_query_cache,
+        seed=seed,
+    )
+    model = build_discrete_model(config)
+    spec = model.motion_primitive.spec
+    targets = _region_menu_points(spec, world.workspace, world.cruise_altitude)
+    positions = [
+        DroneState(position=point)
+        for point in _region_grid_points(
+            spec, world.workspace, world.cruise_altitude, boring_options, Region.NOMINAL
+        )
+    ]
+    positions.append(DroneState(position=targets[Region.SAFER]))
+    positions.append(DroneState(position=targets[Region.SWITCHING]))
+    if include_breach:
+        positions.append(DroneState(position=targets[Region.UNSAFE]))
+    environment = AbstractEnvironment(
+        menus={POSITION_TOPIC: positions, BATTERY_TOPIC: _battery_menu_states()},
+        period=environment_period,
+    )
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+@register_scenario(
+    "deep-menu-surveillance",
+    description=(
+        "The doubly-protected surveillance-city stack with a *deep* "
+        "estimate menu: the nine surveillance points plus deep_options "
+        "more deep-safe street points (all R5) dilute one switching-shell "
+        "and one nominal point near the first building to a thirty-plus "
+        "option menu.  Uniform random draws keep re-sampling known "
+        "deep-safe estimates (the coupon-collector tail) while the "
+        "interesting shell/nominal branches — and the battery module's "
+        "rare recovery/abort readings — go unvisited.  Safe by default; "
+        "include_unsafe_position=True adds a building-centre estimate "
+        "(φ_obs)."
+    ),
+    tags=("drone", "stack", "coverage"),
+)
+def build_deep_menu_surveillance(
+    include_unsafe_position: bool = False,
+    deep_options: int = 24,
+    horizon: float = 0.5,
+    environment_period: float = 0.25,
+    seed: int = 0,
+    use_query_cache: bool = True,
+) -> ModelInstance:
+    world = _shared_world() if use_query_cache else surveillance_city()
+    config = StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=True,
+        protect_motion_primitive=True,
+        use_query_cache=use_query_cache,
+        seed=seed,
+    )
+    model = build_discrete_model(config)
+    spec = model.motion_primitive.spec
+    targets = _region_menu_points(spec, world.workspace, world.cruise_altitude)
+    positions = [DroneState(position=point) for point in world.surveillance_points]
+    positions.extend(
+        DroneState(position=point)
+        for point in _region_grid_points(
+            spec, world.workspace, world.cruise_altitude, deep_options, Region.SAFER, spacing=2.5
+        )
+    )
+    positions.append(DroneState(position=targets[Region.SWITCHING]))
+    positions.append(DroneState(position=targets[Region.NOMINAL]))
+    if include_unsafe_position:
+        positions.append(DroneState(position=targets[Region.UNSAFE]))
+    environment = AbstractEnvironment(
+        menus={POSITION_TOPIC: positions, BATTERY_TOPIC: _battery_menu_states()},
+        period=environment_period,
+    )
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
     )
 
 

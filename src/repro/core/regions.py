@@ -36,7 +36,24 @@ class Region(enum.Enum):
 
 
 def classify_region(spec: RTAModuleSpec, state: Any) -> Region:
-    """Classify a monitored state into the regions of Figure 10."""
+    """Classify a monitored state into the regions of Figure 10.
+
+    The classification asks the module's own predicates (φ_safe, φ_safer,
+    ``ttf_2Δ``) in precedence order, so it costs at most three spec
+    evaluations — all of which route through the cached safety-query
+    plane for the drone modules.  The testing engine's coverage plane
+    (:mod:`repro.testing.coverage`) samples this at every monitor instant
+    to build ``(vehicle, mode, region)`` occupancy maps.
+
+    >>> from repro.testing.scenarios import build_scenario
+    >>> module = build_scenario("toy-closed-loop").system.modules[0]
+    >>> classify_region(module.spec, 2.0)        # far from the cliff
+    <Region.SAFER: 'R5:safer'>
+    >>> classify_region(module.spec, 8.95)       # inside the switching shell
+    <Region.SWITCHING: 'R3:switching'>
+    >>> classify_region(module.spec, 9.5)        # over the cliff
+    <Region.UNSAFE: 'R1:unsafe'>
+    """
     if not spec.safe_spec.contains(state):
         return Region.UNSAFE
     if spec.safer_spec.contains(state):

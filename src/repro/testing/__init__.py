@@ -7,6 +7,7 @@ registry (:mod:`~repro.testing.scenarios`).
 """
 
 from .abstractions import AbstractEnvironment, NondeterministicNode, constant_environment
+from .coverage import CoverageKey, CoverageMap, CoverageTracker, merge_maps, vehicle_label
 from .explorer import (
     ExecutionRecord,
     ModelInstance,
@@ -27,6 +28,7 @@ from .scenarios import (
 from .scheduler import BoundedAsynchronyScheduler
 from .strategies import (
     ChoiceStrategy,
+    CoverageGuidedStrategy,
     ExhaustiveStrategy,
     RandomStrategy,
     ReplayStrategy,
@@ -38,6 +40,11 @@ __all__ = [
     "AbstractEnvironment",
     "NondeterministicNode",
     "constant_environment",
+    "CoverageKey",
+    "CoverageMap",
+    "CoverageTracker",
+    "merge_maps",
+    "vehicle_label",
     "ExecutionRecord",
     "ModelInstance",
     "SystematicTester",
@@ -55,6 +62,7 @@ __all__ = [
     "scenario_factory",
     "BoundedAsynchronyScheduler",
     "ChoiceStrategy",
+    "CoverageGuidedStrategy",
     "ExhaustiveStrategy",
     "RandomStrategy",
     "ReplayStrategy",

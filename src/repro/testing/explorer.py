@@ -31,6 +31,7 @@ from ..core.monitor import MonitorSuite, Violation
 from ..core.semantics import SemanticsEngine
 from ..core.system import RTASystem
 from .abstractions import AbstractEnvironment, NondeterministicNode
+from .coverage import CoverageMap, CoverageTracker
 from .scheduler import BoundedAsynchronyScheduler
 from .strategies import (
     ChoiceStrategy,
@@ -85,7 +86,18 @@ TestHarness = ModelInstance
 
 @dataclass
 class ExecutionRecord:
-    """Outcome of a single explored execution."""
+    """Outcome of a single explored execution.
+
+    Attributes:
+        index: the execution's position in the sweep (serial order).
+        steps: discrete time-progress steps the execution took.
+        violations: every monitor violation the execution triggered,
+            in the order the monitors reported them.
+        trail: the recorded choice sequence — replay it with
+            :meth:`SystematicTester.replay` to re-execute this execution
+            bit-identically.
+        worker: the parallel worker that ran it (``None`` when serial).
+    """
 
     index: int
     steps: int
@@ -95,6 +107,7 @@ class ExecutionRecord:
 
     @property
     def ok(self) -> bool:
+        """True when the execution triggered no monitor violation."""
         return not self.violations
 
 
@@ -109,11 +122,30 @@ class TestReport:
     rescanning the whole history.  Code that reorders or removes records
     (the parallel aggregator does both) must call
     :meth:`invalidate_caches` afterwards.
+
+    :attr:`coverage` is the run's cumulative
+    :class:`~repro.testing.coverage.CoverageMap` — the distinct
+    ``(vehicle, mode, region)`` pairs the sweep visited with per-pair
+    sample counts.  It is only populated when the tester tracks coverage
+    (``track_coverage=True``, or automatically under
+    :class:`~repro.testing.strategies.CoverageGuidedStrategy`).
+
+    >>> from repro.core.monitor import Violation
+    >>> report = TestReport()
+    >>> report.add(ExecutionRecord(index=0, steps=4, violations=[]))
+    >>> report.add(ExecutionRecord(
+    ...     index=1, steps=4,
+    ...     violations=[Violation(time=0.5, monitor="phi", message="boom")]))
+    >>> report.ok, report.execution_count, report.total_violations
+    (False, 2, 1)
+    >>> report.first_counterexample().index
+    1
     """
 
     __test__ = False
 
     executions: List[ExecutionRecord] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
 
     def __post_init__(self) -> None:
         self._failing_cache: List[ExecutionRecord] = []
@@ -166,13 +198,17 @@ class TestReport:
         return self._failing_cache[0] if self._failing_cache else None
 
     def summary(self) -> str:
+        """One line: executions explored, failures, violations, coverage."""
         self._refresh()
         failing = len(self._failing_cache)
         status = "all executions safe" if not failing else f"{failing} failing execution(s)"
-        return (
+        line = (
             f"systematic testing: {self.execution_count} execution(s) explored, {status}, "
             f"{self.total_violations} violation(s) recorded"
         )
+        if self.coverage:
+            line += f", {len(self.coverage)} (vehicle, mode, region) pair(s) covered"
+        return line
 
 
 class SystematicTester:
@@ -194,6 +230,28 @@ class SystematicTester:
     when the scalar monitor checks are expensive (many obstacles, no
     warm :class:`~repro.geometry.ClearanceField`); with a warm cache the
     per-step path is already cheap, so the default stays scalar.
+
+    ``track_coverage`` attaches a
+    :class:`~repro.testing.coverage.CoverageTracker` to the model
+    instance's monitor suite: every execution's ``(vehicle, mode,
+    region)`` occupancy is merged into the tester-level cumulative
+    :attr:`coverage` (published as ``report.coverage`` by
+    :meth:`explore`) and fed back to strategies that implement
+    ``observe_coverage``.  The default ``None`` enables tracking exactly
+    when the strategy asks for it (``strategy.wants_coverage``, e.g.
+    :class:`~repro.testing.strategies.CoverageGuidedStrategy`), so the
+    random/exhaustive hot paths pay nothing unless a caller opts in.
+
+    >>> from repro.testing import RandomStrategy, scenario_factory
+    >>> tester = SystematicTester(
+    ...     scenario_factory("toy-closed-loop", broken_ttf=True),
+    ...     RandomStrategy(seed=0, max_executions=10))
+    >>> report = tester.explore(stop_at_first_violation=True)
+    >>> report.ok
+    False
+    >>> replayed = tester.replay(report.first_counterexample().trail)
+    >>> replayed.violations[0].monitor
+    'phi_inv[toyRover]'
     """
 
     def __init__(
@@ -203,6 +261,7 @@ class SystematicTester:
         max_permuted: int = 6,
         monitor_window: int = 1,
         reuse_instances: bool = True,
+        track_coverage: Optional[bool] = None,
     ) -> None:
         if monitor_window < 1:
             raise ValueError("monitor_window must be at least 1")
@@ -211,6 +270,10 @@ class SystematicTester:
         self.max_permuted = max_permuted
         self.monitor_window = monitor_window
         self.reuse_instances = reuse_instances
+        self._track_coverage_option = track_coverage
+        #: Cumulative coverage of every execution this tester ran (reset at
+        #: the start of each :meth:`explore`); empty unless tracking is on.
+        self.coverage = CoverageMap()
         # Reused across executions on the hot path: the built instance,
         # its engine, the strategy-bound scheduler, and the violation
         # accumulation buffer (cleared, never reallocated).
@@ -218,6 +281,20 @@ class SystematicTester:
         self._engine: Optional[SemanticsEngine] = None
         self._scheduler: Optional[BoundedAsynchronyScheduler] = None
         self._violation_buffer: List[Violation] = []
+        self._tracker: Optional[CoverageTracker] = None
+
+    @property
+    def track_coverage(self) -> bool:
+        """Whether executions feed the coverage plane.
+
+        Explicit ``track_coverage=True/False`` wins; ``None`` defers to
+        the current strategy's ``wants_coverage`` marker, so swapping a
+        coverage-guided strategy in (as the parallel workers swap
+        strategies per shard) enables tracking automatically.
+        """
+        if self._track_coverage_option is not None:
+            return self._track_coverage_option
+        return bool(getattr(self.strategy, "wants_coverage", False))
 
     # ------------------------------------------------------------------ #
     # instance lifecycle
@@ -232,15 +309,38 @@ class SystematicTester:
         """
         if not self.reuse_instances:
             harness = self.harness_factory()
+            self._attach_tracker(harness)
             return harness, SemanticsEngine(harness.system)
         if self._instance is None:
             self._instance = self.harness_factory()
             self._engine = SemanticsEngine(self._instance.system)
+            self._attach_tracker(self._instance)
         else:
             assert self._engine is not None
             self._engine.reset()
+            # The instance reset clears the tracker's per-execution map
+            # (via MonitorSuite.reset) while the tester-held cumulative
+            # map stays warm — the coverage half of the reset contract.
             self._instance.reset()
+            if self.track_coverage and self._tracker is None:
+                self._attach_tracker(self._instance)
         return self._instance, self._engine  # type: ignore[return-value]
+
+    def _attach_tracker(self, harness: ModelInstance) -> None:
+        """Wire the coverage tracker into the instance's monitor suite.
+
+        The tracker rides the suite's existing per-step/windowed sampling
+        (it implements the monitor protocol but never reports a
+        violation), so coverage costs nothing when tracking is off and
+        no extra engine hooks when it is on.  The callers decide the
+        cadence: once per fresh-built instance, once ever on the reuse
+        path.
+        """
+        if not self.track_coverage:
+            self._tracker = None
+            return
+        self._tracker = CoverageTracker(harness.system)
+        harness.monitors.add(self._tracker)
 
     def _order_scheduler(self) -> BoundedAsynchronyScheduler:
         """The bounded-asynchrony scheduler bound to the current strategy."""
@@ -298,6 +398,16 @@ class SystematicTester:
             steps += 1
         if windowed:
             violations.extend(monitors.flush())
+        if self._tracker is not None:
+            # Drain the per-execution map even when tracking is off for
+            # this run (e.g. a replay on a tracker-equipped instance), so
+            # stale samples never leak into a later execution's coverage.
+            execution_coverage = self._tracker.take_execution_map()
+            if self.track_coverage:
+                self.coverage.merge(execution_coverage)
+                observe = getattr(self.strategy, "observe_coverage", None)
+                if observe is not None:
+                    observe(execution_coverage)
         return ExecutionRecord(
             index=index,
             steps=steps,
@@ -313,18 +423,24 @@ class SystematicTester:
 
         On the reuse path the replay runs on the tester's own (reset)
         instance — replaying a counterexample costs one reset, not a
-        rebuild.  The exploration strategy is restored afterwards.
+        rebuild.  The exploration strategy is restored afterwards, and
+        coverage tracking is suspended for the replay (whatever the
+        ``track_coverage`` setting), so re-executing a counterexample
+        never double-counts samples into an already-published map.
         """
         strategy = ReplayStrategy(trail=list(trail))
         saved_strategy, saved_scheduler = self.strategy, self._scheduler
+        saved_tracking = self._track_coverage_option
         self.strategy = strategy
         self._scheduler = None
+        self._track_coverage_option = False
         try:
             strategy.begin_execution()
             return self.run_single(index)
         finally:
             self.strategy = saved_strategy
             self._scheduler = saved_scheduler
+            self._track_coverage_option = saved_tracking
 
     def _bind_strategy(self, harness: ModelInstance) -> None:
         if harness.environment is not None:
@@ -338,8 +454,19 @@ class SystematicTester:
     # exploration loop
     # ------------------------------------------------------------------ #
     def explore(self, stop_at_first_violation: bool = False) -> TestReport:
-        """Run executions until the strategy is exhausted (or a bug is found)."""
+        """Run executions until the strategy is exhausted (or a bug is found).
+
+        Args:
+            stop_at_first_violation: end the sweep at the first failing
+                execution instead of running the full budget.
+
+        Returns:
+            A :class:`TestReport` with one :class:`ExecutionRecord` per
+            execution (serial order) and, when coverage is tracked, the
+            sweep's cumulative :attr:`~TestReport.coverage` map.
+        """
         report = TestReport()
+        self.coverage = CoverageMap()  # cumulative over this sweep only
         index = 0
         while self.strategy.has_more_executions():
             if not start_execution(self.strategy):
@@ -349,4 +476,5 @@ class SystematicTester:
             index += 1
             if stop_at_first_violation and not record.ok:
                 break
+        report.coverage = self.coverage
         return report

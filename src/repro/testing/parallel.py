@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..core.monitor import Violation
+from .coverage import CoverageMap
 from .explorer import ExecutionRecord, ModelInstance, SystematicTester, TestReport
 from .scenarios import scenario_factory
 from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, start_execution
@@ -72,6 +73,7 @@ class _RandomShard:
     stop_at_first_violation: bool
     monitor_window: int = 1
     reuse_instances: bool = True
+    track_coverage: bool = False
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,7 @@ class _ExhaustiveShard:
     stop_at_first_violation: bool
     monitor_window: int = 1
     reuse_instances: bool = True
+    track_coverage: bool = False
 
 
 def _warm_start(factory: HarnessFactory) -> None:
@@ -105,7 +108,13 @@ def _warm_start(factory: HarnessFactory) -> None:
 
 
 def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any) -> None:
-    """Entry point of one worker process: run the shard, stream records back."""
+    """Entry point of one worker process: run the shard, stream records back.
+
+    The shard's cumulative coverage map (``None`` when the shard does not
+    track coverage) rides the final ``done`` message — the aggregator
+    merges shard maps in arrival order, which is safe because the merge
+    is order-independent.
+    """
     try:
         if not shard.reuse_instances:
             # The reset-and-reuse path builds (and keeps) its one instance on
@@ -114,15 +123,17 @@ def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any)
             # per-process scenario memos outside the first timed execution.
             _warm_start(shard.factory)
         if isinstance(shard, _RandomShard):
-            _run_random_shard(worker_id, shard, result_queue, stop_event)
+            coverage = _run_random_shard(worker_id, shard, result_queue, stop_event)
         else:
-            _run_exhaustive_shard(worker_id, shard, result_queue, stop_event)
-        result_queue.put(("done", worker_id, None))
+            coverage = _run_exhaustive_shard(worker_id, shard, result_queue, stop_event)
+        result_queue.put(("done", worker_id, coverage))
     except Exception:  # pragma: no cover - surfaced in the parent as RuntimeError
         result_queue.put(("error", worker_id, traceback.format_exc()))
 
 
-def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, stop_event: Any) -> None:
+def _run_random_shard(
+    worker_id: int, shard: _RandomShard, result_queue: Any, stop_event: Any
+) -> Optional[CoverageMap]:
     # One strategy + one tester for the whole shard: the strategy re-derives
     # execution *i*'s RNG stream from ``(seed, i)`` at every
     # ``begin_execution``, so seeking per index reproduces exactly what a
@@ -135,6 +146,7 @@ def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, st
         max_permuted=shard.max_permuted,
         monitor_window=shard.monitor_window,
         reuse_instances=shard.reuse_instances,
+        track_coverage=shard.track_coverage,
     )
     for index in shard.indices:
         if stop_event.is_set():
@@ -147,13 +159,20 @@ def _run_random_shard(worker_id: int, shard: _RandomShard, result_queue: Any, st
         if shard.stop_at_first_violation and not record.ok:
             stop_event.set()
             break
+    return tester.coverage if shard.track_coverage else None
 
 
 def _run_exhaustive_shard(
     worker_id: int, shard: _ExhaustiveShard, result_queue: Any, stop_event: Any
-) -> None:
+) -> Optional[CoverageMap]:
     local_index = 0
     tester: Optional[SystematicTester] = None
+
+    def coverage() -> Optional[CoverageMap]:
+        if not shard.track_coverage or tester is None:
+            return None
+        return tester.coverage
+
     for prefix in shard.prefixes:
         if stop_event.is_set():
             break
@@ -167,13 +186,14 @@ def _run_exhaustive_shard(
                 max_permuted=shard.max_permuted,
                 monitor_window=shard.monitor_window,
                 reuse_instances=shard.reuse_instances,
+                track_coverage=shard.track_coverage,
             )
         else:
             # Keep the warm model instance; only the subtree changes.
             tester.strategy = strategy
         while strategy.has_more_executions():
             if stop_event.is_set():
-                return
+                return coverage()
             if not start_execution(strategy):
                 break
             record = tester.run_single(local_index)
@@ -182,7 +202,8 @@ def _run_exhaustive_shard(
             result_queue.put(("record", worker_id, record))
             if shard.stop_at_first_violation and not record.ok:
                 stop_event.set()
-                return
+                return coverage()
+    return coverage()
 
 
 # --------------------------------------------------------------------- #
@@ -235,6 +256,25 @@ class ParallelTester:
     ``scenario`` names a registered scenario (the portable way to describe
     the workload — workers rebuild it by name); alternatively pass
     ``harness_factory`` exactly as for :class:`SystematicTester`.
+
+    ``track_coverage=True`` makes every worker feed the coverage plane;
+    the per-shard cumulative maps are merged — the merge adds counts, so
+    the result is independent of worker completion order — into
+    ``report.coverage``.  A random sweep's parallel coverage equals the
+    serial tester's map for the same seed and budget exactly (identical
+    per-execution maps, order-independent merge); an exhaustive run's
+    map covers every execution the workers actually performed, which can
+    exceed the serially-truncated record list.
+
+    >>> from repro.testing import RandomStrategy
+    >>> report = ParallelTester(
+    ...     "toy-closed-loop", scenario_overrides={"broken_ttf": True},
+    ...     strategy=RandomStrategy(seed=0, max_executions=6),
+    ...     workers=2, track_coverage=True).explore()
+    >>> report.ok, report.all_confirmed
+    (False, True)
+    >>> sorted({region for _, _, region in report.coverage.pairs})
+    ['R4:nominal', 'R5:safer']
     """
 
     def __init__(
@@ -249,6 +289,7 @@ class ParallelTester:
         scenario_overrides: Optional[dict] = None,
         monitor_window: int = 1,
         reuse_instances: bool = True,
+        track_coverage: bool = False,
     ) -> None:
         if (scenario is None) == (harness_factory is None):
             raise ValueError("pass exactly one of scenario= or harness_factory=")
@@ -261,6 +302,7 @@ class ParallelTester:
         self.harness_factory: HarnessFactory = harness_factory  # type: ignore[assignment]
         self.monitor_window = monitor_window
         self.reuse_instances = reuse_instances
+        self.track_coverage = track_coverage
         self._probe_tester: Optional[SystematicTester] = None
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         if not isinstance(self.strategy, (RandomStrategy, ExhaustiveStrategy)):
@@ -299,6 +341,7 @@ class ParallelTester:
                     stop_at_first_violation=stop_at_first_violation,
                     monitor_window=self.monitor_window,
                     reuse_instances=self.reuse_instances,
+                    track_coverage=self.track_coverage,
                 )
             )
             start += size
@@ -319,6 +362,9 @@ class ParallelTester:
                 max_permuted=self.max_permuted,
                 monitor_window=self.monitor_window,
                 reuse_instances=self.reuse_instances,
+                # Probe records are discarded and re-enumerated by the
+                # workers; counting their coverage would double-count.
+                track_coverage=False,
             )
         else:
             self._probe_tester.strategy = strategy
@@ -370,6 +416,7 @@ class ParallelTester:
                 stop_at_first_violation=stop_at_first_violation,
                 monitor_window=self.monitor_window,
                 reuse_instances=self.reuse_instances,
+                track_coverage=self.track_coverage,
             )
             for prefix_group in assigned
         ]
@@ -416,12 +463,14 @@ class ParallelTester:
         sink = queue_module.Queue()
         stop_event = threading.Event()
         if isinstance(shard, _RandomShard):
-            _run_random_shard(0, shard, sink, stop_event)
+            coverage = _run_random_shard(0, shard, sink, stop_event)
         else:
-            _run_exhaustive_shard(0, shard, sink, stop_event)
+            coverage = _run_exhaustive_shard(0, shard, sink, stop_event)
         while not sink.empty():
             _, _, record = sink.get()
             report.executions.append(record)
+        if coverage is not None:
+            report.coverage.merge(coverage)
 
     def _run_pool(self, shards: Sequence[Any], report: ParallelReport) -> None:
         result_queue = self._context.Queue()
@@ -454,6 +503,8 @@ class ParallelTester:
                                 report.executions.append(payload)
                             elif kind == "done":
                                 finished += 1
+                                if payload is not None:
+                                    report.coverage.merge(payload)
                             else:
                                 failure = payload
                     except queue_module.Empty:
@@ -469,6 +520,8 @@ class ParallelTester:
                     report.executions.append(payload)
                 elif kind == "done":
                     finished += 1
+                    if payload is not None:
+                        report.coverage.merge(payload)
                 else:  # "error"
                     failure = payload
                     stop_event.set()
@@ -523,6 +576,7 @@ class ParallelTester:
             max_permuted=self.max_permuted,
             monitor_window=self.monitor_window,
             reuse_instances=self.reuse_instances,
+            track_coverage=False,  # confirmation replays must not add coverage
         )
         report.confirmations = []
         for record in report.failing:

@@ -82,7 +82,13 @@ def _load_builtins() -> None:
 
 
 def scenario(name: str) -> Scenario:
-    """Look up a registered scenario by name."""
+    """Look up a registered scenario by name.
+
+    Raises ``KeyError`` (listing the known names) for unknown scenarios.
+
+    >>> scenario("toy-closed-loop").tags
+    ('toy', 'core')
+    """
     _load_builtins()
     try:
         return _REGISTRY[name]
@@ -92,12 +98,23 @@ def scenario(name: str) -> Scenario:
 
 
 def build_scenario(name: str, **overrides: Any) -> ModelInstance:
-    """Build a fresh model instance of a registered scenario."""
+    """Build a fresh model instance of a registered scenario.
+
+    Keyword ``overrides`` are passed straight to the registered builder.
+
+    >>> instance = build_scenario("toy-closed-loop", horizon=0.5)
+    >>> instance.horizon
+    0.5
+    """
     return scenario(name).build(**overrides)
 
 
 def registered_scenarios() -> List[str]:
-    """Sorted names of every registered scenario."""
+    """Sorted names of every registered scenario.
+
+    >>> "drone-surveillance" in registered_scenarios()
+    True
+    """
     _load_builtins()
     return sorted(_REGISTRY)
 
@@ -120,7 +137,14 @@ class ScenarioFactory:
 
 
 def scenario_factory(name: str, **overrides: Any) -> ScenarioFactory:
-    """A picklable zero-argument factory for a registered scenario."""
+    """A picklable zero-argument factory for a registered scenario.
+
+    Unknown names fail eagerly (here, not in a worker process).
+
+    >>> factory = scenario_factory("toy-closed-loop", broken_ttf=True)
+    >>> factory().horizon
+    2.0
+    """
     scenario(name)  # fail fast on unknown names
     return ScenarioFactory(name=name, overrides=tuple(sorted(overrides.items())))
 

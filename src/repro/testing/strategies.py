@@ -9,15 +9,28 @@ available options an execution takes:
 * :class:`RandomStrategy` — seeded random testing;
 * :class:`ExhaustiveStrategy` — depth-first enumeration of every choice
   combination up to a bound (model-checking style);
+* :class:`CoverageGuidedStrategy` — novelty-directed testing: biases
+  choices toward unvisited ``(vehicle, mode, region)`` coverage pairs
+  (see :mod:`repro.testing.coverage`), with a seeded epsilon-greedy
+  random fallback;
 * :class:`ReplayStrategy` — replays a recorded choice sequence (used to
   re-execute a counterexample).
+
+The contract every strategy obeys (spelled out in
+``docs/exploration.md``): ``choose`` fully determines an execution — the
+model under test contains no other source of nondeterminism — so the
+trail of choices recorded during an execution replays it bit-identically
+through :class:`ReplayStrategy`, no matter which strategy produced it.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from .coverage import CoverageKey, CoverageMap
 
 
 class ChoiceStrategy(Protocol):
@@ -71,6 +84,15 @@ class RandomStrategy:
     parallel tester relies on to match the serial tester bit-for-bit.
     The choices of the current execution are recorded so counterexamples
     found by random testing are replayable.
+
+    >>> strategy = RandomStrategy(seed=42, max_executions=3)
+    >>> strategy.execution_started()
+    True
+    >>> first = [strategy.choose(4) for _ in range(5)]
+    >>> strategy.seek(0); strategy.execution_started()      # rewind to execution 0
+    True
+    >>> [strategy.choose(4) for _ in range(5)] == first     # same stream, same choices
+    True
     """
 
     seed: int = 0
@@ -210,9 +232,238 @@ class ExhaustiveStrategy:
         return any(choice + 1 < options for choice, options in self._trail)
 
 
+#: Identity of one choice point within an execution: its ordinal position
+#: in the choice sequence plus the label the caller passed to ``choose``.
+#: Scenario structure is deterministic up to the choices themselves, so the
+#: same position+label names "the same decision" across executions.
+ChoicePoint = Tuple[int, str]
+
+
+@dataclass
+class CoverageGuidedStrategy:
+    """Biases choices toward unvisited ``(vehicle, mode, region)`` pairs.
+
+    The strategy closes the loop between exploration and the coverage
+    plane (:mod:`repro.testing.coverage`): after every execution the
+    tester hands it the execution's :class:`CoverageMap` through
+    :meth:`observe_coverage`; the strategy credits the choices of that
+    trail with the *novelty* they bought (how many never-seen pairs the
+    execution visited), keeps novelty-producing trails as **elites**,
+    and merges the map into its cumulative view.  Each execution then
+    runs in one of two modes:
+
+    * **mutation** (once elites exist, ``mutation_rate`` of executions):
+      replay an elite trail up to a chosen position, take the
+      least-explored option there instead, and continue epsilon-greedy —
+      the move that composes rare choices into rare *sequences* (reach
+      the interesting mode first, then probe every region from it);
+    * **sweep** (otherwise): epsilon-greedy per choice point — untried
+      options first (systematically sweeping each menu instead of
+      re-drawing known values), then the best novelty-credit-per-visit
+      score plus a UCB exploration bonus; with probability ``epsilon``
+      fall back to the seeded per-execution RNG stream.
+
+    Everything is derived from ``(seed, execution index)`` streams, so a
+    run is fully deterministic, exactly like :class:`RandomStrategy`.
+    Every execution records its trail, so counterexamples replay through
+    :class:`ReplayStrategy` bit-identically — same trail ⇒ same
+    execution — regardless of the scoring history that produced them.
+
+    >>> strategy = CoverageGuidedStrategy(seed=7, max_executions=2)
+    >>> strategy.execution_started()
+    True
+    >>> 0 <= strategy.choose(4, label="env:pos") < 4
+    True
+    >>> strategy.is_exhausted
+    False
+    """
+
+    seed: int = 0
+    max_executions: int = 100
+    epsilon: float = 0.1
+    #: Weight of the UCB-style exploration bonus: rarely-taken options are
+    #: revisited even after their first try.  0 disables the bonus.
+    exploration: float = 0.5
+    #: Fraction of executions spent mutating an elite (novelty-producing)
+    #: trail once at least one exists.  0 disables elite mutation.
+    mutation_rate: float = 0.2
+    #: How many elite trails are kept (the most novelty-productive win).
+    max_elites: int = 8
+    #: Marker the tester reads to auto-enable coverage tracking.
+    wants_coverage = True
+    _rng: random.Random = field(init=False, repr=False)
+    _executions: int = field(init=False, default=0)
+    _trail: List[int] = field(init=False, default_factory=list, repr=False)
+    _position: int = field(init=False, default=0)
+    # (position, label, option) -> times taken / novelty credit earned.
+    _taken: Dict[Tuple[int, str, int], int] = field(init=False, default_factory=dict, repr=False)
+    _credit: Dict[Tuple[int, str, int], float] = field(init=False, default_factory=dict, repr=False)
+    _pending: Set[Tuple[int, str, int]] = field(init=False, default_factory=set, repr=False)
+    # Elite pool: (gain, trail) of executions that discovered new pairs.
+    _elites: List[Tuple[float, List[int]]] = field(init=False, default_factory=list, repr=False)
+    # Mutation plan of the current execution: the elite trail to follow and
+    # the position at which to deviate (None = plain sweep execution).
+    _elite_trail: Optional[List[int]] = field(init=False, default=None, repr=False)
+    _mutate_at: int = field(init=False, default=-1, repr=False)
+    coverage: CoverageMap = field(init=False, default_factory=CoverageMap)
+
+    def __post_init__(self) -> None:
+        if self.max_executions < 1:
+            raise ValueError("max_executions must be at least 1")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # choosing
+    # ------------------------------------------------------------------ #
+    def choose(self, options: int, label: str = "") -> int:
+        if options <= 0:
+            raise ValueError("a choice point needs at least one option")
+        point: ChoicePoint = (self._position, label)
+        if options == 1:
+            choice = 0
+        elif self._elite_trail is not None and self._position < self._mutate_at:
+            # Mutation mode, prefix: retrace the elite up to the deviation.
+            if self._position < len(self._elite_trail):
+                choice = min(self._elite_trail[self._position], options - 1)
+            else:
+                choice = self._greedy(point, options)
+        elif self._elite_trail is not None and self._position == self._mutate_at:
+            # Mutation mode, deviation: probe the least-explored option.
+            choice = self._least_taken(point, options)
+        elif self._rng.random() < self.epsilon:
+            choice = self._rng.randrange(options)  # the seeded random fallback
+        else:
+            choice = self._greedy(point, options)
+        key = (point[0], point[1], choice)
+        self._taken[key] = self._taken.get(key, 0) + 1
+        self._pending.add(key)
+        self._trail.append(choice)
+        self._position += 1
+        return choice
+
+    def _least_taken(self, point: ChoicePoint, options: int) -> int:
+        """The option visited least at this point (RNG tie-breaks)."""
+        position, label = point
+        fewest = None
+        best: List[int] = []
+        for option in range(options):
+            visits = self._taken.get((position, label, option), 0)
+            if fewest is None or visits < fewest:
+                fewest, best = visits, [option]
+            elif visits == fewest:
+                best.append(option)
+        return best[self._rng.randrange(len(best))]
+
+    def _greedy(self, point: ChoicePoint, options: int) -> int:
+        """Untried options first, then best score, RNG tie-breaks.
+
+        The score is novelty credit per visit plus a UCB-style bonus
+        ``exploration * sqrt(ln(total) / visits)``: productive options
+        are exploited, but rarely-taken ones keep being revisited — the
+        mixture that composes rare choices into rare *sequences*.
+        """
+        position, label = point
+        untried = [
+            option for option in range(options) if (position, label, option) not in self._taken
+        ]
+        if untried:
+            return untried[self._rng.randrange(len(untried))]
+        total = sum(self._taken[(position, label, option)] for option in range(options))
+        log_total = math.log(total + 1.0)
+        best_score = None
+        best: List[int] = []
+        for option in range(options):
+            key = (position, label, option)
+            visits = self._taken[key]
+            score = self._credit.get(key, 0.0) / visits
+            score += self.exploration * math.sqrt(log_total / visits)
+            if best_score is None or score > best_score:
+                best_score, best = score, [option]
+            elif score == best_score:
+                best.append(option)
+        return best[self._rng.randrange(len(best))]
+
+    # ------------------------------------------------------------------ #
+    # the coverage feedback loop
+    # ------------------------------------------------------------------ #
+    def observe_coverage(self, execution_map: CoverageMap) -> None:
+        """Credit the last execution's choices with the novelty they bought.
+
+        Called by the tester after each execution with that execution's
+        map.  Novelty is the number of pairs never seen before plus the
+        residual :meth:`~repro.testing.coverage.CoverageMap.novelty` of
+        the pairs it revisited, so choices keep earning (diminishing)
+        credit for reaching rare pairs even after first discovery.
+        """
+        fresh = execution_map.new_pairs_against(self.coverage)
+        gained = float(len(fresh))
+        gained += sum(
+            self.coverage.novelty(key) for key in execution_map.counts if key not in fresh
+        )
+        for key in self._pending:
+            self._credit[key] = self._credit.get(key, 0.0) + gained
+        self._pending.clear()
+        if fresh:
+            # The trail discovered genuinely new pairs: it joins the elite
+            # pool that mutation executions deviate from.
+            self._elites.append((float(len(fresh)), list(self._trail)))
+            self._elites.sort(key=lambda elite: -elite[0])
+            del self._elites[self.max_elites :]
+        self.coverage.merge(execution_map)
+
+    # ------------------------------------------------------------------ #
+    # the execution lifecycle (same shape as RandomStrategy)
+    # ------------------------------------------------------------------ #
+    def begin_execution(self) -> None:
+        # Same derivation as RandomStrategy: a per-execution stream seeded
+        # by (seed, index) through string hashing, deterministic across
+        # processes and decorrelated for adjacent indices.
+        self._rng = random.Random(f"{self.seed}:{self._executions}")
+        self._trail = []
+        self._position = 0
+        self._pending = set()
+        self._executions += 1
+        # Decide this execution's mode: mutate an elite or sweep.
+        self._elite_trail = None
+        self._mutate_at = -1
+        if self._elites and self.mutation_rate > 0.0 and self._rng.random() < self.mutation_rate:
+            _, trail = self._elites[self._rng.randrange(len(self._elites))]
+            if trail:
+                self._elite_trail = trail
+                self._mutate_at = self._rng.randrange(len(trail))
+
+    def execution_started(self) -> bool:
+        """Guided executions always exist until the budget runs out."""
+        self.begin_execution()
+        return True
+
+    @property
+    def is_exhausted(self) -> bool:
+        """Novelty search never exhausts the behaviour space, only its budget."""
+        return False
+
+    def has_more_executions(self) -> bool:
+        return self._executions < self.max_executions
+
+
 @dataclass
 class ReplayStrategy:
-    """Replays a fixed choice sequence (e.g. a counterexample trail)."""
+    """Replays a fixed choice sequence (e.g. a counterexample trail).
+
+    Choices beyond the recorded trail default to option 0, and
+    out-of-range recorded choices clamp into ``[0, options)`` — a trail
+    recorded on one model replays safely on a slightly different one.
+
+    >>> strategy = ReplayStrategy(trail=[2, 0, 1])
+    >>> strategy.execution_started()
+    True
+    >>> [strategy.choose(3) for _ in range(4)]
+    [2, 0, 1, 0]
+    >>> strategy.has_more_executions()      # exactly one (re-)execution
+    False
+    """
 
     trail: Sequence[int]
     _position: int = field(init=False, default=0)
@@ -250,7 +501,7 @@ def record_trail(strategy: ChoiceStrategy) -> Optional[List[int]]:
     """Extract the replayable choice trail of the execution that just ran."""
     if isinstance(strategy, ExhaustiveStrategy):
         return list(strategy.prefix) + [choice for choice, _ in strategy._trail]
-    if isinstance(strategy, RandomStrategy):
+    if isinstance(strategy, (RandomStrategy, CoverageGuidedStrategy)):
         return list(strategy._trail)
     if isinstance(strategy, ReplayStrategy):
         return list(strategy.trail)

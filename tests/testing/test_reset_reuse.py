@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import Mode, SemanticsEngine
 from repro.testing import (
+    CoverageGuidedStrategy,
     ExhaustiveStrategy,
     ParallelTester,
     RandomStrategy,
@@ -32,6 +33,8 @@ SCENARIOS = [
     ("multi-obstacle-geofence", {"include_breach": True}),
     ("multi-drone-surveillance", {"drones": 2, "include_conflict": True}),
     ("multi-drone-crossing", {}),
+    ("rare-branch-geofence", {"include_breach": True}),
+    ("deep-menu-surveillance", {"include_unsafe_position": True}),
 ]
 
 
@@ -86,6 +89,32 @@ class TestResetVsRebuildEquivalence:
             )
             reports[reuse] = tester.explore()
         assert _report_keys(reports[True]) == _report_keys(reports[False])
+
+    @pytest.mark.parametrize(
+        "name,overrides",
+        [
+            ("rare-branch-geofence", {"include_breach": True}),
+            ("deep-menu-surveillance", {}),
+        ],
+        ids=["rare-branch-geofence", "deep-menu-surveillance"],
+    )
+    def test_coverage_guided_sweep_identical(self, name, overrides):
+        # The coverage plane obeys the reset contract too: the per-execution
+        # map is cleared by the in-place instance reset while the cumulative
+        # map lives with the tester, so reset-and-reuse changes neither the
+        # explored executions nor the accumulated coverage.
+        factory = scenario_factory(name, **overrides)
+        reports = {}
+        for reuse in (False, True):
+            tester = SystematicTester(
+                factory,
+                CoverageGuidedStrategy(seed=3, max_executions=12),
+                reuse_instances=reuse,
+            )
+            reports[reuse] = tester.explore()
+        assert _report_keys(reports[True]) == _report_keys(reports[False])
+        assert reports[True].coverage.counts == reports[False].coverage.counts
+        assert reports[True].coverage
 
     def test_replay_on_reused_instance_matches_original(self):
         factory = scenario_factory("drone-surveillance", include_unsafe_position=True)
