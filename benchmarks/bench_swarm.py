@@ -1,0 +1,108 @@
+"""Swarm vs. process pool — distribution overhead and fidelity.
+
+The swarm runs the exact shard descriptions the in-host
+:class:`~repro.testing.ParallelTester` ships to its process pool, but
+over an HTTP control plane with heartbeats, streamed per-execution
+results and idempotent ingestion.  This benchmark measures what that
+buys and costs on one host:
+
+* the same ``drone-surveillance`` random sweep through the pool and
+  through a localhost 2-drone swarm — wall time, executions/s, and the
+  swarm's protocol overhead factor (expected: same order of magnitude;
+  the swarm pays one HTTP round trip per execution);
+* fidelity on the unsafe variant — the swarm's counterexamples replay
+  on the serial engine and its report matches the pool's exactly.
+
+Both measurements feed the benchmark regression gate
+(``benchmark_reference.json``), so a change that silently bloats the
+wire path or breaks streaming turns this suite red.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.swarm import SwarmTester
+from repro.testing import ParallelTester, RandomStrategy
+
+SCENARIO = "drone-surveillance"
+HORIZON = 2.0
+EXECUTIONS = 200
+SEED = 11
+
+
+def _pool_sweep(**extra_overrides):
+    tester = ParallelTester(
+        SCENARIO,
+        scenario_overrides={"horizon": HORIZON, **extra_overrides},
+        strategy=RandomStrategy(seed=SEED, max_executions=EXECUTIONS),
+        workers=2,
+        track_coverage=True,
+    )
+    started = time.perf_counter()
+    report = tester.explore(confirm_counterexamples=False)
+    return report, time.perf_counter() - started
+
+
+def _swarm_sweep(**extra_overrides):
+    tester = SwarmTester(
+        SCENARIO,
+        scenario_overrides={"horizon": HORIZON, **extra_overrides},
+        strategy=RandomStrategy(seed=SEED, max_executions=EXECUTIONS),
+        drones=2,
+        track_coverage=True,
+    )
+    started = time.perf_counter()
+    report = tester.explore(confirm_counterexamples=False)
+    return report, time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="swarm")
+def test_swarm_throughput_vs_pool(benchmark, table_printer, benchmark_gate):
+    def run_both():
+        return _pool_sweep(), _swarm_sweep()
+
+    (pool, pool_s), (swarm, swarm_s) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark_gate("swarm/pool-2-workers", pool_s)
+    benchmark_gate("swarm/localhost-2-drones", swarm_s)
+    table_printer(
+        f"Swarm vs pool: {EXECUTIONS}-execution random sweep of '{SCENARIO}'",
+        ["configuration", "wall time [s]", "executions/s", "overhead vs pool"],
+        [
+            ["ParallelTester, 2 workers", f"{pool_s:.2f}", f"{EXECUTIONS / pool_s:.0f}", "1.00x"],
+            ["SwarmTester, 2 localhost drones", f"{swarm_s:.2f}",
+             f"{EXECUTIONS / swarm_s:.0f}", f"{swarm_s / pool_s:.2f}x"],
+        ],
+    )
+    # Fidelity is the point; speed parity is reported, not asserted.
+    assert sorted(tuple(r.trail) for r in swarm.executions) == \
+        sorted(tuple(r.trail) for r in pool.executions)
+    assert swarm.coverage.counts == pool.coverage.counts
+    assert swarm.duplicates == 0
+
+
+@pytest.mark.benchmark(group="swarm")
+def test_swarm_counterexample_fidelity(benchmark, table_printer, benchmark_gate):
+    def hunt():
+        tester = SwarmTester(
+            SCENARIO,
+            scenario_overrides={"horizon": HORIZON, "include_unsafe_position": True},
+            strategy=RandomStrategy(seed=SEED, max_executions=64),
+            drones=2,
+        )
+        started = time.perf_counter()
+        report = tester.explore(confirm_counterexamples=True)
+        return report, time.perf_counter() - started
+
+    report, elapsed = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    benchmark_gate("swarm/unsafe-hunt", elapsed)
+    confirmed = sum(1 for confirmation in report.confirmations if confirmation.confirmed)
+    table_printer(
+        "Swarm counterexample fidelity: drone-found trails replayed serially",
+        ["counterexamples found", "replayed", "confirmed identical", "duplicates dropped"],
+        [[len(report.failing), len(report.confirmations), confirmed, report.duplicates]],
+    )
+    assert not report.ok, "the unsafe scenario variant must yield counterexamples"
+    assert report.all_confirmed, "every swarm counterexample must replay serially"

@@ -1,0 +1,370 @@
+"""The swarm drone: lease a shard, run it warm, stream results home.
+
+A drone is one exploration worker on one host.  It long-polls the
+control plane (:mod:`repro.swarm.controlplane`) for a shard lease,
+rebuilds the workload from the scenario registry, runs it through the
+same warm reset-and-reuse :class:`~repro.testing.SystematicTester` path
+the in-host process pool uses, and streams each
+:class:`~repro.testing.explorer.ExecutionRecord` (plus the execution's
+own coverage delta) back as it finishes.  While a shard runs, a
+background thread posts proof-of-life heartbeats; the responses carry
+the control plane's directives — ``stop`` (a violation ended the
+session: drain and release the lease) and ``keep_prefixes`` (an
+adaptive split shrank this lease's exhaustive prefix budget).
+
+Determinism makes all of this safe: execution *i* of a random sweep and
+trail *t* of an exhaustive enumeration produce identical records on any
+drone, so the control plane's idempotent ingestion can reconcile
+zombies, re-leases and split races without coordination.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+import time
+import traceback
+import urllib.error
+import urllib.request
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from ..testing.coverage import CoverageMap
+from ..testing.explorer import SystematicTester
+from ..testing.parallel import _RandomShard
+from ..testing.strategies import ExhaustiveStrategy, RandomStrategy, start_execution
+from . import protocol
+
+_DRONE_IDS = itertools.count(1)
+
+
+# --------------------------------------------------------------------- #
+# the JSON-over-HTTP client (shared with the facade)
+# --------------------------------------------------------------------- #
+
+
+class SwarmUnavailable(ConnectionError):
+    """The control plane could not be reached (or replied with an error)."""
+
+
+def post_json(base_url: str, path: str, payload: Any, *, timeout: float = 10.0) -> Any:
+    """POST an enveloped JSON payload; return the enveloped response payload."""
+    request = urllib.request.Request(
+        base_url + path,
+        data=protocol.dumps("request", payload),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return _round_trip(request, timeout)
+
+
+def get_json(base_url: str, path: str, *, timeout: float = 10.0) -> Any:
+    """GET an endpoint; return the enveloped response payload."""
+    return _round_trip(urllib.request.Request(base_url + path, method="GET"), timeout)
+
+
+def _round_trip(request: urllib.request.Request, timeout: float) -> Any:
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return protocol.loads(response.read())
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        try:
+            detail = protocol.loads(body).get("error", body.decode("utf-8", "replace"))
+        except protocol.ProtocolError:
+            detail = body.decode("utf-8", "replace")
+        raise protocol.ProtocolError(f"control plane rejected the request: {detail}") from None
+    except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
+        raise SwarmUnavailable(str(error)) from None
+
+
+# --------------------------------------------------------------------- #
+# the drone
+# --------------------------------------------------------------------- #
+
+
+class Drone:
+    """One worker of the exploration swarm.
+
+    ``worker_index`` (optional) stamps streamed records' ``worker`` field
+    so swarm reports read like pool reports.  ``exit_when_idle`` makes
+    :meth:`run` return once no lease has been granted for
+    ``idle_timeout`` seconds — the mode the localhost facade uses; a
+    standing fleet drone runs with ``exit_when_idle=False`` and polls
+    forever (until the control plane calls it dead or :meth:`stop` is
+    called).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        drone_id: Optional[str] = None,
+        *,
+        worker_index: Optional[int] = None,
+        heartbeat_interval: float = 0.5,
+        poll_interval: float = 0.1,
+        exit_when_idle: bool = True,
+        idle_timeout: float = 5.0,
+        http_timeout: float = 10.0,
+        connection_retries: int = 3,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.drone_id = drone_id or f"drone-{socket.gethostname()}-{next(_DRONE_IDS)}"
+        self.worker_index = worker_index
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.exit_when_idle = exit_when_idle
+        self.idle_timeout = idle_timeout
+        self.http_timeout = http_timeout
+        self.connection_retries = connection_retries
+        self.leases_run = 0
+        self._stop = threading.Event()
+        # One warm tester per workload identity: consecutive leases of the
+        # same scenario reuse the built model instance across shards (the
+        # zero-rebuild hot path, exactly as the process pool's workers).
+        self._testers: Dict[Any, SystematicTester] = {}
+
+    def stop(self) -> None:
+        """Ask the drone to exit after the current execution."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------ #
+    # the poll loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> int:
+        """Poll for leases until told to stop; returns leases completed."""
+        idle_since: Optional[float] = None
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                grant = self._post("/api/v1/lease", {"drone": self.drone_id, "poll": 1.0})
+                failures = 0
+            except SwarmUnavailable:
+                failures += 1
+                if failures > self.connection_retries:
+                    break  # the control plane is gone; nothing left to serve
+                time.sleep(self.poll_interval)
+                continue
+            lease = grant.get("lease")
+            if isinstance(lease, dict) and lease.get("dead"):
+                break  # the control plane buried us; a zombie must not work
+            if not lease:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if self.exit_when_idle and now - idle_since >= self.idle_timeout:
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            self._run_lease(lease)
+            self.leases_run += 1
+        return self.leases_run
+
+    def _post(self, path: str, payload: Any) -> Any:
+        return post_json(self.base_url, path, payload, timeout=self.http_timeout)
+
+    # ------------------------------------------------------------------ #
+    # one lease
+    # ------------------------------------------------------------------ #
+    def _run_lease(self, grant: Dict[str, Any]) -> None:
+        session_id, lease_id = grant["session"], grant["lease"]
+        try:
+            shard = protocol.decode_shard(grant["shard"])
+        except protocol.ProtocolError:
+            self._finish(session_id, lease_id, error=traceback.format_exc())
+            return
+        state = _LeaseState(initial_prefixes=len(protocol.shard_prefixes(shard)))
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, args=(session_id, lease_id, state), daemon=True
+        )
+        heartbeat.start()
+        try:
+            if isinstance(shard, _RandomShard):
+                completed = self._run_random(session_id, lease_id, shard, state)
+            else:
+                completed = self._run_exhaustive(session_id, lease_id, shard, state)
+            self._finish(session_id, lease_id, done=completed, released=not completed)
+        except SwarmUnavailable:
+            pass  # lease will expire and be re-leased; results so far are ingested
+        except Exception:
+            self._finish(session_id, lease_id, error=traceback.format_exc())
+        finally:
+            state.finished.set()
+            heartbeat.join(timeout=2.0 * self.heartbeat_interval + 1.0)
+
+    def _finish(self, session_id: str, lease_id: int, **flags: Any) -> None:
+        try:
+            self._post("/api/v1/result", {"session": session_id, "lease": lease_id, **flags})
+        except SwarmUnavailable:
+            pass
+
+    def _heartbeat_loop(self, session_id: str, lease_id: int, state: "_LeaseState") -> None:
+        while not state.finished.wait(self.heartbeat_interval):
+            try:
+                directives = self._post(
+                    "/api/v1/heartbeat",
+                    {
+                        "session": session_id,
+                        "lease": lease_id,
+                        "executions_done": state.executions_done,
+                        "prefixes_done": state.prefixes_done,
+                    },
+                )
+            except (SwarmUnavailable, protocol.ProtocolError):
+                continue  # a missed heartbeat is the control plane's problem to judge
+            state.apply(directives)
+
+    # ------------------------------------------------------------------ #
+    # running shards (the same warm path the process pool uses)
+    # ------------------------------------------------------------------ #
+    def _tester(self, shard: Any) -> SystematicTester:
+        key = (
+            shard.factory,
+            shard.max_permuted,
+            shard.monitor_window,
+            shard.reuse_instances,
+            shard.track_coverage,
+        )
+        tester = self._testers.get(key)
+        if tester is None:
+            tester = SystematicTester(
+                shard.factory,
+                max_permuted=shard.max_permuted,
+                monitor_window=shard.monitor_window,
+                reuse_instances=shard.reuse_instances,
+                track_coverage=shard.track_coverage,
+            )
+            self._testers[key] = tester
+        return tester
+
+    def _stream(
+        self,
+        session_id: str,
+        lease_id: int,
+        tester: SystematicTester,
+        record: Any,
+        coverage_before: Optional[Counter],
+        state: "_LeaseState",
+    ) -> bool:
+        """Post one record (+ its coverage delta); True means keep going."""
+        coverage = None
+        if coverage_before is not None:
+            delta = CoverageMap(counts=Counter(tester.coverage.counts))
+            delta.counts.subtract(coverage_before)
+            delta.counts = +delta.counts  # drop zero entries
+            coverage = protocol.encode_coverage(delta)
+        directives = self._post(
+            "/api/v1/result",
+            {
+                "session": session_id,
+                "lease": lease_id,
+                "results": [{"record": protocol.encode_record(record), "coverage": coverage}],
+            },
+        )
+        state.apply(directives)
+        return not state.stop_requested and not self._stop.is_set()
+
+    def _snapshot(self, tester: SystematicTester, shard: Any) -> Optional[Counter]:
+        if not shard.track_coverage:
+            return None
+        return Counter(tester.coverage.counts)
+
+    def _run_random(
+        self, session_id: str, lease_id: int, shard: _RandomShard, state: "_LeaseState"
+    ) -> bool:
+        strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
+        tester = self._tester(shard)
+        tester.strategy = strategy
+        for index in shard.indices:
+            if state.stop_requested or self._stop.is_set():
+                return False
+            before = self._snapshot(tester, shard)
+            strategy.seek(index)
+            strategy.begin_execution()
+            record = tester.run_single(index)
+            record.worker = self.worker_index
+            state.executions_done += 1
+            if not self._stream(session_id, lease_id, tester, record, before, state):
+                # A violation may legitimately end the session; the shard
+                # is complete iff this was its last index anyway.
+                return index == shard.indices[-1]
+        return True
+
+    def _run_exhaustive(
+        self, session_id: str, lease_id: int, shard: Any, state: "_LeaseState"
+    ) -> bool:
+        tester = self._tester(shard)
+        local_index = 0
+        position = 0
+        while position < min(len(shard.prefixes), state.keep_prefixes):
+            if state.stop_requested or self._stop.is_set():
+                return False
+            prefix = shard.prefixes[position]
+            strategy = ExhaustiveStrategy(
+                max_depth=shard.max_depth,
+                max_executions=shard.max_executions,
+                prefix=prefix,
+            )
+            tester.strategy = strategy
+            while strategy.has_more_executions():
+                if state.stop_requested or self._stop.is_set():
+                    return False
+                if not start_execution(strategy):
+                    break
+                before = self._snapshot(tester, shard)
+                record = tester.run_single(local_index)
+                record.worker = self.worker_index
+                local_index += 1
+                state.executions_done += 1
+                if not self._stream(session_id, lease_id, tester, record, before, state):
+                    return False
+            position += 1
+            state.prefixes_done = position
+        # Either every prefix ran, or an adaptive split shrank the budget
+        # to exactly the prefixes this drone already covered — both mean
+        # the (possibly re-partitioned) shard is fully enumerated.
+        return True
+
+
+class _LeaseState:
+    """Mutable per-lease state shared between run loop and heartbeats."""
+
+    def __init__(self, initial_prefixes: int) -> None:
+        self.finished = threading.Event()
+        self.stop_requested = False
+        self.executions_done = 0
+        self.prefixes_done = 0
+        self.keep_prefixes = initial_prefixes if initial_prefixes else 1
+
+    def apply(self, directives: Dict[str, Any]) -> None:
+        if directives.get("stop"):
+            self.stop_requested = True
+        keep = directives.get("keep_prefixes")
+        if isinstance(keep, int):
+            self.keep_prefixes = keep
+
+
+def run_drone(base_url: str, drone_id: Optional[str] = None, **options: Any) -> int:
+    """Module-level entry point (picklable for ``multiprocessing``)."""
+    return Drone(base_url, drone_id, **options).run()
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI convenience
+    """``python -m repro.swarm.drone <control-plane-url> [drone-id]``."""
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.swarm.drone <control-plane-url> [drone-id]")
+        return 2
+    url = args[0]
+    drone_id = args[1] if len(args) > 1 else None
+    leases = Drone(url, drone_id, exit_when_idle=False).run()
+    print(json.dumps({"drone": drone_id, "leases": leases}))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""The swarm facade: ``ParallelTester`` semantics over a drone fleet.
+
+:class:`SwarmTester` mirrors :class:`~repro.testing.parallel.ParallelTester`
+exactly — same sharding (execution-index slices for random sweeps,
+trail-prefix partitions for exhaustive ones), same deterministic
+aggregation (:meth:`~repro.testing.parallel.ParallelTester._finalise`),
+same early-stop and serial replay confirmation — but the shards travel
+over the :mod:`wire protocol <repro.swarm.protocol>` to a control plane
+and a fleet of drones instead of an in-host process pool.  Because every
+execution is a pure function of the shard description, the resulting
+:class:`SwarmReport` carries the identical violations and coverage a
+``ParallelTester`` run (or the serial tester) would produce — including
+after a drone dies mid-session, since expired leases are re-issued and
+ingestion dedupes by execution identity.
+
+Two deployment shapes:
+
+* **localhost (default)** — the tester hosts its own
+  :class:`~repro.swarm.controlplane.ControlPlaneServer` and spawns
+  ``drones`` worker threads (or processes with
+  ``drone_processes=True``), which makes a swarm run CI-runnable in one
+  Python invocation;
+* **remote** — pass ``control_plane_url=`` to submit the session to an
+  already-running control plane whose standing fleet does the work.
+
+>>> from repro.testing import RandomStrategy
+>>> report = SwarmTester("toy-closed-loop",
+...     scenario_overrides={"broken_ttf": True},
+...     strategy=RandomStrategy(seed=0, max_executions=6),
+...     drones=2).explore()
+>>> report.ok, report.all_confirmed
+(False, True)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..testing.parallel import ParallelReport, ParallelTester
+from ..testing.strategies import ChoiceStrategy
+from . import protocol
+from .controlplane import ControlPlaneServer
+from .drone import Drone, SwarmUnavailable, get_json, post_json, run_drone
+
+
+@dataclass
+class SwarmReport(ParallelReport):
+    """A :class:`ParallelReport` plus swarm-run bookkeeping."""
+
+    #: Duplicate executions the control plane's idempotent ingestion
+    #: dropped (zombie/re-lease/split races; 0 on a healthy run).
+    duplicates: int = 0
+    #: The session's self-healing event log (warnings, re-leases, splits,
+    #: drone deaths) — the report-side view of the escalation ladder.
+    events: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        base = super().summary()
+        healed = f", {len(self.events)} control-plane event(s)" if self.events else ""
+        return f"{base.replace('worker(s)', 'drone(s)')}{healed}"
+
+
+class SwarmTester(ParallelTester):
+    """Shards a systematic-testing run across a drone swarm.
+
+    Accepts every :class:`~repro.testing.parallel.ParallelTester` option
+    except ``harness_factory`` (workloads must be registry scenarios —
+    the portable description drones rebuild by name) plus:
+
+    ``drones``
+        fleet size for the self-hosted localhost mode (ignored with
+        ``control_plane_url``, where the standing fleet decides).
+    ``drone_processes``
+        run localhost drones as OS processes instead of threads (used by
+        the fault-injection tests, which need something to SIGKILL).
+    ``control_plane_url``
+        submit to an existing control plane instead of self-hosting.
+    ``heartbeat_timeout`` / ``split_lagging_after``
+        self-healing knobs of the self-hosted control plane.
+    ``deadline``
+        overall wall-clock bound on one :meth:`explore` session.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        *,
+        strategy: Optional[ChoiceStrategy] = None,
+        drones: int = 2,
+        drone_processes: bool = False,
+        control_plane_url: Optional[str] = None,
+        heartbeat_timeout: float = 5.0,
+        split_lagging_after: float = 1.0,
+        deadline: float = 120.0,
+        scenario_overrides: Optional[dict] = None,
+        max_permuted: int = 6,
+        monitor_window: int = 1,
+        reuse_instances: bool = True,
+        track_coverage: bool = False,
+    ) -> None:
+        if drones < 1:
+            raise ValueError("a swarm needs at least one drone")
+        super().__init__(
+            scenario,
+            strategy=strategy,
+            workers=drones,
+            max_permuted=max_permuted,
+            scenario_overrides=scenario_overrides,
+            monitor_window=monitor_window,
+            reuse_instances=reuse_instances,
+            track_coverage=track_coverage,
+        )
+        self.drones = drones
+        self.drone_processes = drone_processes
+        self.control_plane_url = control_plane_url
+        self.heartbeat_timeout = heartbeat_timeout
+        self.split_lagging_after = split_lagging_after
+        self.deadline = deadline
+        #: The last session's id and control-plane URL (for postmortems).
+        self.last_session: Optional[str] = None
+        self.last_url: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # the ParallelTester execution hook
+    # ------------------------------------------------------------------ #
+    def explore(self, *args: Any, **kwargs: Any) -> SwarmReport:
+        report = super().explore(*args, **kwargs)
+        assert isinstance(report, SwarmReport)
+        return report
+
+    def _new_report(self, workers: int, partitions: List) -> SwarmReport:
+        return SwarmReport(workers=workers, partitions=partitions)
+
+    def _execute(self, shards: Sequence[Any], report: ParallelReport) -> None:
+        encoded = [protocol.encode_shard(shard) for shard in shards]
+        stop_at_first_violation = bool(shards[0].stop_at_first_violation)
+        if self.control_plane_url is not None:
+            self._run_session(self.control_plane_url, encoded, stop_at_first_violation, report)
+            return
+        server = ControlPlaneServer(
+            heartbeat_timeout=self.heartbeat_timeout,
+            split_lagging_after=self.split_lagging_after,
+        ).start()
+        fleet = _LocalFleet(server.url, self.drones, processes=self.drone_processes)
+        try:
+            # Session first, fleet second: drones find work on their very
+            # first poll instead of burning their idle budget.
+            self._run_session(server.url, encoded, stop_at_first_violation, report,
+                              fleet=fleet)
+        finally:
+            fleet.stop()
+            server.stop()
+
+    def _run_session(
+        self,
+        url: str,
+        encoded_shards: List[Dict[str, Any]],
+        stop_at_first_violation: bool,
+        report: ParallelReport,
+        fleet: Optional["_LocalFleet"] = None,
+    ) -> None:
+        created = post_json(url, "/api/v1/session", {
+            "shards": encoded_shards,
+            "stop_at_first_violation": stop_at_first_violation,
+            "label": getattr(self.harness_factory, "name", ""),
+        })
+        session_id = created["session"]
+        self.last_session, self.last_url = session_id, url
+        if fleet is not None:
+            fleet.start()
+        deadline = time.monotonic() + self.deadline
+        while True:
+            summary = get_json(url, f"/api/v1/session/{session_id}/report")
+            if summary["finished"]:
+                break
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"swarm session {session_id} missed its {self.deadline:.0f}s "
+                    f"deadline; last status: {summary['shards']}"
+                )
+            time.sleep(0.05)
+        self._ingest_report(summary, report)
+        if summary["failed"] is not None:
+            raise RuntimeError(
+                f"parallel exploration failed in a worker:\n{summary['failed']}"
+            )
+
+    def _ingest_report(self, summary: Dict[str, Any], report: ParallelReport) -> None:
+        for record_data in summary["records"]:
+            report.executions.append(protocol.decode_record(record_data))
+        coverage = protocol.decode_coverage(summary["coverage"])
+        if coverage is not None:
+            report.coverage.merge(coverage)
+        report.completed_workers = sum(
+            1 for shard in summary["shards"] if shard["status"] == "done"
+        )
+        if isinstance(report, SwarmReport):
+            report.duplicates = summary["duplicates"]
+            report.events = list(summary["events"])
+        report.invalidate_caches()
+
+
+class _LocalFleet:
+    """The self-hosted drone fleet: N threads or N OS processes."""
+
+    def __init__(self, url: str, drones: int, *, processes: bool) -> None:
+        self.url = url
+        self.count = drones
+        self.processes = processes
+        self._threads: List[threading.Thread] = []
+        self._drones: List[Drone] = []
+        self._procs: List[Any] = []
+
+    def start(self) -> None:
+        if self.processes:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            for index in range(self.count):
+                process = context.Process(
+                    target=run_drone,
+                    args=(self.url,),
+                    kwargs={
+                        "drone_id": f"proc-drone-{index}",
+                        "worker_index": index,
+                        "exit_when_idle": True,
+                        "idle_timeout": 2.0,
+                        "heartbeat_interval": 0.25,
+                    },
+                    daemon=True,
+                )
+                process.start()
+                self._procs.append(process)
+            return
+        for index in range(self.count):
+            drone = Drone(
+                self.url,
+                drone_id=f"thread-drone-{index}",
+                worker_index=index,
+                exit_when_idle=True,
+                idle_timeout=2.0,
+                heartbeat_interval=0.25,
+            )
+            thread = threading.Thread(target=drone.run, daemon=True)
+            thread.start()
+            self._drones.append(drone)
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        for drone in self._drones:
+            drone.stop()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        for process in self._procs:
+            process.join(timeout=10.0)
+        for process in self._procs:
+            if process.is_alive():  # pragma: no cover - stuck-drone safety net
+                process.terminate()
+                process.join(timeout=5.0)
+
+    @property
+    def handles(self) -> List[Any]:
+        """Raw process handles (fault-injection tests SIGKILL these)."""
+        return list(self._procs)

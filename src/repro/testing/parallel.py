@@ -91,20 +91,23 @@ class _ExhaustiveShard:
     track_coverage: bool = False
 
 
-def _warm_start(factory: HarnessFactory) -> None:
+def _warm_start(factory: HarnessFactory) -> Optional[str]:
     """Build (and discard) one model instance before the shard's real work.
 
     Scenario builders memoise their immutable parts per process — the
     shared world geometry and its :class:`~repro.geometry.ClearanceField`
     (see :mod:`repro.apps.scenarios`) — so one warm build pays the
     import/registry/geometry cost exactly once per worker instead of
-    inside the first timed execution.  Failures are deferred to the real
-    run, which reports them through the normal error channel.
+    inside the first timed execution.  A scenario that cannot even build
+    will never run: the failure is reported immediately (the returned
+    traceback becomes the worker's error payload) instead of resurfacing
+    later as a confusing per-execution error.
     """
     try:
         factory()
     except Exception:
-        pass
+        return traceback.format_exc()
+    return None
 
 
 def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any) -> None:
@@ -121,7 +124,10 @@ def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any)
             # the first execution, which *is* the warm start; only the
             # fresh-build path needs a throwaway build to pre-warm the
             # per-process scenario memos outside the first timed execution.
-            _warm_start(shard.factory)
+            build_failure = _warm_start(shard.factory)
+            if build_failure is not None:
+                result_queue.put(("error", worker_id, build_failure))
+                return
         if isinstance(shard, _RandomShard):
             coverage = _run_random_shard(worker_id, shard, result_queue, stop_event)
         else:
@@ -228,6 +234,12 @@ class ParallelReport(TestReport):
     wall_time: float = 0.0
     partitions: List[Tuple[int, ...]] = field(default_factory=list)
     confirmations: List[ReplayConfirmation] = field(default_factory=list)
+    #: How many workers delivered their final ``done`` payload (and with it
+    #: their partial coverage map).  Early-stopped runs must still drain a
+    #: ``done`` from every worker, or coverage would silently under-report
+    #: relative to the serial tester — the aggregator asserts nothing, but
+    #: tests pin ``completed_workers == workers``.
+    completed_workers: int = 0
 
     @property
     def all_confirmed(self) -> bool:
@@ -446,18 +458,32 @@ class ParallelTester:
             shards = exhaustive_shards
             partitions = [prefix for shard in exhaustive_shards for prefix in shard.prefixes]
 
-        report = ParallelReport(workers=len(shards), partitions=partitions)
-        if len(shards) == 1:
-            # One shard: no process overhead, run it inline.
-            self._run_inline(shards[0], report)
-        else:
-            self._run_pool(shards, report)
+        report = self._new_report(len(shards), partitions)
+        self._execute(shards, report)
 
         self._finalise(report, stop_at_first_violation)
         if confirm_counterexamples:
             self.confirm(report)
         report.wall_time = time.perf_counter() - started
         return report
+
+    def _new_report(self, workers: int, partitions: List[Tuple[int, ...]]) -> ParallelReport:
+        """Report factory hook (the swarm facade substitutes its subclass)."""
+        return ParallelReport(workers=workers, partitions=partitions)
+
+    def _execute(self, shards: Sequence[Any], report: ParallelReport) -> None:
+        """Run the shards and stream their records into ``report``.
+
+        The base implementation uses an in-host process pool (or runs a
+        single shard inline).  :class:`~repro.swarm.SwarmTester` overrides
+        this hook to distribute the very same shards over a networked
+        drone fleet instead.
+        """
+        if len(shards) == 1:
+            # One shard: no process overhead, run it inline.
+            self._run_inline(shards[0], report)
+        else:
+            self._run_pool(shards, report)
 
     def _run_inline(self, shard: Any, report: ParallelReport) -> None:
         sink = queue_module.Queue()
@@ -471,6 +497,7 @@ class ParallelTester:
             report.executions.append(record)
         if coverage is not None:
             report.coverage.merge(coverage)
+        report.completed_workers += 1
 
     def _run_pool(self, shards: Sequence[Any], report: ParallelReport) -> None:
         result_queue = self._context.Queue()
@@ -487,6 +514,28 @@ class ParallelTester:
             process.start()
         finished = 0
         failure: Optional[str] = None
+
+        def consume(kind: str, payload: Any) -> None:
+            # One message-handling path for the live loop *and* the
+            # post-mortem drain: an "error" drained after the pool died
+            # must count the worker as finished and keep its traceback,
+            # exactly as if it had arrived while the pool was healthy,
+            # and a late "done" must still merge its partial coverage
+            # (early-stopped runs rely on this to match serial coverage).
+            nonlocal finished, failure
+            if kind == "record":
+                report.executions.append(payload)
+            elif kind == "done":
+                finished += 1
+                report.completed_workers += 1
+                if payload is not None:
+                    report.coverage.merge(payload)
+            else:  # "error"
+                if failure is None:  # the first traceback is the root cause
+                    failure = payload
+                stop_event.set()
+                finished += 1
+
         try:
             while finished < len(processes):
                 try:
@@ -495,37 +544,30 @@ class ParallelTester:
                     if any(process.is_alive() for process in processes):
                         continue
                     # Every worker is gone; drain what the feeder threads
-                    # already pushed, then report the crash.
+                    # pushed before reporting the crash.  A short timeout
+                    # (not get_nowait) gives a just-died worker's feeder
+                    # pipe time to flush its final messages — otherwise a
+                    # worker's own traceback can be lost in flight and
+                    # masked by the generic pool-death message below.
                     try:
                         while True:
-                            kind, _worker_id, payload = result_queue.get_nowait()
-                            if kind == "record":
-                                report.executions.append(payload)
-                            elif kind == "done":
-                                finished += 1
-                                if payload is not None:
-                                    report.coverage.merge(payload)
-                            else:
-                                failure = payload
+                            kind, _worker_id, payload = result_queue.get(timeout=_POLL_INTERVAL)
+                            consume(kind, payload)
                     except queue_module.Empty:
                         pass
-                    if finished < len(processes) and failure is None:
+                    if finished < len(processes):
                         exit_codes = [process.exitcode for process in processes]
-                        failure = (
-                            "worker pool died without reporting results "
-                            f"(exit codes: {exit_codes})"
-                        )
+                        if failure is None:
+                            failure = (
+                                "worker pool died without reporting results "
+                                f"(exit codes: {exit_codes})"
+                            )
+                        else:
+                            # Prefer the worker's own traceback; the exit
+                            # codes ride along as context.
+                            failure += f"\n(worker pool exit codes: {exit_codes})"
                     break
-                if kind == "record":
-                    report.executions.append(payload)
-                elif kind == "done":
-                    finished += 1
-                    if payload is not None:
-                        report.coverage.merge(payload)
-                else:  # "error"
-                    failure = payload
-                    stop_event.set()
-                    finished += 1
+                consume(kind, payload)
         finally:
             stop_event.set()
             for process in processes:

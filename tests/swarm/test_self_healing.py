@@ -1,0 +1,132 @@
+"""Fault injection on a live localhost swarm: SIGKILL a drone mid-run.
+
+Drives the real stack — :class:`ControlPlaneServer` over HTTP, two
+drone OS processes — with no monkeypatching, kills one drone while both
+hold leases, and asserts the escalation ladder heals the session:
+
+* the dead drone's shard is re-leased and finished by the survivor;
+* the zombie's already-streamed records are NOT double-counted — every
+  execution index appears exactly once;
+* the healed report's trails, violations and coverage are identical to
+  a healthy :class:`ParallelTester` run of the same workload.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.swarm import protocol
+from repro.swarm.controlplane import ControlPlaneServer
+from repro.swarm.drone import get_json, post_json, run_drone
+from repro.testing import ParallelTester, RandomStrategy
+from repro.testing.parallel import _RandomShard
+from repro.testing.scenarios import scenario_factory
+
+#: Big enough that a shard is still mid-flight when the kill lands
+#: (we kill within milliseconds of both leases becoming active).
+EXECUTIONS = 600
+SEED = 5
+
+
+def _spawn_fleet(url, count):
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    processes = []
+    for index in range(count):
+        process = context.Process(
+            target=run_drone,
+            args=(url,),
+            kwargs=dict(
+                drone_id=f"kill-test-{index}",
+                worker_index=index,
+                exit_when_idle=True,
+                idle_timeout=10.0,
+                heartbeat_interval=0.2,
+            ),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def _wait(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.01)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+def test_sigkilled_drone_is_healed_without_double_counting():
+    factory = scenario_factory("toy-closed-loop", broken_ttf=True)
+    half = EXECUTIONS // 2
+
+    def shard(indices):
+        return _RandomShard(
+            factory=factory, seed=SEED, max_executions=EXECUTIONS,
+            indices=tuple(indices), max_permuted=6,
+            stop_at_first_violation=False, track_coverage=True,
+        )
+
+    expected = ParallelTester(
+        "toy-closed-loop",
+        scenario_overrides={"broken_ttf": True},
+        strategy=RandomStrategy(seed=SEED, max_executions=EXECUTIONS),
+        workers=2,
+        track_coverage=True,
+    ).explore()
+    assert not expected.ok  # the broken model must violate: parity is meaningful
+
+    with ControlPlaneServer(heartbeat_timeout=1.0) as server:
+        session = post_json(server.url, "/api/v1/session", {
+            "shards": [protocol.encode_shard(shard(range(half))),
+                       protocol.encode_shard(shard(range(half, EXECUTIONS)))],
+        })["session"]
+        fleet = _spawn_fleet(server.url, 2)
+        try:
+            _wait(
+                lambda: len(get_json(server.url, "/api/v1/status")["active_leases"]) == 2,
+                timeout=30.0, what="both drones to hold a lease",
+            )
+            os.kill(fleet[0].pid, signal.SIGKILL)
+            summary = _wait(
+                lambda: (lambda s: s if s["finished"] else None)(
+                    get_json(server.url, f"/api/v1/session/{session}/report")),
+                timeout=60.0, what="the surviving drone to heal the session",
+            )
+        finally:
+            for process in fleet:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5.0)
+
+    assert summary["failed"] is None
+    assert any(event.startswith("re-lease:") for event in summary["events"]), \
+        summary["events"]
+
+    # Exactly-once: the zombie streamed part of its shard before dying and
+    # the survivor re-ran the whole shard, yet every index appears once.
+    indices = [record["index"] for record in summary["records"]]
+    assert sorted(indices) == list(range(EXECUTIONS))
+
+    # And the healed run is bit-identical to the healthy pool run.
+    records = sorted(
+        (protocol.decode_record(record) for record in summary["records"]),
+        key=lambda record: record.index,
+    )
+    assert [tuple(r.trail) for r in records] == \
+        [tuple(r.trail) for r in expected.executions]
+    healed_violations = sorted(
+        (v.time, v.monitor, v.message) for r in records for v in r.violations)
+    pool_violations = sorted(
+        (v.time, v.monitor, v.message)
+        for r in expected.executions for v in r.violations)
+    assert healed_violations == pool_violations and healed_violations
+    assert protocol.decode_coverage(summary["coverage"]).counts == \
+        expected.coverage.counts

@@ -1,0 +1,67 @@
+"""Differential proof: the swarm IS the process pool, over HTTP.
+
+Every execution is a pure function of the shard description, so a
+:class:`~repro.swarm.tester.SwarmTester` run (control plane + drones +
+wire protocol) must report exactly the trails, violations and coverage
+of a :class:`~repro.testing.parallel.ParallelTester` run of the same
+workload — on the paper's drone-surveillance case study and on an
+exhaustive enumeration alike.
+"""
+
+from repro.swarm import SwarmTester
+from repro.testing import ExhaustiveStrategy, ParallelTester, RandomStrategy
+
+
+def _trails(report):
+    return sorted(tuple(record.trail) for record in report.executions)
+
+
+def _violation_keys(report):
+    return sorted(
+        (violation.time, violation.monitor, violation.message)
+        for record in report.executions
+        for violation in record.violations
+    )
+
+
+class TestSwarmMatchesPool:
+    def test_drone_surveillance_random_sweep(self):
+        workload = dict(
+            scenario_overrides={"include_unsafe_position": True},
+            strategy=RandomStrategy(seed=3, max_executions=48),
+            track_coverage=True,
+        )
+        pool = ParallelTester("drone-surveillance", workers=2, **workload).explore()
+        swarm = SwarmTester("drone-surveillance", drones=2, **workload).explore()
+        assert _trails(swarm) == _trails(pool)
+        assert _violation_keys(swarm) == _violation_keys(pool)
+        assert _violation_keys(swarm), "the unsafe-position variant must violate"
+        assert swarm.coverage.counts == pool.coverage.counts
+        assert swarm.ok == pool.ok
+        assert swarm.all_confirmed and pool.all_confirmed
+        assert swarm.duplicates == 0  # healthy fleet: exactly-once with no races
+        assert swarm.completed_workers == swarm.workers == 2
+
+    def test_toy_exhaustive_enumeration(self):
+        workload = dict(
+            strategy=ExhaustiveStrategy(max_depth=5, max_executions=500),
+        )
+        pool = ParallelTester("toy-closed-loop", workers=2, **workload).explore()
+        swarm = SwarmTester("toy-closed-loop", drones=2, **workload).explore()
+        assert _trails(swarm) == _trails(pool)
+        assert len(swarm.executions) == len(pool.executions) > 1
+        assert _violation_keys(swarm) == _violation_keys(pool)
+        assert swarm.ok and pool.ok  # the protected toy model is safe
+
+    def test_early_stop_returns_a_confirmed_counterexample(self):
+        swarm = SwarmTester(
+            "toy-closed-loop",
+            scenario_overrides={"broken_ttf": True},
+            strategy=RandomStrategy(seed=0, max_executions=64),
+            drones=2,
+            track_coverage=True,
+        )
+        report = swarm.explore(stop_at_first_violation=True)
+        assert not report.ok
+        assert report.failing and report.all_confirmed
+        assert report.coverage.total_samples > 0  # drained, not dropped

@@ -1,0 +1,107 @@
+"""Fault injection on the process pool's failure paths.
+
+Pins the three repaired behaviours of ``ParallelTester._run_pool``:
+
+* a worker killed mid-shard produces a clean ``RuntimeError`` naming the
+  pool's exit codes (no hang, no silent truncation);
+* a scenario that cannot even build surfaces the *original* traceback
+  through the worker error channel — at warm-start time on the
+  fresh-build path, on the first execution of the reuse path — instead
+  of being swallowed;
+* an early-stopped run still drains every worker's final ``done``
+  payload, so no partial coverage map is silently dropped.
+"""
+
+import os
+import signal
+from dataclasses import dataclass
+
+import pytest
+
+from repro.testing import ParallelTester, RandomStrategy
+from repro.testing.scenarios import build_scenario
+
+
+@dataclass(frozen=True)
+class KillOneWorkerFactory:
+    """Picklable factory: the first worker to build SIGKILLs itself."""
+
+    sentinel_dir: str
+
+    def __call__(self):
+        marker = os.path.join(self.sentinel_dir, "killed")
+        try:
+            os.mkdir(marker)  # atomic: exactly one worker wins
+        except FileExistsError:
+            pass
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return build_scenario("toy-closed-loop")
+
+
+@dataclass(frozen=True)
+class ExplodingFactory:
+    """Picklable factory that can never build its scenario."""
+
+    def __call__(self):
+        raise ValueError("scenario build exploded")
+
+
+class TestPoolWorkerFailures:
+    def test_sigkilled_worker_raises_naming_exit_codes(self, tmp_path):
+        tester = ParallelTester(
+            harness_factory=KillOneWorkerFactory(str(tmp_path)),
+            strategy=RandomStrategy(seed=0, max_executions=8),
+            workers=2,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            tester.explore()
+        message = str(excinfo.value)
+        assert "exit codes" in message
+        assert str(-signal.SIGKILL) in message  # the killed worker's -9
+
+    @pytest.mark.parametrize("reuse_instances", [False, True],
+                             ids=["warm-start", "reuse-path"])
+    def test_unbuildable_scenario_surfaces_original_traceback(self, reuse_instances):
+        # reuse_instances=False exercises the _warm_start path (which used
+        # to swallow the exception with a bare `except Exception`); the
+        # reuse path hits the same factory inside the first execution.
+        # Both must surface the builder's own traceback, not a generic
+        # pool-death message.
+        tester = ParallelTester(
+            harness_factory=ExplodingFactory(),
+            strategy=RandomStrategy(seed=0, max_executions=4),
+            workers=2,
+            reuse_instances=reuse_instances,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            tester.explore()
+        message = str(excinfo.value)
+        assert "ValueError" in message
+        assert "scenario build exploded" in message
+        assert "worker pool died without reporting results" not in message
+
+    def test_early_stop_drains_every_done_payload(self):
+        # Every worker's final "done" message carries its partial coverage
+        # map; an early-stopped aggregation must still collect all of them
+        # or parallel coverage silently under-reports.
+        tester = ParallelTester(
+            "toy-closed-loop",
+            scenario_overrides={"broken_ttf": True},
+            strategy=RandomStrategy(seed=0, max_executions=16),
+            workers=4,
+            track_coverage=True,
+        )
+        report = tester.explore(stop_at_first_violation=True)
+        assert not report.ok
+        assert report.completed_workers == report.workers == 4
+        assert report.coverage.total_samples > 0
+
+    def test_healthy_pool_reports_all_workers_completed(self):
+        tester = ParallelTester(
+            "toy-closed-loop",
+            strategy=RandomStrategy(seed=1, max_executions=8),
+            workers=2,
+        )
+        report = tester.explore()
+        assert report.completed_workers == report.workers == 2
