@@ -74,8 +74,15 @@ def _shared_world():
     execution in a worker process reuses the same instance.  This is what
     "build the safety-query oracle once per worker, not per execution"
     means in practice — builders must treat the shared world as read-only.
+
+    The clearance field is densified up front: one batched sweep turns
+    every in-workspace threshold query into an array lookup (with the
+    lazy/exact fallback untouched), amortised across every execution the
+    worker will ever run.
     """
-    return surveillance_city()
+    world = surveillance_city()
+    world.workspace.clearance_field().densify()
+    return world
 
 
 @register_scenario(
@@ -244,6 +251,7 @@ def _geofence_workspace():
     workspace.add_obstacle(AABB.from_footprint(5.0, 5.0, 2.0, 2.0, 8.0))
     workspace.add_obstacle(AABB.from_footprint(11.0, 9.0, 2.0, 2.0, 8.0))
     workspace.add_obstacle(AABB.from_footprint(7.0, 13.0, 2.0, 2.0, 8.0))
+    workspace.clearance_field().densify()  # dense grid, amortised per process
     return workspace
 
 

@@ -180,6 +180,17 @@ class DynamicsModel(abc.ABC):
             return np.where(speeds > 0.0, np.inf, 0.0)
         return speeds * speeds / (2.0 * self.max_acceleration)
 
+    def begin_batch(self, count: int) -> None:
+        """Prepare the model for a fresh ``count``-row batched rollout.
+
+        Stateless models (the bounded double integrator) have nothing to
+        prepare, so the default is a no-op.  Models with internal state
+        (the lagged quadrotor) override this to seed one independent copy
+        of that state per row, which is what makes their :meth:`step_batch`
+        honour the per-row contract; the batched reachability rollouts
+        call it once before integrating.
+        """
+
     def step_batch(
         self,
         positions: np.ndarray,
@@ -197,7 +208,10 @@ class DynamicsModel(abc.ABC):
         loops over the scalar :meth:`step`; models with closed-form
         updates override it with a vectorised, bit-identical version —
         the batched well-formedness rollouts integrate whole sample sets
-        through this API.
+        through this API.  Note the scalar loop mutates any internal model
+        state sequentially across rows, so stateful models *must* override
+        both this and :meth:`begin_batch` to keep rows independent (the
+        lagged quadrotor does).
         """
         positions = np.asarray(positions, dtype=float).reshape(-1, 3)
         velocities = np.asarray(velocities, dtype=float).reshape(-1, 3)

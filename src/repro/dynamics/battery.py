@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..geometry.vec import row_norms
 from .base import ControlCommand, DroneState
 
 
@@ -79,6 +82,26 @@ class BatteryModel:
             raise ValueError("dt must be non-negative")
         charge = battery.charge - self.discharge_rate(command) * dt
         return BatteryState(charge=max(0.0, min(1.0, charge)))
+
+    def step_batch(
+        self, charges: np.ndarray, accelerations: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`step` over ``(N,)`` charges and ``(N, 3)`` commands.
+
+        Evaluates the same floating-point expressions in the same order as
+        the scalar path (saturate the commanded acceleration norm, linear
+        discharge, clamp into [0, 1]), so the returned charges are
+        bit-for-bit identical to stepping each row through :meth:`step` —
+        the property the population execution plane relies on when it
+        carries whole charge vectors through one call.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        charges = np.asarray(charges, dtype=float).reshape(-1)
+        accelerations = np.asarray(accelerations, dtype=float).reshape(-1, 3)
+        accel = np.minimum(row_norms(accelerations), self.params.max_acceleration)
+        rates = self.params.idle_rate + self.params.accel_rate * accel
+        return np.maximum(0.0, np.minimum(1.0, charges - rates * dt))
 
     # ------------------------------------------------------------------ #
     # the quantities used by the battery decision module

@@ -12,8 +12,11 @@ higher-fidelity (but still laptop-friendly) alternative plant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
-from ..geometry import Vec3
+import numpy as np
+
+from ..geometry import Vec3, clamp_norm_rows
 from .base import ControlCommand, DroneState, DynamicsModel
 from .double_integrator import DoubleIntegratorParams
 
@@ -52,6 +55,9 @@ class LaggedQuadrotor(DynamicsModel):
     def __init__(self, params: QuadrotorParams | None = None) -> None:
         self.params = params or QuadrotorParams()
         self.internal = QuadrotorInternalState()
+        # Per-row lag states of the current batched rollout; ``None`` until
+        # the first :meth:`begin_batch`/:meth:`step_batch` call.
+        self._internal_rows: Optional[np.ndarray] = None
 
     @property
     def max_speed(self) -> float:
@@ -64,6 +70,7 @@ class LaggedQuadrotor(DynamicsModel):
     def reset(self) -> None:
         """Clear the internal lag state (e.g. between missions)."""
         self.internal = QuadrotorInternalState()
+        self._internal_rows = None
 
     def step(self, state: DroneState, command: ControlCommand, dt: float) -> DroneState:
         """Advance position/velocity with a first-order lag on acceleration."""
@@ -83,6 +90,64 @@ class LaggedQuadrotor(DynamicsModel):
         velocity = velocity.clamp_norm(self.params.max_speed)
         position = state.position + (state.velocity + velocity) * (0.5 * dt)
         return DroneState(position=position, velocity=velocity)
+
+    def begin_batch(self, count: int) -> None:
+        """Start a ``count``-row batched rollout from the current lag state.
+
+        Every row gets its own copy of the model's present realised
+        acceleration, so rows evolve *independent* first-order lags — the
+        per-row contract of :meth:`step_batch`.  (The inherited scalar-loop
+        fallback threaded ``self.internal`` sequentially through the rows,
+        so row *i* saw row *i - 1*'s lag state; the batched rollouts now
+        call this hook before integrating instead.)
+        """
+        if count < 0:
+            raise ValueError("batch row count must be non-negative")
+        realized = self.internal.realized_acceleration
+        self._internal_rows = np.tile(
+            np.array(realized.as_tuple(), dtype=float), (count, 1)
+        )
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        accelerations: np.ndarray,
+        dt: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`step` over ``(N, 3)`` state arrays.
+
+        Evaluates the same floating-point expressions in the same order as
+        the scalar step (clamp the command, first-order lag blend, clamp
+        the realised acceleration, drag, trapezoidal position update), so
+        each row is bit-for-bit identical to stepping a dedicated scalar
+        model carrying that row's lag state.  The per-row lag states are
+        kept in ``self._internal_rows`` (seeded from the model's current
+        scalar lag state by :meth:`begin_batch`, or on the first call) and
+        carried across successive ``step_batch`` calls of one rollout.
+        Non-finite command rows are treated as "no thrust", mirroring the
+        malformed-command guard of the scalar path.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        positions = np.asarray(positions, dtype=float).reshape(-1, 3)
+        velocities = np.asarray(velocities, dtype=float).reshape(-1, 3)
+        accel = np.asarray(accelerations, dtype=float).reshape(-1, 3)
+        count = positions.shape[0]
+        if self._internal_rows is None or self._internal_rows.shape[0] != count:
+            self.begin_batch(count)
+        internal = self._internal_rows
+        accel = np.where(np.isfinite(accel).all(axis=1)[:, None], accel, 0.0)
+        commanded = clamp_norm_rows(accel, self.params.max_acceleration)
+        alpha = min(1.0, dt / self.params.attitude_time_constant)
+        realized = internal + (commanded - internal) * alpha
+        realized = clamp_norm_rows(realized, self.params.max_acceleration)
+        self._internal_rows = realized
+        drag_accel = velocities * (-self.params.drag)
+        new_velocities = velocities + (realized + drag_accel) * dt
+        new_velocities = clamp_norm_rows(new_velocities, self.params.max_speed)
+        new_positions = positions + (velocities + new_velocities) * (0.5 * dt)
+        return new_positions, new_velocities
 
     def as_double_integrator_params(self) -> DoubleIntegratorParams:
         """Conservative double-integrator abstraction of this model.

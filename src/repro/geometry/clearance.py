@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +48,7 @@ class ClearanceFieldStats:
     decisive: int = 0  # answered from the cached bound alone
     exact_fallbacks: int = 0  # needed the exact workspace computation
     exact_memo_hits: int = 0  # exact value served from the point memo
+    dense_hits: int = 0  # cell bounds served from the precomputed dense grid
 
     @property
     def hit_rate(self) -> float:
@@ -86,6 +87,11 @@ class ClearanceField:
         self._exact: Dict[Tuple[float, float, float], float] = {}
         self._exact_limit = 65536
         self._obstacle_count = len(workspace.obstacles)
+        # The optional dense plane: a whole-workspace grid of cell bounds
+        # (see :meth:`densify`).  ``None`` until densified; dropped on any
+        # workspace mutation, exactly like the lazy memo.
+        self._dense: Optional[np.ndarray] = None
+        self._dense_origin: Cell = (0, 0, 0)
 
     def __len__(self) -> int:
         return len(self._bounds)
@@ -104,6 +110,7 @@ class ClearanceField:
         if count != self._obstacle_count:
             self._bounds.clear()
             self._exact.clear()
+            self._dense = None
             self._obstacle_count = count
 
     def _exact_clearance(self, point: Vec3) -> float:
@@ -130,14 +137,102 @@ class ClearanceField:
             int(math.floor(point.z / res)),
         )
 
+    def densify(self, padding: float = 0.0, max_cells: int = 4_000_000) -> int:
+        """Precompute the cell bounds for the whole workspace in one sweep.
+
+        Builds a dense ``(nx, ny, nz)`` grid covering the workspace bounds
+        (expanded by ``padding`` metres), filled through the batched exact
+        clearance — each cell holds exactly the value the lazy path would
+        compute (``clearance(cell_center) - cell_radius``, and
+        ``clearance_batch`` is bit-identical to ``clearance``), so every
+        conservative decision stays bit-for-bit what the lazy memo gives.
+        After densification the hot threshold queries become a pure array
+        lookup instead of a dict probe with a cold-miss obstacle loop;
+        queries outside the grid fall back to the lazy path unchanged.
+
+        The exact-clearance transform is used rather than the chamfer
+        distance of :class:`~repro.geometry.occupancy.OccupancyGrid`: the
+        chamfer approximation would break the bit-identity contract the
+        threshold queries advertise.
+
+        Returns the number of grid cells.  Dropped automatically (like the
+        lazy memo) when the workspace grows an obstacle.
+        """
+        if padding < 0.0:
+            raise ValueError("padding must be non-negative")
+        self._check_freshness()
+        res = self.resolution
+        bounds = self.workspace.bounds
+        lo = (
+            int(math.floor((bounds.lo.x - padding) / res)),
+            int(math.floor((bounds.lo.y - padding) / res)),
+            int(math.floor((bounds.lo.z - padding) / res)),
+        )
+        hi = (
+            int(math.floor((bounds.hi.x + padding) / res)),
+            int(math.floor((bounds.hi.y + padding) / res)),
+            int(math.floor((bounds.hi.z + padding) / res)),
+        )
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        total = shape[0] * shape[1] * shape[2]
+        if total > max_cells:
+            raise ValueError(
+                f"dense clearance grid would need {total} cells (> {max_cells}); "
+                "raise max_cells or coarsen the resolution"
+            )
+        centers = np.stack(
+            np.meshgrid(
+                (np.arange(lo[0], hi[0] + 1) + 0.5) * res,
+                (np.arange(lo[1], hi[1] + 1) + 0.5) * res,
+                (np.arange(lo[2], hi[2] + 1) + 0.5) * res,
+                indexing="ij",
+            ),
+            axis=-1,
+        ).reshape(-1, 3)
+        values = np.empty(total, dtype=float)
+        # Chunked so the (cells x obstacles) intermediates stay bounded.
+        chunk = 131072
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            values[start:stop] = (
+                self.workspace.clearance_batch(centers[start:stop]) - self.cell_radius
+            )
+        self._dense = values.reshape(shape)
+        self._dense_origin = lo
+        return total
+
+    @property
+    def dense_cells(self) -> int:
+        """Number of cells in the dense grid (0 until :meth:`densify`)."""
+        return 0 if self._dense is None else int(self._dense.size)
+
+    def _dense_lookup(self, cell: Cell) -> Optional[float]:
+        """The dense grid's bound for ``cell``, or ``None`` when off-grid."""
+        dense = self._dense
+        if dense is None:
+            return None
+        i = cell[0] - self._dense_origin[0]
+        j = cell[1] - self._dense_origin[1]
+        k = cell[2] - self._dense_origin[2]
+        shape = dense.shape
+        if 0 <= i < shape[0] and 0 <= j < shape[1] and 0 <= k < shape[2]:
+            self.stats.dense_hits += 1
+            return float(dense[i, j, k])
+        return None
+
     def lower_bound(self, point: Vec3) -> float:
         """A conservative lower bound on ``workspace.clearance(point)``.
 
         Never larger than the true clearance (may be much smaller near
-        obstacles or for coarse resolutions).  Memoised per cell.
+        obstacles or for coarse resolutions).  Served from the dense grid
+        when one was precomputed (:meth:`densify`); memoised per cell
+        otherwise (and for off-grid cells).
         """
         self._check_freshness()
         cell = self._cell_of(point)
+        bound = self._dense_lookup(cell)
+        if bound is not None:
+            return bound
         bound = self._bounds.get(cell)
         if bound is None:
             res = self.resolution
@@ -195,12 +290,37 @@ class ClearanceField:
     # batched access
     # ------------------------------------------------------------------ #
     def lower_bound_batch(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`lower_bound` (fills missing cells in one batch query)."""
+        """Vectorised :meth:`lower_bound` (fills missing cells in one batch query).
+
+        With a dense grid (:meth:`densify`) in place the in-grid rows are a
+        single fancy-indexed lookup; only off-grid rows take the lazy
+        fill-the-dict path.
+        """
         self._check_freshness()
         pts = points_as_array(points)
         res = self.resolution
         cells = np.floor(pts / res).astype(int)
-        keys = [tuple(cell) for cell in cells]
+        dense = self._dense
+        if dense is not None:
+            origin = np.array(self._dense_origin, dtype=int)
+            indices = cells - origin
+            shape = np.array(dense.shape, dtype=int)
+            on_grid = np.all((indices >= 0) & (indices < shape), axis=1)
+            if on_grid.all():
+                self.stats.dense_hits += int(on_grid.sum())
+                return dense[indices[:, 0], indices[:, 1], indices[:, 2]].astype(float)
+            out = np.empty(cells.shape[0], dtype=float)
+            picked = indices[on_grid]
+            out[on_grid] = dense[picked[:, 0], picked[:, 1], picked[:, 2]]
+            self.stats.dense_hits += int(on_grid.sum())
+            off = np.flatnonzero(~on_grid)
+            out[off] = self._lazy_bounds([tuple(cells[row]) for row in off])
+            return out
+        return self._lazy_bounds([tuple(cell) for cell in cells])
+
+    def _lazy_bounds(self, keys) -> np.ndarray:
+        """Bounds for ``keys`` from the lazy dict, batch-filling cold cells."""
+        res = self.resolution
         missing = sorted({key for key in keys if key not in self._bounds})
         if missing:
             centers = (np.array(missing, dtype=float) + 0.5) * res

@@ -264,6 +264,12 @@ class SampledControllerReachability:
             raise ValueError("duration must be non-negative")
         positions = np.array([s.position.as_tuple() for s in states], dtype=float).reshape(-1, 3)
         velocities = np.array([s.velocity.as_tuple() for s in states], dtype=float).reshape(-1, 3)
+        # Stateful models (the lagged quadrotor) seed one independent copy
+        # of their internal state per row here; every model then integrates
+        # through the same vectorised step_batch path — no per-model
+        # dispatch, and no scalar-loop fallback threading internal state
+        # sequentially across rows.
+        self.model.begin_batch(positions.shape[0])
         position_history = [positions]
         velocity_history = [velocities]
         time = 0.0

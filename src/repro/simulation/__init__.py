@@ -8,6 +8,7 @@ from .fleet import (
     FleetSimulationConfig,
     VehicleChannels,
 )
+from .population import PopulationSimulation, PopulationStatus
 from .sensors import BatterySensor, PerfectEstimator, StateEstimator
 from .sim import DroneSimulation, SimulationConfig, SimulationResult
 from .world import MissionWorld, figure_eight_range, surveillance_city, waypoint_range
@@ -23,6 +24,8 @@ __all__ = [
     "ConstantWind",
     "GustyWind",
     "NoWind",
+    "PopulationSimulation",
+    "PopulationStatus",
     "BatterySensor",
     "PerfectEstimator",
     "StateEstimator",

@@ -1,0 +1,275 @@
+"""K drone missions integrated in lock-step (structure-of-arrays plant).
+
+The population execution plane of the systematic tester
+(:mod:`repro.testing.population`) deduplicates *discrete* work — whole
+executions that retrace known choice trails.  This module is its
+continuous-dynamics counterpart: ``K`` copies of one mission advance as
+``(K, …)`` state matrices through one :meth:`~repro.dynamics.DynamicsModel.step_batch`
+/ :meth:`~repro.control.WaypointTracker.command_batch` /
+:meth:`~repro.dynamics.BatteryModel.step_batch` call per physics tick,
+instead of ``K`` scalar :class:`~repro.simulation.drone.DronePlant` loops.
+
+Per-row semantics are **bit-identical** to :meth:`DronePlant.apply`: the
+same floating-point expressions evaluate in the same order, and rows that
+diverge — collided, battery-depleted, grounded — are carried by boolean
+masks (``np.where`` freezes) rather than control flow, so every row ends
+exactly where its scalar twin would.  ``tests/simulation`` asserts that
+equality with ``==`` against a loop of real plants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..control.base import WaypointTracker
+from ..dynamics import BatteryModel, DynamicsModel
+from ..geometry import Vec3, Workspace
+from ..geometry.vec import row_norms
+
+
+@dataclass
+class PopulationStatus:
+    """Per-row snapshot of the whole population (all arrays length ``K``)."""
+
+    time: float
+    positions: np.ndarray  # (K, 3)
+    velocities: np.ndarray  # (K, 3)
+    charges: np.ndarray  # (K,)
+    collided: np.ndarray  # (K,) bool
+    battery_failed: np.ndarray  # (K,) bool
+    distance_flown: np.ndarray  # (K,)
+    min_clearance: np.ndarray  # (K,)
+    waypoint_index: np.ndarray  # (K,) int
+
+    @property
+    def crashed(self) -> np.ndarray:
+        """Row-wise ``DronePlant.crashed``: collided or airborne depletion."""
+        return self.collided | self.battery_failed
+
+    @property
+    def any_crashed(self) -> bool:
+        return bool(self.crashed.any())
+
+
+class PopulationSimulation:
+    """``K`` :class:`DronePlant`-equivalent missions as one matrix plant.
+
+    Every row runs the same closed loop — waypoint tracker in, dynamics +
+    battery + collision bookkeeping out — over its own initial state,
+    charge and waypoint list.  One call per tick to the tracker's
+    ``command_batch`` and the model's ``step_batch`` replaces ``K``
+    scalar control/integration calls, which is where the population
+    plane's throughput comes from.
+
+    Args:
+        model: shared dynamics (stateful models must implement the
+            ``begin_batch`` per-row contract).
+        workspace: shared static geometry.
+        tracker: shared waypoint tracker with a vectorised
+            ``command_batch`` (bit-identical to its scalar ``command``).
+        waypoints: ``(K, W, 3)`` per-row waypoint lists.  A row advances
+            to its next waypoint when within ``waypoint_tolerance`` of
+            the current one, and holds the last waypoint forever.
+        initial_positions / initial_velocities: ``(K, 3)`` starting
+            states (velocities default to rest).
+        initial_charges: scalar or ``(K,)`` starting charge fractions.
+        battery_model: shared charge dynamics.
+        collision_margin / ground_altitude: as on :class:`DronePlant`.
+        waypoint_tolerance: arrival radius for waypoint advancement.
+    """
+
+    def __init__(
+        self,
+        model: DynamicsModel,
+        workspace: Workspace,
+        tracker: WaypointTracker,
+        waypoints: np.ndarray,
+        initial_positions: np.ndarray,
+        initial_velocities: Optional[np.ndarray] = None,
+        initial_charges: float | np.ndarray = 1.0,
+        battery_model: Optional[BatteryModel] = None,
+        collision_margin: float = 0.0,
+        ground_altitude: float = 0.15,
+        waypoint_tolerance: float = 0.5,
+    ) -> None:
+        self.model = model
+        self.workspace = workspace
+        self.tracker = tracker
+        self.battery_model = battery_model or BatteryModel()
+        self.collision_margin = collision_margin
+        self.ground_altitude = ground_altitude
+        self.waypoint_tolerance = waypoint_tolerance
+        self._waypoints = np.asarray(waypoints, dtype=float)
+        if self._waypoints.ndim != 3 or self._waypoints.shape[2] != 3:
+            raise ValueError("waypoints must be a (K, W, 3) array")
+        size = self._waypoints.shape[0]
+        self._initial_positions = (
+            np.asarray(initial_positions, dtype=float).reshape(-1, 3).copy()
+        )
+        if self._initial_positions.shape[0] != size:
+            raise ValueError("initial_positions must have one row per mission")
+        if initial_velocities is None:
+            self._initial_velocities = np.zeros((size, 3))
+        else:
+            self._initial_velocities = (
+                np.asarray(initial_velocities, dtype=float).reshape(-1, 3).copy()
+            )
+            if self._initial_velocities.shape[0] != size:
+                raise ValueError("initial_velocities must have one row per mission")
+        self._initial_charges = np.broadcast_to(
+            np.asarray(initial_charges, dtype=float), (size,)
+        ).copy()
+        self.reset()
+
+    @property
+    def size(self) -> int:
+        """K — the number of missions in the population."""
+        return self._waypoints.shape[0]
+
+    def reset(self) -> None:
+        """Rewind every row to mission start (Resettable).
+
+        Shared geometry, tracker and models stay warm; only the ``(K, …)``
+        state matrices rewind — the population analogue of
+        :meth:`DronePlant.reset`.
+        """
+        self.time = 0.0
+        self.positions = self._initial_positions.copy()
+        self.velocities = self._initial_velocities.copy()
+        self.charges = self._initial_charges.copy()
+        self.collided = np.zeros(self.size, dtype=bool)
+        self.battery_failed = np.zeros(self.size, dtype=bool)
+        self.distance_flown = np.zeros(self.size)
+        self.waypoint_index = np.zeros(self.size, dtype=int)
+        self.min_clearance = self.workspace.clearance_batch(self.positions)
+        self.model.begin_batch(self.size)
+
+    # ------------------------------------------------------------------ #
+    # the closed loop
+    # ------------------------------------------------------------------ #
+    def current_targets(self) -> np.ndarray:
+        """The ``(K, 3)`` waypoint each row is currently tracking."""
+        rows = np.arange(self.size)
+        return self._waypoints[rows, self.waypoint_index]
+
+    def _advance_waypoints(self) -> None:
+        """Advance rows within tolerance of their target (one hop per tick)."""
+        targets = self.current_targets()
+        arrived = row_norms(targets - self.positions) < self.waypoint_tolerance
+        last = self._waypoints.shape[1] - 1
+        self.waypoint_index = np.where(
+            arrived & (self.waypoint_index < last),
+            self.waypoint_index + 1,
+            self.waypoint_index,
+        )
+
+    def step(self, dt: float, disturbance: Vec3 = Vec3()) -> None:
+        """One physics tick: track, integrate, drain, collide — all rows at once.
+
+        Mirrors :meth:`DronePlant.apply` row by row: frozen (collided)
+        rows advance only their clock; battery-depleted airborne rows
+        free-fall; post-step rows clamp to the ground plane, latch battery
+        failures and collisions, and fold the clearance at their (possibly
+        frozen) position into ``min_clearance``.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        self._advance_waypoints()
+        commands = self.tracker.command_batch(
+            self.positions, self.velocities, self.current_targets(), self.time
+        )
+        self.time += dt
+        active = ~self.collided
+        if not active.any():
+            return
+        accelerations = np.array(commands, dtype=float, copy=True)
+        if disturbance.norm() > 0.0:
+            accelerations = accelerations + np.asarray(
+                disturbance.as_tuple(), dtype=float
+            )
+        # Pre-step depletion while airborne: the drone free-falls.
+        airborne_pre = self.positions[:, 2] > self.ground_altitude
+        freefall = (self.charges <= 0.0) & airborne_pre
+        accelerations[freefall] = (0.0, 0.0, -self.model.max_acceleration)
+        previous = self.positions
+        new_positions, new_velocities = self.model.step_batch(
+            previous, self.velocities, accelerations, dt
+        )
+        # Ground clamp: z < 0 rows land with vertical velocity zeroed.
+        below = new_positions[:, 2] < 0.0
+        new_positions[below, 2] = 0.0
+        new_velocities[below, 2] = 0.0
+        travelled = row_norms(new_positions - previous)
+        new_charges = self.battery_model.step_batch(self.charges, accelerations, dt)
+        airborne_post = new_positions[:, 2] > self.ground_altitude
+        new_battery_failed = (new_charges <= 0.0) & airborne_post
+        # Collision latch (airborne rows only): obstacle hit, bounds exit,
+        # or an obstacle crossed between the step's endpoints.
+        hit = airborne_post & (
+            self.workspace.in_obstacle_batch(new_positions, margin=self.collision_margin)
+            | ~self.workspace.in_bounds_batch(new_positions)
+            | ~self.workspace.segments_free_batch(previous, new_positions)
+        )
+        new_velocities[hit] = 0.0
+        clearances = self.workspace.clearance_batch(new_positions)
+        # Masked commit: frozen rows keep every field; rows colliding this
+        # tick keep their post-step position (frozen from the next tick on)
+        # and still record distance, charge and clearance — exactly the
+        # scalar order of DronePlant.apply.
+        self.positions = np.where(active[:, None], new_positions, self.positions)
+        self.velocities = np.where(active[:, None], new_velocities, self.velocities)
+        self.distance_flown = np.where(
+            active, self.distance_flown + travelled, self.distance_flown
+        )
+        self.charges = np.where(active, new_charges, self.charges)
+        self.battery_failed = self.battery_failed | (active & new_battery_failed)
+        self.min_clearance = np.where(
+            active, np.minimum(self.min_clearance, clearances), self.min_clearance
+        )
+        self.collided = self.collided | (active & hit)
+
+    def run(self, duration: float, dt: float = 0.02) -> PopulationStatus:
+        """Advance the whole population for ``duration`` seconds of mission time."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        remaining = duration
+        while remaining > 1e-12:
+            step = min(dt, remaining)
+            self.step(step)
+            remaining -= step
+        return self.status()
+
+    # ------------------------------------------------------------------ #
+    # derived observations
+    # ------------------------------------------------------------------ #
+    @property
+    def airborne(self) -> np.ndarray:
+        """Row-wise ``DronePlant.airborne``."""
+        return self.positions[:, 2] > self.ground_altitude
+
+    @property
+    def crashed(self) -> np.ndarray:
+        """Row-wise ``DronePlant.crashed``."""
+        return self.collided | self.battery_failed
+
+    @property
+    def landed(self) -> np.ndarray:
+        """Row-wise ``DronePlant.landed`` (grounded and essentially at rest)."""
+        return ~self.airborne & (row_norms(self.velocities) < 0.3)
+
+    def status(self) -> PopulationStatus:
+        """A copy-out snapshot of every row (for logging and metrics)."""
+        return PopulationStatus(
+            time=self.time,
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            charges=self.charges.copy(),
+            collided=self.collided.copy(),
+            battery_failed=self.battery_failed.copy(),
+            distance_flown=self.distance_flown.copy(),
+            min_clearance=self.min_clearance.copy(),
+            waypoint_index=self.waypoint_index.copy(),
+        )

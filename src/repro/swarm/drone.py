@@ -33,7 +33,7 @@ from typing import Any, Dict, Optional
 
 from ..testing.coverage import CoverageMap
 from ..testing.explorer import SystematicTester
-from ..testing.parallel import _RandomShard
+from ..testing.parallel import _RandomShard, shard_tester
 from ..testing.strategies import ExhaustiveStrategy, RandomStrategy, start_execution
 from . import protocol
 
@@ -226,16 +226,11 @@ class Drone:
             shard.monitor_window,
             shard.reuse_instances,
             shard.track_coverage,
+            shard.population_size,
         )
         tester = self._testers.get(key)
         if tester is None:
-            tester = SystematicTester(
-                shard.factory,
-                max_permuted=shard.max_permuted,
-                monitor_window=shard.monitor_window,
-                reuse_instances=shard.reuse_instances,
-                track_coverage=shard.track_coverage,
-            )
+            tester = shard_tester(shard)
             self._testers[key] = tester
         return tester
 

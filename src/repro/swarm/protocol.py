@@ -170,6 +170,7 @@ def encode_shard(shard: Any) -> Dict[str, Any]:
         "monitor_window": shard.monitor_window,
         "reuse_instances": shard.reuse_instances,
         "track_coverage": shard.track_coverage,
+        "population_size": shard.population_size,
     }
     if isinstance(shard, _RandomShard):
         return {"kind": "random", "seed": shard.seed,
@@ -192,6 +193,13 @@ def decode_shard(data: Dict[str, Any]) -> Any:
             monitor_window=int(data["monitor_window"]),
             reuse_instances=bool(data["reuse_instances"]),
             track_coverage=bool(data["track_coverage"]),
+            # Read with .get: messages from peers predating the population
+            # plane simply run the serial tester.
+            population_size=(
+                None
+                if data.get("population_size") is None
+                else int(data["population_size"])
+            ),
         )
         if kind == "random":
             return _RandomShard(

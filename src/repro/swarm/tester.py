@@ -101,6 +101,7 @@ class SwarmTester(ParallelTester):
         monitor_window: int = 1,
         reuse_instances: bool = True,
         track_coverage: bool = False,
+        population_size: Optional[int] = None,
     ) -> None:
         if drones < 1:
             raise ValueError("a swarm needs at least one drone")
@@ -113,6 +114,7 @@ class SwarmTester(ParallelTester):
             monitor_window=monitor_window,
             reuse_instances=reuse_instances,
             track_coverage=track_coverage,
+            population_size=population_size,
         )
         self.drones = drones
         self.drone_processes = drone_processes

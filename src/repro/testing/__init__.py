@@ -16,6 +16,7 @@ from .explorer import (
     TestReport,
 )
 from .parallel import ParallelReport, ParallelTester, ReplayConfirmation
+from .population import PopulationStats, PopulationTester
 from .scenarios import (
     Scenario,
     ScenarioFactory,
@@ -53,6 +54,8 @@ __all__ = [
     "ParallelReport",
     "ParallelTester",
     "ReplayConfirmation",
+    "PopulationStats",
+    "PopulationTester",
     "Scenario",
     "ScenarioFactory",
     "build_scenario",

@@ -45,6 +45,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..core.monitor import Violation
 from .coverage import CoverageMap
 from .explorer import ExecutionRecord, ModelInstance, SystematicTester, TestReport
+from .population import PopulationTester
 from .scenarios import scenario_factory
 from .strategies import ChoiceStrategy, ExhaustiveStrategy, RandomStrategy, start_execution
 
@@ -74,6 +75,11 @@ class _RandomShard:
     monitor_window: int = 1
     reuse_instances: bool = True
     track_coverage: bool = False
+    #: When set, workers run the population execution plane
+    #: (:class:`~repro.testing.population.PopulationTester`) with this
+    #: snapshot bound instead of the serial tester.  Reports stay
+    #: identical either way; only per-worker throughput changes.
+    population_size: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -89,6 +95,7 @@ class _ExhaustiveShard:
     monitor_window: int = 1
     reuse_instances: bool = True
     track_coverage: bool = False
+    population_size: Optional[int] = None
 
 
 def _warm_start(factory: HarnessFactory) -> Optional[str]:
@@ -137,6 +144,36 @@ def _worker_main(worker_id: int, shard: Any, result_queue: Any, stop_event: Any)
         result_queue.put(("error", worker_id, traceback.format_exc()))
 
 
+def shard_tester(shard: Any, strategy: Optional[ChoiceStrategy] = None) -> SystematicTester:
+    """Build the tester a shard asks for: serial, or the population plane.
+
+    A shard with ``population_size`` set runs through
+    :class:`~repro.testing.population.PopulationTester` — same reports,
+    compacted execution — with that bound on retained snapshots; others
+    use the plain reset-and-reuse :class:`SystematicTester`.  Shared by
+    the in-host process pool and the swarm drones.
+    """
+    population_size = getattr(shard, "population_size", None)
+    if population_size is not None:
+        return PopulationTester(
+            shard.factory,
+            strategy,
+            max_permuted=shard.max_permuted,
+            monitor_window=shard.monitor_window,
+            reuse_instances=shard.reuse_instances,
+            track_coverage=shard.track_coverage,
+            population_size=population_size,
+        )
+    return SystematicTester(
+        shard.factory,
+        strategy,
+        max_permuted=shard.max_permuted,
+        monitor_window=shard.monitor_window,
+        reuse_instances=shard.reuse_instances,
+        track_coverage=shard.track_coverage,
+    )
+
+
 def _run_random_shard(
     worker_id: int, shard: _RandomShard, result_queue: Any, stop_event: Any
 ) -> Optional[CoverageMap]:
@@ -146,14 +183,7 @@ def _run_random_shard(
     # per-index strategy would do, while the tester's reset-and-reuse path
     # keeps the built model instance warm across the slice.
     strategy = RandomStrategy(seed=shard.seed, max_executions=shard.max_executions)
-    tester = SystematicTester(
-        shard.factory,
-        strategy,
-        max_permuted=shard.max_permuted,
-        monitor_window=shard.monitor_window,
-        reuse_instances=shard.reuse_instances,
-        track_coverage=shard.track_coverage,
-    )
+    tester = shard_tester(shard, strategy)
     for index in shard.indices:
         if stop_event.is_set():
             break
@@ -186,14 +216,7 @@ def _run_exhaustive_shard(
             max_depth=shard.max_depth, max_executions=shard.max_executions, prefix=prefix
         )
         if tester is None:
-            tester = SystematicTester(
-                shard.factory,
-                strategy,
-                max_permuted=shard.max_permuted,
-                monitor_window=shard.monitor_window,
-                reuse_instances=shard.reuse_instances,
-                track_coverage=shard.track_coverage,
-            )
+            tester = shard_tester(shard, strategy)
         else:
             # Keep the warm model instance; only the subtree changes.
             tester.strategy = strategy
@@ -302,11 +325,17 @@ class ParallelTester:
         monitor_window: int = 1,
         reuse_instances: bool = True,
         track_coverage: bool = False,
+        population_size: Optional[int] = None,
     ) -> None:
         if (scenario is None) == (harness_factory is None):
             raise ValueError("pass exactly one of scenario= or harness_factory=")
         if monitor_window < 1:
             raise ValueError("monitor_window must be at least 1")
+        if population_size is not None and not reuse_instances:
+            raise ValueError(
+                "population_size requires reuse_instances=True (the population "
+                "plane shares one reused instance per worker)"
+            )
         if scenario is not None:
             harness_factory = scenario_factory(scenario, **(scenario_overrides or {}))
         elif scenario_overrides:
@@ -315,6 +344,7 @@ class ParallelTester:
         self.monitor_window = monitor_window
         self.reuse_instances = reuse_instances
         self.track_coverage = track_coverage
+        self.population_size = population_size
         self._probe_tester: Optional[SystematicTester] = None
         self.strategy: ChoiceStrategy = strategy or RandomStrategy()
         if not isinstance(self.strategy, (RandomStrategy, ExhaustiveStrategy)):
@@ -354,6 +384,7 @@ class ParallelTester:
                     monitor_window=self.monitor_window,
                     reuse_instances=self.reuse_instances,
                     track_coverage=self.track_coverage,
+                    population_size=self.population_size,
                 )
             )
             start += size
@@ -429,6 +460,7 @@ class ParallelTester:
                 monitor_window=self.monitor_window,
                 reuse_instances=self.reuse_instances,
                 track_coverage=self.track_coverage,
+                population_size=self.population_size,
             )
             for prefix_group in assigned
         ]

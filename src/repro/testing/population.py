@@ -1,0 +1,673 @@
+"""Population execution plane: run K executions of one scenario in lock-step.
+
+The reset-and-reuse explorer (:class:`~repro.testing.explorer.SystematicTester`)
+pays the full engine loop for every execution, even though a systematic
+sweep re-executes enormously redundant work: random sweeps over finite
+menus revisit whole trails, and exhaustive enumeration's depth-first
+odometer re-runs a deep shared prefix before every deviation.
+
+:class:`PopulationTester` removes that redundancy while staying
+**bit-identical** to the serial tester.  It maintains a *trail trie* — the
+prefix tree of every choice sequence explored so far, annotated with the
+option count and label of each choice point:
+
+* executions that share a trail prefix are one *row-group*: they step as a
+  single representative, materialised at most once;
+* where choice trails branch, the group *splits* — a divergence is
+  detected the moment the strategy draws a value with no trie edge, and
+  only the diverged suffix runs live;
+* fully-duplicated rows are *compacted*: a walk that ends on a leaf
+  returns the recorded outcome without touching the engine at all.
+
+Equivalence argument (the contract every test in
+``tests/testing/test_population.py`` checks differentially): the model
+under test is fully determined by its choice trail (the strategy
+contract of :mod:`repro.testing.strategies`), so
+
+1. the *walk* drives the **real** strategy through exactly the
+   ``choose(options, label)`` calls the serial execution would make —
+   RNG streams, odometer state and coverage credits evolve identically;
+2. a walk ending on a leaf proves the serial execution would retrace a
+   known trail, whose steps/violations/coverage were recorded when that
+   trail first ran — returning them is what the serial tester would have
+   recomputed;
+3. a walk that diverges replays the already-drawn prefix *by value*
+   (never re-drawing from the strategy) and hands the live tail back to
+   the strategy — the same split the serial execution makes implicitly.
+
+Prefix sharing is made cheap with *lazy snapshots*: trie nodes on
+repeatedly re-run prefixes capture a deep copy of the (instance, engine)
+pair at a step boundary; later executions diverging below that node
+restore the copy instead of re-executing the prefix.  Static geometry
+(workspaces, clearance fields with their dense grids) is pinned out of
+the copy, so snapshots stay small.  Snapshots are a pure optimisation:
+restoring one lands on exactly the state the replayed prefix would have
+recomputed.
+
+``population_size`` bounds the number of retained snapshots — the
+working set of materialised row-group states (the (K, …) matrices of the
+population plane live in :mod:`repro.simulation.population`; here K
+bounds state, not concurrency).  ``share_prefixes=False`` disables
+snapshots entirely (dedup-only mode).
+"""
+
+from __future__ import annotations
+
+import copy
+import io
+import pickle
+import types
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.monitor import Violation
+from .abstractions import NondeterministicNode
+from .coverage import CoverageMap, CoverageTracker
+from .explorer import ExecutionRecord, ModelInstance, SystematicTester
+from .scheduler import BoundedAsynchronyScheduler
+from .strategies import ChoiceStrategy, record_trail
+
+
+@dataclass
+class _Leaf:
+    """Recorded outcome of one fully-explored trail (a compacted row).
+
+    ``tail`` is the path-compressed suffix of the trail: the
+    ``(options, label, value)`` triples of every choice point below the
+    trie node this leaf hangs from.  Suffixes only materialise into trie
+    nodes when a second trail diverges somewhere inside them (the radix
+    split in :meth:`PopulationTester._split_leaf`), so a sweep of mostly
+    distinct trails allocates one leaf per trail instead of one node per
+    choice.
+    """
+
+    steps: int
+    violations: Tuple[Violation, ...]
+    coverage: Optional[CoverageMap]
+    tail: Tuple[Tuple[int, str, int], ...] = ()
+
+
+@dataclass
+class _Snapshot:
+    """A row-group state captured at a step boundary of a shared prefix.
+
+    The captured ``(instance, engine)`` pair is the model mid-execution
+    with exactly ``position`` choices consumed — the values on the trie
+    path to the node holding this snapshot.  Preferred representation is
+    a pickle byte string with static geometry pinned out via persistent
+    ids (dumped once, restored arbitrarily many times through the C
+    unpickler); models whose state graphs resist pickling fall back to a
+    held deep copy that each restore re-copies.
+    """
+
+    steps: int
+    violations: Tuple[Violation, ...]
+    position: int
+    data: Optional[bytes] = None
+    pair: Optional[Tuple[ModelInstance, Any]] = None
+
+
+class _TrieNode:
+    """One choice point (or trail end) in the trail trie.
+
+    Three kinds, discriminated structurally:
+
+    * **unexplored** — ``options is None`` and ``leaf is None`` (only the
+      fresh root is ever observable in this state);
+    * **internal** — ``options``/``label`` record the choice point;
+      ``children`` maps each chosen value to the next node;
+    * **leaf** — ``leaf`` holds the recorded outcome of the trail ending
+      here.
+
+    No trail is a strict prefix of another (same choices ⇒ same
+    execution ⇒ same length), so a node is internal *or* leaf, never
+    both.
+    """
+
+    __slots__ = ("options", "label", "children", "leaf", "snapshot", "boundary_hits")
+
+    def __init__(self) -> None:
+        self.options: Optional[int] = None
+        self.label: str = ""
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.leaf: Optional[_Leaf] = None
+        self.snapshot: Optional[_Snapshot] = None
+        self.boundary_hits: int = 0
+
+
+class _TrailRouter:
+    """The strategy facade bound into the model in place of the raw strategy.
+
+    During a live run the first ``len(replay)`` choices are returned *by
+    value* (they were already drawn from the real strategy during the trie
+    walk — consuming them again would desynchronise RNG streams and
+    odometers); every later choice delegates to the tester's current
+    strategy and is recorded in ``tail`` for trie extension.
+    """
+
+    __slots__ = ("_tester", "_replay", "_expected", "position", "tail")
+
+    def __init__(self, tester: "PopulationTester") -> None:
+        self._tester = tester
+        self._replay: List[int] = []
+        self._expected: List[_TrieNode] = []
+        self.position = 0
+        self.tail: List[Tuple[int, str, int]] = []
+
+    def arm(self, replay: List[int], expected: List[_TrieNode], position: int) -> None:
+        """Prepare for one live run: replay values, trie path, start position."""
+        self._replay = replay
+        self._expected = expected
+        self.position = position
+        self.tail = []
+
+    def choose(self, options: int, label: str = "") -> int:
+        position = self.position
+        self.position = position + 1
+        if position < len(self._replay):
+            node = self._expected[position]
+            if node.options != options or node.label != label:
+                raise RuntimeError(
+                    "model is not trail-deterministic: choice point "
+                    f"{position} saw ({options}, {label!r}), trie recorded "
+                    f"({node.options}, {node.label!r})"
+                )
+            return self._replay[position]
+        value = self._tester.strategy.choose(options, label)
+        self.tail.append((options, label, value))
+        return value
+
+
+@dataclass
+class PopulationStats:
+    """Counters describing how much work the population plane elided."""
+
+    executions: int = 0
+    live_runs: int = 0  # trails that touched the engine
+    compacted: int = 0  # dead rows: walks that ended on a known leaf
+    restores: int = 0  # live runs resumed from a prefix snapshot
+    snapshots_taken: int = 0
+    snapshots_retained: int = 0
+    replayed_choices: int = 0  # choices answered from the trie during live runs
+    live_choices: int = 0
+
+    @property
+    def compaction_rate(self) -> float:
+        """Fraction of executions answered without running the engine."""
+        if self.executions == 0:
+            return 0.0
+        return self.compacted / self.executions
+
+
+#: Object types never captured into snapshots: immutable (or
+#: execution-invariant) geometry shared by every execution.  Missing a
+#: type here costs snapshot size, never correctness — a copied workspace
+#: answers queries identically.
+def _pin_types() -> tuple:
+    from ..geometry.clearance import ClearanceField
+    from ..geometry.occupancy import OccupancyGrid
+    from ..geometry.workspace import Workspace
+
+    return (Workspace, ClearanceField, OccupancyGrid)
+
+
+class PopulationTester(SystematicTester):
+    """A :class:`SystematicTester` that compacts and shares executions.
+
+    Drop-in replacement: same constructor arguments plus the population
+    knobs, same :meth:`explore`/:meth:`run_single`/:meth:`replay` API, and
+    — the load-bearing property — reports identical to the serial tester
+    on every scenario and strategy (trails, steps, violations, coverage).
+
+    Args:
+        population_size: bound on retained prefix snapshots (the
+            materialised row-group working set).
+        share_prefixes: capture/restore snapshots on shared trail
+            prefixes.  ``False`` leaves only trail compaction (dedup).
+        snapshot_after: how many live step-boundary visits a trie node
+            must see before it earns a snapshot (the laziness knob:
+            1 snapshots eagerly, higher values only snapshot prefixes
+            that keep being re-run).
+
+    >>> from repro.testing import RandomStrategy, scenario_factory
+    >>> tester = PopulationTester(
+    ...     scenario_factory("toy-closed-loop", broken_ttf=True),
+    ...     RandomStrategy(seed=0, max_executions=10))
+    >>> report = tester.explore()
+    >>> report.ok
+    False
+    >>> tester.stats.executions
+    10
+    """
+
+    def __init__(
+        self,
+        harness_factory: Callable[[], ModelInstance],
+        strategy: Optional[ChoiceStrategy] = None,
+        max_permuted: int = 6,
+        monitor_window: int = 1,
+        reuse_instances: bool = True,
+        track_coverage: Optional[bool] = None,
+        population_size: int = 256,
+        share_prefixes: bool = True,
+        snapshot_after: int = 3,
+        snapshot_min_steps: int = 6,
+    ) -> None:
+        if not reuse_instances:
+            raise ValueError(
+                "PopulationTester requires reuse_instances=True: row-group "
+                "sharing is defined over one reused instance"
+            )
+        if population_size < 1:
+            raise ValueError("population_size must be at least 1")
+        if snapshot_after < 1:
+            raise ValueError("snapshot_after must be at least 1")
+        super().__init__(
+            harness_factory,
+            strategy,
+            max_permuted=max_permuted,
+            monitor_window=monitor_window,
+            reuse_instances=True,
+            track_coverage=track_coverage,
+        )
+        self.population_size = population_size
+        self.share_prefixes = share_prefixes
+        self.snapshot_after = snapshot_after
+        self.snapshot_min_steps = snapshot_min_steps
+        self.stats = PopulationStats()
+        self._router = _TrailRouter(self)
+        self._root = _TrieNode()
+        self._pins: Optional[List[Any]] = None
+        # Pin registry of the pickle-based snapshot path: index <-> object
+        # for every shared (never-serialised) object, grown on demand for
+        # functions/closures discovered while dumping.
+        self._pin_objects: List[Any] = []
+        self._pin_index: Dict[int, int] = {}
+        self._pickle_snapshots = True  # flips off after the first failure
+
+    # ------------------------------------------------------------------ #
+    # strategy binding: the model talks to the router, never the strategy
+    # ------------------------------------------------------------------ #
+    def _bind_strategy(self, harness: ModelInstance) -> None:
+        if harness.environment is not None:
+            harness.environment.reset()
+            harness.environment.bind_strategy(self._router)
+        for node in harness.system.all_nodes():
+            if isinstance(node, NondeterministicNode):
+                node.bind_strategy(self._router)
+
+    def _order_scheduler(self) -> BoundedAsynchronyScheduler:
+        if self._scheduler is None or self._scheduler.strategy is not self._router:
+            self._scheduler = BoundedAsynchronyScheduler(
+                self._router, max_permuted=self.max_permuted
+            )
+        return self._scheduler
+
+    # ------------------------------------------------------------------ #
+    # single execution: walk the trie, then compact / restore / run live
+    # ------------------------------------------------------------------ #
+    def run_single(self, index: int) -> ExecutionRecord:
+        self.stats.executions += 1
+        node = self._root
+        path_nodes: List[_TrieNode] = []
+        values: List[int] = []
+        strategy = self.strategy
+        while True:
+            leaf = node.leaf
+            if leaf is not None:
+                # Match the compressed suffix choice by choice, still
+                # driving the real strategy.
+                for matched, (options, label, value) in enumerate(leaf.tail):
+                    drawn = strategy.choose(options, label)
+                    if drawn != value:
+                        self._split_leaf(node, leaf, matched, path_nodes, values)
+                        values.append(drawn)
+                        return self._run_live(index, path_nodes, values)
+                return self._compact(index, leaf)
+            if node.options is None:
+                break  # the unexplored fresh root: everything runs live
+            value = strategy.choose(node.options, node.label)
+            path_nodes.append(node)
+            values.append(value)
+            child = node.children.get(value)
+            if child is None:
+                break  # divergence: no execution took this value here yet
+            node = child
+        return self._run_live(index, path_nodes, values)
+
+    # Keep the base class's deprecated alias pointing at the override.
+    _run_one = run_single
+
+    def _compact(self, index: int, leaf: _Leaf) -> ExecutionRecord:
+        """A dead row: the walked trail is fully known — duplicate its outcome.
+
+        The strategy already made every choice of this execution during
+        the walk, so its state (and ``record_trail``) is exactly what the
+        serial re-execution would leave behind; steps, violations and
+        coverage come from the recorded first run of the trail.
+        """
+        self.stats.compacted += 1
+        if self.track_coverage and leaf.coverage is not None:
+            self.coverage.merge(leaf.coverage)
+            observe = getattr(self.strategy, "observe_coverage", None)
+            if observe is not None:
+                observe(leaf.coverage)
+        return ExecutionRecord(
+            index=index,
+            steps=leaf.steps,
+            violations=list(leaf.violations),
+            trail=record_trail(self.strategy),
+        )
+
+    def _run_live(
+        self, index: int, path_nodes: List[_TrieNode], values: List[int]
+    ) -> ExecutionRecord:
+        """Run the engine for a new trail, resuming from a snapshot if one fits."""
+        self.stats.live_runs += 1
+        router = self._router
+        start_steps = 0
+        base_violations: Tuple[Violation, ...] = ()
+        restore_position = 0
+        snapshot: Optional[_Snapshot] = None
+        if self.share_prefixes:
+            # Deepest snapshotted node on the walked path wins: its state
+            # has consumed exactly the values leading to it.
+            for j in range(len(path_nodes) - 1, 0, -1):
+                snap = path_nodes[j].snapshot
+                if snap is not None:
+                    snapshot = snap
+                    restore_position = j
+                    break
+        if snapshot is not None:
+            self.stats.restores += 1
+            if snapshot.data is not None:
+                instance, engine = self._unpickle_state(snapshot.data)
+            else:
+                memo = self._pin_memo()
+                instance, engine = copy.deepcopy(snapshot.pair, memo)
+            self._instance = instance
+            self._engine = engine
+            self._rebind_tracker(instance)
+            start_steps = snapshot.steps
+            base_violations = snapshot.violations
+            harness = instance
+        else:
+            restore_position = 0
+            harness, engine = self._acquire()
+            self._bind_strategy(harness)
+        router.arm(values, path_nodes, restore_position)
+        self.stats.replayed_choices += len(values) - restore_position
+        scheduler = self._order_scheduler()
+        steps = start_steps
+        windowed = self.monitor_window > 1
+        violations = self._violation_buffer
+        violations.clear()
+        violations.extend(base_violations)
+        # Hoisted loop invariants, mirroring SystematicTester.run_single.
+        environment = harness.environment
+        monitors = harness.monitors
+        calendar = engine.calendar
+        stats = engine.stats
+        horizon = harness.horizon + 1e-12
+        population = self.stats
+        share = self.share_prefixes
+        n_path = len(path_nodes)
+        snapshot_after = self.snapshot_after
+        while True:
+            if share:
+                # Lazy snapshot policy: a step boundary inside the walked
+                # (shared) prefix makes the node at the current choice
+                # position a snapshot candidate; live tails (position
+                # beyond the walked path) never pay for copies.
+                position = router.position
+                if 1 <= position < n_path:
+                    node = path_nodes[position]
+                    if node.snapshot is None:
+                        node.boundary_hits += 1
+                        if (
+                            node.boundary_hits >= snapshot_after
+                            and steps >= self.snapshot_min_steps
+                            and population.snapshots_retained < self.population_size
+                        ):
+                            node.snapshot = self._take_snapshot(
+                                steps, violations, position
+                            )
+                            population.snapshots_taken += 1
+                            population.snapshots_retained += 1
+            pending = calendar.next_due()
+            if pending is None:
+                break
+            next_time, due = pending
+            if next_time > horizon:
+                break
+            if environment is not None:
+                environment.apply(engine, next_time)
+            if next_time > engine.current_time:
+                engine.current_time = next_time
+            stats.time_progress_steps += 1
+            engine._fire_ordered(scheduler.order(due))
+            if windowed:
+                monitors.capture_all(engine)
+                if monitors.pending_samples >= self.monitor_window:
+                    violations.extend(monitors.flush())
+            else:
+                violations.extend(monitors.check_all(engine))
+            steps += 1
+        if windowed:
+            violations.extend(monitors.flush())
+        population.live_choices += len(router.tail)
+        leaf_coverage: Optional[CoverageMap] = None
+        if self._tracker is not None:
+            execution_coverage = self._tracker.take_execution_map()
+            if self.track_coverage:
+                leaf_coverage = execution_coverage
+                self.coverage.merge(execution_coverage)
+                observe = getattr(self.strategy, "observe_coverage", None)
+                if observe is not None:
+                    observe(execution_coverage)
+        self._extend_trie(
+            path_nodes,
+            values,
+            _Leaf(
+                steps=steps,
+                violations=tuple(violations),
+                coverage=leaf_coverage,
+                tail=tuple(router.tail),
+            ),
+        )
+        return ExecutionRecord(
+            index=index,
+            steps=steps,
+            violations=list(violations),
+            trail=record_trail(self.strategy),
+        )
+
+    # ------------------------------------------------------------------ #
+    # trie maintenance
+    # ------------------------------------------------------------------ #
+    def _split_leaf(
+        self,
+        node: _TrieNode,
+        leaf: _Leaf,
+        matched: int,
+        path_nodes: List[_TrieNode],
+        values: List[int],
+    ) -> None:
+        """Radix split: a walk diverged inside a compressed leaf suffix.
+
+        Materialises internal nodes for the first ``matched + 1`` entries
+        of ``leaf.tail`` (the matched prefix plus the mismatching choice
+        point), re-hangs the old outcome one edge below the mismatch with
+        the rest of its suffix still compressed, and extends
+        ``path_nodes``/``values`` with the materialised chain — the
+        mismatch node joins ``path_nodes`` with no value; the caller
+        appends the freshly drawn one.
+        """
+        tail = leaf.tail
+        node.leaf = None
+        current = node
+        for position in range(matched + 1):
+            options, label, value = tail[position]
+            current.options = options
+            current.label = label
+            path_nodes.append(current)
+            if position < matched:
+                values.append(value)
+            child = _TrieNode()
+            current.children[value] = child
+            current = child
+        # ``current`` (under the mismatch entry's recorded value) carries
+        # the old trail's outcome with the rest of its suffix compressed.
+        current.leaf = _Leaf(
+            steps=leaf.steps,
+            violations=leaf.violations,
+            coverage=leaf.coverage,
+            tail=tail[matched + 1 :],
+        )
+
+    def _extend_trie(
+        self,
+        path_nodes: List[_TrieNode],
+        values: List[int],
+        leaf: _Leaf,
+    ) -> None:
+        """Hang the new trail's outcome (live tail kept compressed) on the trie."""
+        if values:
+            parent = path_nodes[-1]
+            node = parent.children.get(values[-1])
+            if node is None:
+                node = _TrieNode()
+                parent.children[values[-1]] = node
+        else:
+            node = self._root
+        node.leaf = leaf
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def _take_snapshot(
+        self, steps: int, violations: List[Violation], position: int
+    ) -> _Snapshot:
+        state = (self._instance, self._engine)
+        if self._pickle_snapshots:
+            try:
+                return _Snapshot(
+                    steps=steps,
+                    violations=tuple(violations),
+                    position=position,
+                    data=self._pickle_state(state),
+                )
+            except (pickle.PicklingError, TypeError, AttributeError, NotImplementedError):
+                # Some object in this model's state graph resists pickling;
+                # remember that and hold deep copies instead from now on.
+                self._pickle_snapshots = False
+        memo = self._pin_memo()
+        return _Snapshot(
+            steps=steps,
+            violations=tuple(violations),
+            position=position,
+            pair=copy.deepcopy(state, memo),
+        )
+
+    def _pickle_state(self, state: Tuple[ModelInstance, Any]) -> bytes:
+        """Serialise (instance, engine) with shared objects pinned out.
+
+        Pinned objects (static geometry, the router, and every function /
+        closure the dump encounters) are replaced by persistent ids, so
+        the byte string holds only per-execution state and unpickling
+        re-links the shared objects by reference.
+        """
+        if self._pins is None:
+            self._pins = self._collect_pins(self._instance, self._engine)
+            for obj in self._pins + [self._router]:
+                self._register_pin(obj)
+        pin_index = self._pin_index
+        register = self._register_pin
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+
+        def persistent_id(obj: Any) -> Optional[int]:
+            index = pin_index.get(id(obj))
+            if index is not None:
+                return index
+            if isinstance(obj, (types.FunctionType, types.BuiltinFunctionType)):
+                return register(obj)
+            return None
+
+        pickler.persistent_id = persistent_id  # type: ignore[method-assign]
+        pickler.dump(state)
+        return buffer.getvalue()
+
+    def _unpickle_state(self, data: bytes) -> Tuple[ModelInstance, Any]:
+        pin_objects = self._pin_objects
+        unpickler = pickle.Unpickler(io.BytesIO(data))
+        unpickler.persistent_load = pin_objects.__getitem__  # type: ignore[method-assign]
+        return unpickler.load()
+
+    def _register_pin(self, obj: Any) -> int:
+        index = self._pin_index.get(id(obj))
+        if index is None:
+            index = len(self._pin_objects)
+            self._pin_objects.append(obj)
+            self._pin_index[id(obj)] = index
+        return index
+
+    def _pin_memo(self) -> Dict[int, Any]:
+        """A deepcopy memo pre-seeding every pinned (shared, uncopied) object."""
+        if self._pins is None:
+            self._pins = self._collect_pins(self._instance, self._engine)
+        memo: Dict[int, Any] = {id(obj): obj for obj in self._pins}
+        memo[id(self._router)] = self._router
+        return memo
+
+    def _collect_pins(self, *roots: Any) -> List[Any]:
+        """Find the static geometry reachable from the model object graph.
+
+        A plain iterative traversal over ``__dict__``/container structure;
+        objects of the pinned types are collected and not descended into.
+        The traversal runs once per tester — objects it misses (e.g.
+        geometry reachable only through ``__slots__``) merely get copied
+        into snapshots, which costs memory, not correctness.
+        """
+        pin_types = _pin_types()
+        pins: List[Any] = []
+        seen: set = set()
+        atomic = (str, bytes, int, float, bool, complex, type(None))
+        stack: List[Any] = [obj for obj in roots if obj is not None]
+        while stack:
+            obj = stack.pop()
+            if isinstance(obj, atomic):
+                continue
+            oid = id(obj)
+            if oid in seen:
+                continue
+            seen.add(oid)
+            if isinstance(obj, pin_types):
+                pins.append(obj)
+                continue
+            if isinstance(obj, (types.FunctionType, types.BuiltinFunctionType, types.ModuleType, type)):
+                continue
+            if isinstance(obj, types.MethodType):
+                stack.append(obj.__self__)
+                continue
+            if isinstance(obj, dict):
+                stack.extend(obj.keys())
+                stack.extend(obj.values())
+                continue
+            if isinstance(obj, (list, tuple, set, frozenset)):
+                stack.extend(obj)
+                continue
+            attributes = getattr(obj, "__dict__", None)
+            if attributes:
+                stack.extend(attributes.values())
+        return pins
+
+    def _rebind_tracker(self, instance: ModelInstance) -> None:
+        """Point the tester at the coverage tracker inside a restored copy."""
+        if self._tracker is None:
+            return
+        for monitor in instance.monitors.monitors:
+            if isinstance(monitor, CoverageTracker):
+                self._tracker = monitor
+                return
+        raise RuntimeError("restored instance lost its coverage tracker")

@@ -7,10 +7,13 @@ import pytest
 
 from repro.control import AggressiveTracker, SafeWaypointTracker
 from repro.dynamics import (
+    BatteryModel,
+    BatteryState,
     BoundedDoubleIntegrator,
     ControlCommand,
     DoubleIntegratorParams,
     DroneState,
+    LaggedQuadrotor,
 )
 from repro.geometry import (
     Vec3,
@@ -69,6 +72,40 @@ class TestStepBatch:
             assert tuple(newP[i]) == stepped.position.as_tuple()
             assert tuple(newV[i]) == stepped.velocity.as_tuple()
 
+    def test_lagged_quadrotor_step_batch_bit_identical(self):
+        """Each row carries its own lag state, matching a dedicated scalar model."""
+        batch_model = LaggedQuadrotor()
+        states, _, P, V, _ = _random_batch(23, 60, speed=5.0)
+        scalar_models = [LaggedQuadrotor() for _ in states]
+        rng = random.Random(29)
+        batch_model.begin_batch(len(states))
+        # Multiple successive steps: the lag must be carried per row, not
+        # threaded sequentially across rows (the old fallback's bug).
+        for _ in range(8):
+            A = np.array([[rng.uniform(-10, 10) for _ in range(3)] for _ in states])
+            A[3] = [np.inf, 0.0, 0.0]  # malformed command row → "no thrust"
+            P, V = batch_model.step_batch(P, V, A, 0.05)
+            for i in range(len(states)):
+                states[i] = scalar_models[i].step(
+                    states[i], ControlCommand(acceleration=Vec3(*A[i])), 0.05
+                )
+                assert tuple(P[i]) == states[i].position.as_tuple()
+                assert tuple(V[i]) == states[i].velocity.as_tuple()
+
+    def test_battery_step_batch_bit_identical(self):
+        model = BatteryModel()
+        rng = random.Random(31)
+        charges = np.array([rng.uniform(0.0, 1.0) for _ in range(120)])
+        A = np.array([[rng.uniform(-10, 10) for _ in range(3)] for _ in range(120)])
+        stepped = model.step_batch(charges, A, 0.4)
+        for i in range(120):
+            scalar = model.step(
+                BatteryState(charge=charges[i]),
+                ControlCommand(acceleration=Vec3(*A[i])),
+                0.4,
+            )
+            assert stepped[i] == scalar.charge
+
     def test_generic_step_batch_fallback(self):
         """The base-class loop agrees with the scalar step for any model."""
 
@@ -122,14 +159,34 @@ class TestCommandBatch:
         )
         assert (batch == scalar).all()
 
-    def test_generic_command_batch_fallback(self):
-        tracker = AggressiveTracker()
-        states, targets, P, V, T = _random_batch(17, 50)
+    @pytest.mark.parametrize("corner_anticipation", [0.0, 0.6])
+    def test_aggressive_tracker_batch_bit_identical(self, corner_anticipation):
+        tracker = AggressiveTracker(corner_anticipation=corner_anticipation)
+        states, targets, P, V, T = _random_batch(17, 300)
+        # Degenerate row: already at the target (the distance < 1e-6 branch).
+        T[7] = P[7]
+        targets[7] = Vec3(*P[7])
         batch = tracker.command_batch(P, V, T, 0.0)
         scalar = np.array(
             [tracker.command(s, t, 0.0).acceleration.as_tuple() for s, t in zip(states, targets)]
         )
         assert (batch == scalar).all()
+
+    def test_generic_command_batch_fallback(self):
+        """The base-class scalar loop still matches for any tracker."""
+
+        class PlainTracker(AggressiveTracker):
+            command_batch = AggressiveTracker.__mro__[1].command_batch
+
+        tracker = PlainTracker()
+        states, targets, P, V, T = _random_batch(37, 50)
+        batch = tracker.command_batch(P, V, T, 0.0)
+        scalar = np.array(
+            [tracker.command(s, t, 0.0).acceleration.as_tuple() for s, t in zip(states, targets)]
+        )
+        assert (batch == scalar).all()
+        # …and the vectorised override agrees with the fallback exactly.
+        assert (AggressiveTracker().command_batch(P, V, T, 0.0) == batch).all()
 
     def test_memos_invalidate_when_workspace_grows_an_obstacle(self):
         from repro.geometry import AABB, empty_workspace

@@ -137,6 +137,74 @@ class TestBatchScalarBitEquality:
         assert (batch == scalar).all()
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+class TestDenseClearanceGrid:
+    """The densified whole-workspace grid must stay bit-identical to the lazy memo."""
+
+    def test_dense_threshold_decisions_bit_identical_to_lazy(self, seed):
+        workspace = random_workspace(seed)
+        dense = ClearanceField(workspace, resolution=0.5)
+        lazy = ClearanceField(workspace, resolution=0.5)
+        assert dense.densify() == dense.dense_cells > 0
+        rng = random.Random(seed + 3)
+        for p in random_points(workspace, seed, count=200):
+            threshold = rng.uniform(-1.0, 8.0)
+            assert dense.lower_bound(p) == lazy.lower_bound(p)
+            assert dense.exceeds(p, threshold) == lazy.exceeds(p, threshold)
+            assert dense.exceeds(p, threshold, strict=False) == lazy.exceeds(
+                p, threshold, strict=False
+            )
+            assert dense.at_most(p, threshold) == lazy.at_most(p, threshold)
+            for margin in (0.0, 0.3):
+                decided = dense.decides_above(p, threshold, margin=margin)
+                assert decided == lazy.decides_above(p, threshold, margin=margin)
+                if decided:  # a True answer is a sound one-sided proof
+                    assert workspace.clearance(p) - margin > threshold
+        assert dense.stats.dense_hits > 0
+        assert lazy.stats.dense_hits == 0
+
+    def test_dense_lower_bound_batch_matches_lazy(self, seed):
+        workspace = random_workspace(seed)
+        dense = ClearanceField(workspace, resolution=0.5)
+        lazy = ClearanceField(workspace, resolution=0.5)
+        dense.densify()
+        # random_points includes rows outside the workspace bounds, which
+        # with padding=0 land off the dense grid → the lazy fallback rows.
+        pts = points_as_array(random_points(workspace, seed, count=150))
+        assert (dense.lower_bound_batch(pts) == lazy.lower_bound_batch(pts)).all()
+        assert 0 < dense.stats.dense_hits < len(pts)  # mixed on-/off-grid batch
+
+    def test_off_grid_points_fall_back_to_the_lazy_path(self, seed):
+        workspace = random_workspace(seed)
+        field = ClearanceField(workspace, resolution=0.5)
+        field.densify(padding=0.0)
+        outside = Vec3(200.0, 200.0, 200.0)
+        before = field.stats.dense_hits
+        assert field.lower_bound(outside) <= workspace.clearance(outside)
+        assert field.stats.dense_hits == before  # served from the lazy dict
+        assert len(field) == 1  # the off-grid cell was memoised lazily
+
+    def test_add_obstacle_drops_the_dense_grid(self, seed):
+        workspace = random_workspace(seed)
+        field = ClearanceField(workspace, resolution=0.5)
+        field.densify()
+        assert field.dense_cells > 0
+        inside = Vec3(15.0, 15.0, 2.0)
+        field.exceeds(inside, 0.0)  # warm the grid path
+        workspace.add_obstacle(AABB.from_footprint(14.0, 14.0, 2.0, 2.0, 5.0))
+        # The stale grid must not answer for the mutated workspace.
+        assert field.exceeds(inside, 0.0) == (workspace.clearance(inside) > 0.0)
+        assert not field.exceeds(inside, 0.0)
+        assert field.dense_cells == 0  # dropped, not silently reused
+
+    def test_densify_validates_its_inputs(self, seed):
+        field = ClearanceField(random_workspace(seed), resolution=0.5)
+        with pytest.raises(ValueError):
+            field.densify(padding=-1.0)
+        with pytest.raises(ValueError, match="dense clearance grid"):
+            field.densify(max_cells=10)
+
+
 class TestClearanceFieldBookkeeping:
     def test_decisive_queries_skip_exact_computation(self):
         workspace = grid_city_workspace()

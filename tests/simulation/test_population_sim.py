@@ -1,0 +1,189 @@
+"""``PopulationSimulation`` vs a loop of real ``DronePlant`` instances.
+
+The matrix plant promises per-row *bit-identity* with
+:meth:`DronePlant.apply` — the same floating-point expressions in the same
+order, with diverged rows (collided, battery-depleted, grounded) carried by
+masks instead of control flow.  The oracle here is the literal scalar
+plant: K missions integrated twice, once as one ``(K, …)`` population and
+once as K independent plants, compared with ``==`` after hundreds of ticks
+that exercise collisions, depletion free-fall, ground clamping and
+waypoint advancement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import AggressiveTracker
+from repro.dynamics import BatteryModel, BoundedDoubleIntegrator, DroneState
+from repro.geometry import Vec3
+from repro.simulation import DronePlant, PopulationSimulation, surveillance_city
+
+
+def _random_missions(seed, K, W):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform([2, 2, 1.0], [20, 20, 6.0], size=(K, 3))
+    waypoints = rng.uniform([1, 1, 0.5], [24, 24, 8.0], size=(K, W, 3))
+    charges = rng.uniform(0.003, 1.0, size=K)
+    return starts, waypoints, charges
+
+
+def _scalar_plants(workspace, starts, charges):
+    return [
+        DronePlant(
+            BoundedDoubleIntegrator(),
+            workspace,
+            battery_model=BatteryModel(),
+            initial_state=DroneState(position=Vec3(*row)),
+            initial_charge=charge,
+        )
+        for row, charge in zip(starts, charges)
+    ]
+
+
+def _step_scalar_oracle(plants, tracker, waypoints, indices, tolerance, dt):
+    """One tick of K scalar plants, mirroring PopulationSimulation.step."""
+    W = waypoints.shape[1]
+    for k, plant in enumerate(plants):
+        target = Vec3(*waypoints[k][indices[k]])
+        if plant.state.position.distance_to(target) < tolerance and indices[k] < W - 1:
+            indices[k] += 1
+            target = Vec3(*waypoints[k][indices[k]])
+        command = tracker.command(plant.state, target, plant.time)
+        plant.apply(command, dt)
+
+
+def _assert_rows_match(population, plants, indices):
+    for k, plant in enumerate(plants):
+        assert (np.array(plant.state.position.as_tuple()) == population.positions[k]).all()
+        assert (np.array(plant.state.velocity.as_tuple()) == population.velocities[k]).all()
+        assert plant.battery.charge == population.charges[k]
+        assert plant.collided == population.collided[k]
+        assert plant.battery_failed == population.battery_failed[k]
+        assert plant.distance_flown == population.distance_flown[k]
+        assert plant.min_clearance == population.min_clearance[k]
+        assert indices[k] == population.waypoint_index[k]
+        assert plant.crashed == population.crashed[k]
+        assert plant.airborne == population.airborne[k]
+
+
+class TestPopulationVsScalarPlants:
+    def test_bit_identical_to_scalar_plant_loop(self):
+        workspace = surveillance_city().workspace
+        tracker = AggressiveTracker()
+        starts, waypoints, charges = _random_missions(3, K=32, W=4)
+        # One row starts airborne with a dead battery: the free-fall branch
+        # and the battery_failed latch must fire (and match the oracle).
+        charges[0] = 0.0
+        population = PopulationSimulation(
+            BoundedDoubleIntegrator(),
+            workspace,
+            tracker,
+            waypoints,
+            starts,
+            initial_charges=charges,
+            battery_model=BatteryModel(),
+        )
+        plants = _scalar_plants(workspace, starts, charges)
+        indices = [0] * population.size
+        dt = 0.02
+        for _ in range(400):
+            _step_scalar_oracle(
+                plants, tracker, waypoints, indices, population.waypoint_tolerance, dt
+            )
+            population.step(dt)
+        _assert_rows_match(population, plants, indices)
+        # The sweep must actually exercise the divergence masks: some rows
+        # collide with the city, some deplete, some keep flying.
+        assert 0 < population.collided.sum() < population.size
+        assert population.battery_failed.any()
+        status = population.status()
+        assert status.any_crashed
+        assert (status.crashed == (population.collided | population.battery_failed)).all()
+
+    def test_disturbance_rows_match_scalar(self):
+        workspace = surveillance_city().workspace
+        tracker = AggressiveTracker()
+        starts, waypoints, charges = _random_missions(11, K=8, W=3)
+        population = PopulationSimulation(
+            BoundedDoubleIntegrator(),
+            workspace,
+            tracker,
+            waypoints,
+            starts,
+            initial_charges=charges,
+            battery_model=BatteryModel(),
+        )
+        plants = _scalar_plants(workspace, starts, charges)
+        indices = [0] * population.size
+        wind = Vec3(0.4, -0.2, 0.1)
+        dt = 0.05
+        for _ in range(120):
+            W = waypoints.shape[1]
+            for k, plant in enumerate(plants):
+                target = Vec3(*waypoints[k][indices[k]])
+                if (
+                    plant.state.position.distance_to(target) < population.waypoint_tolerance
+                    and indices[k] < W - 1
+                ):
+                    indices[k] += 1
+                    target = Vec3(*waypoints[k][indices[k]])
+                command = tracker.command(plant.state, target, plant.time)
+                plant.apply(command, dt, disturbance=wind)
+            population.step(dt, disturbance=wind)
+        _assert_rows_match(population, plants, indices)
+
+    def test_reset_rewinds_every_row(self):
+        workspace = surveillance_city().workspace
+        starts, waypoints, charges = _random_missions(5, K=6, W=3)
+        population = PopulationSimulation(
+            BoundedDoubleIntegrator(),
+            workspace,
+            AggressiveTracker(),
+            waypoints,
+            starts,
+            initial_charges=charges,
+        )
+        first = population.run(3.0)
+        population.reset()
+        assert population.time == 0.0
+        assert (population.positions == starts).all()
+        assert (population.velocities == 0.0).all()
+        assert (population.charges == charges).all()
+        assert not population.collided.any()
+        assert (population.waypoint_index == 0).all()
+        # Rerunning after reset reproduces the first sweep exactly.
+        second = population.run(3.0)
+        assert (first.positions == second.positions).all()
+        assert (first.velocities == second.velocities).all()
+        assert (first.charges == second.charges).all()
+        assert (first.collided == second.collided).all()
+        assert (first.min_clearance == second.min_clearance).all()
+
+    def test_constructor_validates_shapes(self):
+        workspace = surveillance_city().workspace
+        tracker = AggressiveTracker()
+        model = BoundedDoubleIntegrator()
+        good = np.zeros((4, 3, 3))
+        with pytest.raises(ValueError, match=r"\(K, W, 3\)"):
+            PopulationSimulation(model, workspace, tracker, np.zeros((4, 3)), np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="one row per mission"):
+            PopulationSimulation(model, workspace, tracker, good, np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="one row per mission"):
+            PopulationSimulation(
+                model, workspace, tracker, good, np.zeros((4, 3)),
+                initial_velocities=np.zeros((2, 3)),
+            )
+
+    def test_step_and_run_validate_dt(self):
+        workspace = surveillance_city().workspace
+        population = PopulationSimulation(
+            BoundedDoubleIntegrator(),
+            workspace,
+            AggressiveTracker(),
+            np.full((2, 2, 3), 5.0),
+            np.full((2, 3), 4.0),
+        )
+        with pytest.raises(ValueError):
+            population.step(-0.01)
+        with pytest.raises(ValueError):
+            population.run(1.0, dt=0.0)

@@ -85,6 +85,23 @@ class TestShards:
         with pytest.raises(protocol.ProtocolError, match="JSON-safe"):
             protocol.encode_shard(random_shard(factory=unsafe))
 
+    @pytest.mark.parametrize(
+        "shard",
+        [random_shard(population_size=64), exhaustive_shard(population_size=8)],
+        ids=["random", "exhaustive"],
+    )
+    def test_population_size_crosses_the_wire(self, shard):
+        assert protocol.decode_shard(protocol.encode_shard(shard)) == shard
+
+    @pytest.mark.parametrize("shard", [random_shard(), exhaustive_shard()],
+                             ids=["random", "exhaustive"])
+    def test_legacy_peer_without_population_size_decodes(self, shard):
+        # Older peers never send the key: decoding must default to the
+        # serial (non-population) tester, not crash.
+        wire = protocol.encode_shard(shard)
+        del wire["population_size"]
+        assert protocol.decode_shard(wire).population_size is None
+
     def test_malformed_shard_rejected(self):
         with pytest.raises(protocol.ProtocolError, match="malformed shard"):
             protocol.decode_shard({"kind": "random"})

@@ -1,0 +1,220 @@
+"""Population-vs-serial equivalence: the lock-step execution plane changes nothing.
+
+:class:`~repro.testing.population.PopulationTester` runs whole populations
+of a scenario through one reused instance, compacting duplicate trails and
+(optionally) resuming live runs from shared-prefix snapshots.  All of that
+is pure mechanics: the report it produces must be *observably identical* to
+the serial :class:`~repro.testing.explorer.SystematicTester` — byte-equal
+trails, step counts, violation sequences, and coverage — on every
+registered scenario, for random and exhaustive strategies, with sharing on
+and off.  These tests are the proof the ≥5x speedup claim rides on.
+"""
+
+import pytest
+
+from repro.testing import (
+    ExhaustiveStrategy,
+    ParallelTester,
+    PopulationTester,
+    RandomStrategy,
+    SystematicTester,
+    scenario_factory,
+)
+
+#: Every registered scenario, with overrides that make violations likely so
+#: the equivalence claim covers non-empty violation sequences too (same
+#: roster as the reset-reuse differential suite).
+SCENARIOS = [
+    ("toy-closed-loop", {"broken_ttf": True}),
+    ("drone-surveillance", {"include_unsafe_position": True}),
+    ("battery-safety-abort", {"include_critical": True}),
+    ("faulty-planner", {}),
+    ("multi-obstacle-geofence", {"include_breach": True}),
+    ("multi-drone-surveillance", {"drones": 2, "include_conflict": True}),
+    ("multi-drone-crossing", {}),
+    ("rare-branch-geofence", {"include_breach": True}),
+    ("deep-menu-surveillance", {"include_unsafe_position": True}),
+]
+
+
+def _record_key(record):
+    return (
+        record.index,
+        record.steps,
+        tuple(record.trail or ()),
+        tuple(
+            (violation.time, violation.monitor, violation.message, type(violation.state).__name__)
+            for violation in record.violations
+        ),
+    )
+
+
+def _report_keys(report):
+    return [_record_key(record) for record in report.executions]
+
+
+class TestPopulationVsSerialEquivalence:
+    @pytest.mark.parametrize("share", [True, False], ids=["shared", "compact-only"])
+    @pytest.mark.parametrize("name,overrides", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    def test_random_sweep_identical(self, name, overrides, share):
+        factory = scenario_factory(name, **overrides)
+        serial = SystematicTester(
+            factory, RandomStrategy(seed=3, max_executions=14), reuse_instances=True
+        )
+        population = PopulationTester(
+            factory,
+            RandomStrategy(seed=3, max_executions=14),
+            share_prefixes=share,
+            # Eager snapshotting: exercise capture/restore even on short sweeps.
+            snapshot_after=1,
+            snapshot_min_steps=1,
+        )
+        serial_report = serial.explore()
+        population_report = population.explore()
+        assert _report_keys(population_report) == _report_keys(serial_report)
+        assert population.coverage.counts == serial.coverage.counts
+        assert population.stats.executions == 14
+        if name != "toy-closed-loop":
+            assert not population_report.ok
+
+    @pytest.mark.parametrize("share", [True, False], ids=["shared", "compact-only"])
+    @pytest.mark.parametrize("name,overrides", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    def test_exhaustive_enumeration_identical(self, name, overrides, share):
+        factory = scenario_factory(name, **overrides)
+        serial = SystematicTester(
+            factory,
+            ExhaustiveStrategy(max_depth=4, max_executions=20),
+            reuse_instances=True,
+        )
+        population = PopulationTester(
+            factory,
+            ExhaustiveStrategy(max_depth=4, max_executions=20),
+            share_prefixes=share,
+            snapshot_after=1,
+            snapshot_min_steps=1,
+        )
+        assert _report_keys(population.explore()) == _report_keys(serial.explore())
+        assert population.coverage.counts == serial.coverage.counts
+
+    def test_duplicate_trails_are_compacted_not_rerun(self):
+        # A short-horizon surveillance sweep with no schedule permutation
+        # has a small trail space, so a random sweep repeats trails; every
+        # repeat must be answered from the trie without running the engine.
+        population = PopulationTester(
+            scenario_factory("drone-surveillance", horizon=1.0),
+            RandomStrategy(seed=0, max_executions=200),
+            max_permuted=1,
+        )
+        report = population.explore()
+        stats = population.stats
+        assert stats.executions == 200
+        assert stats.compacted > 0
+        assert stats.live_runs + stats.compacted == stats.executions
+        assert stats.compaction_rate == stats.compacted / 200
+        # Compacted rows still materialise full records.
+        assert len(report.executions) == 200
+        assert all(record.trail is not None for record in report.executions)
+
+    def test_shared_prefixes_restore_snapshots(self):
+        population = PopulationTester(
+            scenario_factory("drone-surveillance", include_unsafe_position=True),
+            RandomStrategy(seed=7, max_executions=40),
+            max_permuted=1,
+            snapshot_after=1,
+            snapshot_min_steps=1,
+        )
+        population.explore()
+        stats = population.stats
+        assert stats.snapshots_taken > 0
+        assert stats.restores > 0
+        assert stats.snapshots_retained <= population.population_size
+
+    def test_replay_matches_serial_replay(self):
+        factory = scenario_factory("drone-surveillance", include_unsafe_position=True)
+        serial = SystematicTester(
+            factory, RandomStrategy(seed=5, max_executions=20), reuse_instances=True
+        )
+        population = PopulationTester(
+            factory, RandomStrategy(seed=5, max_executions=20)
+        )
+        serial_report = serial.explore()
+        population.explore()
+        counterexample = serial_report.first_counterexample()
+        assert counterexample is not None
+        replayed = population.replay(counterexample.trail, index=counterexample.index)
+        assert _record_key(replayed) == _record_key(counterexample)
+        # The exploration strategy survives the replay untouched.
+        assert isinstance(population.strategy, RandomStrategy)
+
+    def test_run_single_matches_serial(self):
+        factory = scenario_factory("toy-closed-loop", broken_ttf=True)
+        serial = SystematicTester(
+            factory, RandomStrategy(seed=2, max_executions=5), reuse_instances=True
+        )
+        population = PopulationTester(factory, RandomStrategy(seed=2, max_executions=5))
+        for index in range(5):
+            assert _record_key(population.run_single(index)) == _record_key(
+                serial.run_single(index)
+            )
+
+
+class TestPopulationValidation:
+    def test_requires_reuse_instances(self):
+        with pytest.raises(ValueError, match="reuse_instances"):
+            PopulationTester(
+                scenario_factory("toy-closed-loop"), reuse_instances=False
+            )
+
+    def test_population_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="population_size"):
+            PopulationTester(scenario_factory("toy-closed-loop"), population_size=0)
+
+    def test_snapshot_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="snapshot_after"):
+            PopulationTester(scenario_factory("toy-closed-loop"), snapshot_after=0)
+
+
+class TestParallelPopulationEquivalence:
+    def test_parallel_requires_reuse_instances(self):
+        with pytest.raises(ValueError, match="reuse_instances"):
+            ParallelTester(
+                scenario="toy-closed-loop",
+                workers=2,
+                reuse_instances=False,
+                population_size=16,
+            )
+
+    def test_parallel_random_matches_serial_shards(self):
+        strategy = lambda: RandomStrategy(seed=9, max_executions=12)
+        plain = ParallelTester(
+            scenario="multi-obstacle-geofence",
+            scenario_overrides={"include_breach": True},
+            strategy=strategy(),
+            workers=2,
+        ).explore()
+        population = ParallelTester(
+            scenario="multi-obstacle-geofence",
+            scenario_overrides={"include_breach": True},
+            strategy=strategy(),
+            workers=2,
+            population_size=64,
+        ).explore()
+        assert _report_keys(population) == _report_keys(plain)
+        assert population.all_confirmed
+
+    def test_parallel_exhaustive_matches_serial_shards(self):
+        strategy = lambda: ExhaustiveStrategy(max_depth=3, max_executions=40)
+        plain = ParallelTester(
+            scenario="toy-closed-loop",
+            scenario_overrides={"broken_ttf": True},
+            strategy=strategy(),
+            workers=2,
+        ).explore()
+        population = ParallelTester(
+            scenario="toy-closed-loop",
+            scenario_overrides={"broken_ttf": True},
+            strategy=strategy(),
+            workers=2,
+            population_size=32,
+        ).explore()
+        assert _report_keys(population) == _report_keys(plain)
