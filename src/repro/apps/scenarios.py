@@ -38,7 +38,7 @@ from typing import List, Optional
 
 from ..core.compiler import Program, SoterCompiler
 from ..core.module import RTAModuleSpec
-from ..core.monitor import MonitorSuite, TopicSafetyMonitor
+from ..core.monitor import DeadlineMonitor, MonitorSuite, TopicSafetyMonitor
 from ..core.node import FunctionNode
 from ..core.regions import Region, classify_region
 from ..core.specs import SafetySpec
@@ -46,18 +46,21 @@ from ..core.topics import Topic
 from ..dynamics import DroneState
 from ..geometry import AABB, Vec3, empty_workspace
 from ..geometry.workspace import Workspace
-from ..planning import Plan
+from ..planning import GridAStarPlanner, Plan
 from ..planning.validation import PlanValidator
+from ..runtime.faults import ChoiceFaultInjector, FaultPlan, FaultPlane, FaultSite
 from ..simulation import MissionWorld, surveillance_city
 from ..simulation.drone import BatteryStatus
-from ..testing.abstractions import AbstractEnvironment, NondeterministicNode
+from ..testing.abstractions import AbstractEnvironment, NondeterministicNode, constant_environment
 from ..testing.explorer import ModelInstance
 from ..testing.scenarios import register_scenario
-from .nodes import PlanForwardNode
+from .modules import PlannerModuleConfig, build_safe_motion_planner
+from .nodes import PlanForwardNode, PlannerNode
 from .stack import FleetConfig, StackConfig, build_discrete_model, build_fleet_discrete_model, fleet_configs
 from .topics import (
     ACTIVE_PLAN_TOPIC,
     BATTERY_TOPIC,
+    GOAL_TOPIC,
     MOTION_PLAN_TOPIC,
     POSITION_TOPIC,
     vehicle_namespace,
@@ -689,4 +692,181 @@ def build_multi_drone_crossing(
     environment = AbstractEnvironment(menus=menus, period=environment_period)
     return ModelInstance(
         system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+# --------------------------------------------------------------------------- #
+# fault-exploration scenarios (strategy-driven FaultPlan choice points)
+# --------------------------------------------------------------------------- #
+
+#: Injector node names of the fault-injected planner pair.  The site name
+#: doubles as the injector's node name, so trail labels, coverage keys and
+#: the compiled system agree on one identifier per variant.
+PROTECTED_PLANNER_FAULT_NODE = "SafeMotionPlanner.ac.faultable"
+UNPROTECTED_PLANNER_FAULT_NODE = "motionPlanner.faultable"
+
+
+@register_scenario(
+    "fault-injected-planner",
+    description=(
+        "The motion planner behind a strategy-driven ChoiceFaultInjector: a "
+        "FaultPlan declares two activation windows in which the planner may "
+        "substitute a corner-cutting plan or crash-and-restart, and each "
+        "window's (activation, kind) is a labeled choice in the trail.  "
+        "phi_plan_deadline tolerates transients shorter than the RTA "
+        "recovery bound: with protected=True the Delta-bounded safe planner "
+        "always recovers in time (zero violations across the exhaustive "
+        "fault sweep); with protected=False a sustained substitution "
+        "violates.  This pair is the resilience harness's differential."
+    ),
+    tags=("drone", "planner", "faults"),
+)
+def build_fault_injected_planner(
+    protected: bool = True,
+    horizon: float = 2.5,
+    planner_period: float = 0.25,
+    delta: float = 0.5,
+    clearance: float = 0.5,
+    grace: float = 1.0,
+    fault_windows=((0.25, 1.25), (1.25, 2.5)),
+    fault_kinds=("substitute", "crash"),
+    environment_period: float = 0.5,
+    fault_plan=None,
+) -> ModelInstance:
+    world = _shared_world()
+    workspace = world.workspace
+    altitude = world.cruise_altitude
+    home = Vec3(4.0, 4.0, altitude)
+    goal = Vec3(46.0, 46.0, altitude)
+    # The corner-cut goes straight through the block grid: invalid at any
+    # positive clearance, and the SUBSTITUTE payload of the fault site.
+    corner_cut = Plan(waypoints=(home, goal), goal=goal, planner="corner-cut")
+    planner = GridAStarPlanner(workspace=workspace, altitude=altitude)
+    node_name = PROTECTED_PLANNER_FAULT_NODE if protected else UNPROTECTED_PLANNER_FAULT_NODE
+    if fault_plan is not None:
+        # An explicit plan (object or its encoded wire form) overrides the
+        # declarative knobs — this is how swarm shards carry fault plans.
+        plan = FaultPlan.coerce(fault_plan)
+        node_sites = plan.node_sites()
+        if len(node_sites) != 1:
+            raise ValueError("fault-injected-planner needs exactly one node fault site")
+        site = node_sites[0]
+    else:
+        site = FaultSite(
+            kinds=tuple(fault_kinds), windows=tuple(fault_windows), node=node_name
+        )
+        plan = FaultPlan(sites=(site,))
+    substitutes = {MOTION_PLAN_TOPIC: corner_cut}
+    topics = [
+        Topic(GOAL_TOPIC, Vec3, description="mission goal (constant)"),
+        Topic(POSITION_TOPIC, DroneState, description="state estimate (constant)"),
+        Topic(MOTION_PLAN_TOPIC, Plan, description="published motion plan"),
+    ]
+    if protected:
+        module = build_safe_motion_planner(
+            workspace,
+            advanced_planner=planner,
+            certified_planner=planner,
+            config=PlannerModuleConfig(
+                delta=delta, node_period=planner_period, plan_clearance=clearance
+            ),
+        )
+        injector = ChoiceFaultInjector(
+            module.advanced_node, site, rename=site.node, substitutes=substitutes
+        )
+        module.spec.advanced = injector
+        module.advanced_node = injector  # type: ignore[assignment]
+        program = Program(name="fault-injected-planner", topics=topics)
+        program.add_module(module.spec)
+        validator = module.validator
+    else:
+        inner = PlannerNode(name="motionPlanner", planner=planner, period=planner_period)
+        injector = ChoiceFaultInjector(inner, site, rename=site.node, substitutes=substitutes)
+        program = Program(name="fault-injected-planner-unprotected", topics=topics, nodes=[injector])
+        validator = PlanValidator(workspace, clearance=clearance)
+    system = SoterCompiler(strict=False).compile(program).system
+    monitors = MonitorSuite(
+        [
+            DeadlineMonitor(
+                name="phi_plan_deadline",
+                topic=MOTION_PLAN_TOPIC,
+                spec=SafetySpec("plan keeps clearance", validator.is_valid),
+                grace=grace,
+            )
+        ]
+    )
+    environment = constant_environment(
+        {GOAL_TOPIC: goal, POSITION_TOPIC: DroneState(position=home)},
+        period=environment_period,
+    )
+    plane = FaultPlane(plan, environment=environment).adopt(system)
+    return ModelInstance(system=system, monitors=monitors, environment=plane, horizon=horizon)
+
+
+#: Injector node name of the fault-injected surveillance stack.
+SURVEILLANCE_TRACKER_FAULT_NODE = "SafeMotionPrimitive.ac.faultable"
+
+
+@register_scenario(
+    "fault-injected-surveillance",
+    description=(
+        "The RTA-protected surveillance stack with a widened fault surface: "
+        "the advanced tracker behind a ChoiceFaultInjector (invert / stuck / "
+        "crash per window) and, at the TopicBoard, position-estimate message "
+        "loss, freezes and delivery delay.  Safe by construction (the "
+        "environment menu only offers safe estimates and the RTA plane "
+        "absorbs command faults), so it exercises the fault axis of the "
+        "coverage plane and the no-fault-overhead benchmark rather than "
+        "hunting counterexamples."
+    ),
+    tags=("drone", "stack", "faults"),
+)
+def build_fault_injected_surveillance(
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    seed: int = 0,
+    use_query_cache: bool = True,
+    tracker_windows=((0.0, 0.5), (0.5, 1.0)),
+    tracker_kinds=("invert", "stuck", "crash"),
+    include_position_faults: bool = True,
+    position_windows=((0.25, 0.75),),
+    position_kinds=("drop", "stuck", "delay"),
+) -> ModelInstance:
+    world = _shared_world() if use_query_cache else surveillance_city()
+    tracker_site = FaultSite(
+        kinds=tuple(tracker_kinds),
+        windows=tuple(tracker_windows),
+        node=SURVEILLANCE_TRACKER_FAULT_NODE,
+    )
+    config = StackConfig(
+        world=world,
+        planner="straight",
+        protect_battery=False,
+        protect_motion_primitive=True,
+        use_query_cache=use_query_cache,
+        seed=seed,
+        tracker_fault_site=tracker_site,
+    )
+    model = build_discrete_model(config)
+    sites = [tracker_site]
+    if include_position_faults:
+        sites.append(
+            FaultSite(
+                kinds=tuple(position_kinds),
+                windows=tuple(position_windows),
+                topic=POSITION_TOPIC,
+                delay=environment_period,
+            )
+        )
+    positions = [
+        DroneState(position=world.surveillance_points[0]),
+        DroneState(position=world.surveillance_points[3]),
+        DroneState(position=world.surveillance_points[8]),
+    ]
+    environment = AbstractEnvironment(
+        menus={POSITION_TOPIC: positions}, period=environment_period
+    )
+    plane = FaultPlane(FaultPlan(sites=tuple(sites)), environment=environment).adopt(model.system)
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=plane, horizon=horizon
     )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..control import (
     AggressiveTracker,
@@ -43,9 +43,11 @@ from ..dynamics import (
 from ..geometry import Vec3
 from ..planning import FaultyPlanner, GridAStarPlanner, PlannerBug, RRTStarPlanner
 from ..reachability import WorstCaseReachability, states_as_arrays, synthesize_safe_tracker
-from ..runtime.faults import FaultInjector, FaultSpec
+from ..runtime.faults import ChoiceFaultInjector, FaultInjector, FaultSite, FaultSpec
 from ..simulation import (
     BatterySensor,
+    FaultyBatterySensor,
+    FaultyStateEstimator,
     DronePlant,
     DroneSimulation,
     FleetResult,
@@ -98,6 +100,12 @@ class StackConfig:
     max_speed: float = 4.0
     max_acceleration: float = 6.0
     tracker_fault: Optional[FaultSpec] = None
+    # Strategy-driven twin of tracker_fault: a node-targeting FaultSite (or
+    # its encoded tuple form) wrapping the tracker in a ChoiceFaultInjector,
+    # so fault timing/kind become labeled choice points in the trail.  The
+    # injector takes the site's node name, keeping trail labels and system
+    # node names consistent.
+    tracker_fault_site: Optional[FaultSite] = None
 
     # planner -------------------------------------------------------------- #
     planner: str = "straight"  # "straight" | "rrt" | "astar"
@@ -129,6 +137,10 @@ class StackConfig:
     # (bit-identical decisions; off only for equivalence tests/benchmarks).
     use_query_cache: bool = True
     seed: int = 0
+    # Sensor fault windows, sample-count based: ("stuck"|"stale"|"dropout",
+    # first faulty sample, one-past-last faulty sample).  None = healthy.
+    estimator_fault: Optional[Tuple[str, int, int]] = None
+    battery_fault: Optional[Tuple[str, int, int]] = None
 
     # Per-vehicle namespace over every topic, node, module and monitor name.
     # The default (empty-prefix) namespace reproduces the original
@@ -374,6 +386,13 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
             )
             mp_module.spec.advanced = faulty_ac
             mp_module.advanced_node = faulty_ac  # type: ignore[assignment]
+        if config.tracker_fault_site is not None:
+            site = FaultSite.decode(config.tracker_fault_site) if not isinstance(
+                config.tracker_fault_site, FaultSite
+            ) else config.tracker_fault_site
+            faultable_ac = ChoiceFaultInjector(mp_module.advanced_node, site, rename=site.node)
+            mp_module.spec.advanced = faultable_ac
+            mp_module.advanced_node = faultable_ac  # type: ignore[assignment]
         program.add_module(mp_module.spec)
     else:
         if config.sc_only:
@@ -395,6 +414,11 @@ def _assemble_program(config: StackConfig) -> AssembledProgram:
             primitive = FaultInjector(
                 primitive, config.tracker_fault, rename=ns.scoped("motionPrimitive.faulty")
             )
+        if config.tracker_fault_site is not None:
+            site = FaultSite.decode(config.tracker_fault_site) if not isinstance(
+                config.tracker_fault_site, FaultSite
+            ) else config.tracker_fault_site
+            primitive = ChoiceFaultInjector(primitive, site, rename=site.node)
         program.add_node(primitive)
 
     return AssembledProgram(
@@ -550,15 +574,27 @@ def build_stack(config: Optional[StackConfig] = None) -> BuiltStack:
         collision_margin=0.0,
     )
     monitors = _safety_monitors(config, system, model, mp_module)
+    estimator: Any = StateEstimator(
+        position_noise=config.estimator_noise,
+        velocity_noise=config.estimator_noise,
+        seed=config.seed,
+    )
+    if config.estimator_fault is not None:
+        mode, start, stop = config.estimator_fault
+        estimator = FaultyStateEstimator(
+            inner=estimator, mode=mode, fault_from=start, fault_until=stop
+        )
+    battery_sensor: Any = BatterySensor(seed=config.seed + 1)
+    if config.battery_fault is not None:
+        mode, start, stop = config.battery_fault
+        battery_sensor = FaultyBatterySensor(
+            inner=battery_sensor, mode=mode, fault_from=start, fault_until=stop
+        )
     simulation = DroneSimulation(
         system=system,
         plant=plant,
-        estimator=StateEstimator(
-            position_noise=config.estimator_noise,
-            velocity_noise=config.estimator_noise,
-            seed=config.seed,
-        ),
-        battery_sensor=BatterySensor(seed=config.seed + 1),
+        estimator=estimator,
+        battery_sensor=battery_sensor,
         scheduler=config.scheduler,
         monitors=monitors,
         # Sensor/command wiring must follow the vehicle's namespace: with a

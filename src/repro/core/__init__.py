@@ -29,6 +29,7 @@ from .wellformed import (
 from .system import RTASystem, compose_all
 from .semantics import EngineStatistics, SemanticsEngine
 from .monitor import (
+    DeadlineMonitor,
     InvariantMonitor,
     MonitorResult,
     MonitorSuite,
@@ -84,6 +85,7 @@ __all__ = [
     "compose_all",
     "EngineStatistics",
     "SemanticsEngine",
+    "DeadlineMonitor",
     "InvariantMonitor",
     "MonitorResult",
     "MonitorSuite",

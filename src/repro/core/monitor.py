@@ -137,6 +137,103 @@ class TopicSafetyMonitor:
         return flushed
 
 
+class DeadlineMonitor:
+    """Checks that a topic never stays outside a :class:`SafetySpec` too long.
+
+    The RTA certificates bound *recovery*, not instantaneous validity: an
+    invalid plan published by the advanced planner is legitimate as long
+    as the safe controller replaces it within Δ (the P3 justification).
+    This monitor encodes exactly that temporal property: a violation is
+    recorded only when the predicate has been **continuously** false for
+    strictly more than ``grace`` seconds — one violation per bad streak,
+    stamped at the first sample past the deadline.  Missing values
+    (``None``) end a streak when ``ignore_missing`` is set, mirroring
+    :class:`TopicSafetyMonitor`.
+
+    The windowed :meth:`capture`/:meth:`flush` path replays the same
+    state machine over the captured samples in order (streaks legally
+    span window boundaries — the streak state lives on the monitor), so
+    verdicts, times and messages are identical to calling :meth:`check`
+    at every sample.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        topic: str,
+        spec: SafetySpec,
+        grace: float,
+        ignore_missing: bool = True,
+    ) -> None:
+        if grace < 0.0:
+            raise ValueError("the grace period must be non-negative")
+        self.name = name
+        self.topic = topic
+        self.spec = spec
+        self.grace = float(grace)
+        self.ignore_missing = ignore_missing
+        self.result = MonitorResult(name=name)
+        self._bad_since: Optional[float] = None
+        self._reported = False
+        self._pending: List[Tuple[int, float, Any]] = []
+
+    def reset(self) -> None:
+        """Forget violations, pending samples, and the current streak (Resettable)."""
+        self.result.clear()
+        self._pending.clear()
+        self._bad_since = None
+        self._reported = False
+
+    def _observe(self, time: float, value: Any) -> Optional[Violation]:
+        """Advance the streak state machine by one sample."""
+        if value is None:
+            ok = self.ignore_missing
+        else:
+            ok = bool(self.spec.contains(value))
+        if ok:
+            self._bad_since = None
+            self._reported = False
+            return None
+        if self._bad_since is None:
+            self._bad_since = time
+            return None
+        if self._reported or (time - self._bad_since) <= self.grace + 1e-12:
+            return None
+        self._reported = True
+        violation = Violation(
+            time=time,
+            monitor=self.name,
+            message=(
+                f"topic {self.topic!r} outside {self.spec.name} "
+                f"for more than {self.grace:g} s"
+            ),
+            state=value,
+        )
+        self.result.violations.append(violation)
+        return violation
+
+    def check(self, engine: SemanticsEngine) -> Optional[Violation]:
+        """Evaluate the deadline property on the current topic value."""
+        return self._observe(engine.current_time, engine.read_topic(self.topic))
+
+    # -- windowed evaluation -------------------------------------------- #
+    def capture(self, engine: SemanticsEngine, serial: int) -> None:
+        """Snapshot the topic value; the streak machine runs at :meth:`flush`."""
+        self._pending.append((serial, engine.current_time, engine.read_topic(self.topic)))
+
+    def flush(self) -> List[Tuple[int, Violation]]:
+        """Replay the streak state machine over the captured window in order."""
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        flushed: List[Tuple[int, Violation]] = []
+        for serial, time, value in pending:
+            violation = self._observe(time, value)
+            if violation is not None:
+                flushed.append((serial, violation))
+        return flushed
+
+
 class SeparationMonitor:
     """Checks pairwise minimum separation between N vehicles' position topics.
 

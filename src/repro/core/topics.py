@@ -102,6 +102,10 @@ class TopicBoard:
         self._declared: Dict[str, Topic] = (
             self.registry._topics if self.registry is not None else {}
         )
+        # Optional fault gate (see repro.runtime.faults.TopicFaultGate):
+        # every publish funnels through here, so a single hook covers the
+        # whole topic plane. None (the default) costs one attribute read.
+        self._gate: Optional[Any] = None
 
     def reset(self) -> None:
         """Restore the construction-time valuation (declared defaults plus
@@ -123,6 +127,9 @@ class TopicBoard:
 
     def publish(self, name: str, value: Any) -> None:
         """Publish ``value`` on topic ``name`` (type-checked when declared)."""
+        gate = self._gate
+        if gate is not None and not gate.admit(name, value):
+            return
         topic = self._declared.get(name)
         if (
             topic is not None

@@ -1,7 +1,19 @@
 """Runtime: executors, scheduling policies, tracing, and fault injection."""
 
 from .executor import ExecutionResult, SimulatedTimeExecutor, WallClockExecutor
-from .faults import FaultInjector, FaultKind, FaultSpec
+from .faults import (
+    NODE_FAULT_KINDS,
+    TOPIC_FAULT_KINDS,
+    ChoiceFaultInjector,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPlane,
+    FaultSite,
+    FaultSpec,
+    FaultWindow,
+    TopicFaultGate,
+)
 from .scheduler import JitteryOSScheduler, OverloadScheduler, PerfectScheduler
 from .tracing import ExecutionTrace, FiringEvent, ModeSwitchEvent, SampleEvent
 
@@ -9,9 +21,17 @@ __all__ = [
     "ExecutionResult",
     "SimulatedTimeExecutor",
     "WallClockExecutor",
+    "NODE_FAULT_KINDS",
+    "TOPIC_FAULT_KINDS",
+    "ChoiceFaultInjector",
     "FaultInjector",
     "FaultKind",
+    "FaultPlan",
+    "FaultPlane",
+    "FaultSite",
     "FaultSpec",
+    "FaultWindow",
+    "TopicFaultGate",
     "JitteryOSScheduler",
     "OverloadScheduler",
     "PerfectScheduler",

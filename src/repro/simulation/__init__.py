@@ -9,7 +9,14 @@ from .fleet import (
     VehicleChannels,
 )
 from .population import PopulationSimulation, PopulationStatus
-from .sensors import BatterySensor, PerfectEstimator, StateEstimator
+from .sensors import (
+    SENSOR_FAULT_MODES,
+    BatterySensor,
+    FaultyBatterySensor,
+    FaultyStateEstimator,
+    PerfectEstimator,
+    StateEstimator,
+)
 from .sim import DroneSimulation, SimulationConfig, SimulationResult
 from .world import MissionWorld, figure_eight_range, surveillance_city, waypoint_range
 
@@ -26,7 +33,10 @@ __all__ = [
     "NoWind",
     "PopulationSimulation",
     "PopulationStatus",
+    "SENSOR_FAULT_MODES",
     "BatterySensor",
+    "FaultyBatterySensor",
+    "FaultyStateEstimator",
     "PerfectEstimator",
     "StateEstimator",
     "DroneSimulation",

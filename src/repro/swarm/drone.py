@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
 import threading
 import time
@@ -109,6 +110,8 @@ class Drone:
         idle_timeout: float = 5.0,
         http_timeout: float = 10.0,
         connection_retries: int = 3,
+        result_retries: int = 4,
+        max_backoff: float = 2.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.drone_id = drone_id or f"drone-{socket.gethostname()}-{next(_DRONE_IDS)}"
@@ -119,8 +122,14 @@ class Drone:
         self.idle_timeout = idle_timeout
         self.http_timeout = http_timeout
         self.connection_retries = connection_retries
+        self.result_retries = result_retries
+        self.max_backoff = max_backoff
         self.leases_run = 0
         self._stop = threading.Event()
+        # Jitter source for backoff sleeps, seeded per drone id: a fleet
+        # restarting against a recovering control plane must not retry in
+        # lockstep, and a deterministic per-drone stream keeps tests exact.
+        self._backoff_rng = random.Random(self.drone_id)
         # One warm tester per workload identity: consecutive leases of the
         # same scenario reuse the built model instance across shards (the
         # zero-rebuild hot path, exactly as the process pool's workers).
@@ -145,7 +154,10 @@ class Drone:
                 failures += 1
                 if failures > self.connection_retries:
                     break  # the control plane is gone; nothing left to serve
-                time.sleep(self.poll_interval)
+                # Capped exponential backoff with jitter: a restarting
+                # control plane must not be hammered in lockstep by every
+                # drone of the fleet on the fixed poll cadence.
+                self._stop.wait(self.backoff_delay(failures - 1))
                 continue
             lease = grant.get("lease")
             if isinstance(lease, dict) and lease.get("dead"):
@@ -194,11 +206,37 @@ class Drone:
             state.finished.set()
             heartbeat.join(timeout=2.0 * self.heartbeat_interval + 1.0)
 
+    def backoff_delay(self, attempt: int) -> float:
+        """Jittered, capped exponential backoff delay for retry ``attempt``.
+
+        The uncapped curve is ``poll_interval * 2**attempt``, clamped to
+        ``max_backoff``; the jitter draws uniformly from the upper half of
+        that delay (50–100%), so retries spread out without ever
+        collapsing to zero sleep.
+        """
+        capped = min(self.max_backoff, self.poll_interval * (2.0 ** max(0, attempt)))
+        return capped * (0.5 + 0.5 * self._backoff_rng.random())
+
     def _finish(self, session_id: str, lease_id: int, **flags: Any) -> None:
-        try:
-            self._post("/api/v1/result", {"session": session_id, "lease": lease_id, **flags})
-        except SwarmUnavailable:
-            pass
+        """Post the lease's final "done"/result flags, retrying transient blips.
+
+        This post is what turns a *finished* shard into a *completed*
+        lease — silently dropping it on one ``SwarmUnavailable`` would
+        forfeit all the work to the re-lease ladder (the lease expires and
+        another drone re-runs the whole shard).  So transient failures are
+        retried ``result_retries`` times with capped exponential backoff
+        plus jitter; only after the budget is exhausted does the drone
+        give up and let the escalation ladder take over.
+        """
+        payload = {"session": session_id, "lease": lease_id, **flags}
+        for attempt in range(self.result_retries + 1):
+            try:
+                self._post("/api/v1/result", payload)
+                return
+            except SwarmUnavailable:
+                if attempt >= self.result_retries or self._stop.is_set():
+                    return  # the lease expires; the re-lease ladder recovers
+                self._stop.wait(self.backoff_delay(attempt))
 
     def _heartbeat_loop(self, session_id: str, lease_id: int, state: "_LeaseState") -> None:
         while not state.finished.wait(self.heartbeat_interval):

@@ -17,6 +17,7 @@ from .explorer import (
 )
 from .parallel import ParallelReport, ParallelTester, ReplayConfirmation
 from .population import PopulationStats, PopulationTester
+from .resilience import ResilienceError, ResilienceReport, assert_rta_resilient
 from .scenarios import (
     Scenario,
     ScenarioFactory,
@@ -56,6 +57,9 @@ __all__ = [
     "ReplayConfirmation",
     "PopulationStats",
     "PopulationTester",
+    "ResilienceError",
+    "ResilienceReport",
+    "assert_rta_resilient",
     "Scenario",
     "ScenarioFactory",
     "build_scenario",

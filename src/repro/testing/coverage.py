@@ -205,7 +205,7 @@ class CoverageTracker:
     instance resets.
     """
 
-    def __init__(self, system: Any, name: str = "coverage") -> None:
+    def __init__(self, system: Any, name: str = "coverage", fault_plane: Any = None) -> None:
         self.name = name
         self.result = MonitorResult(name=name)  # stays empty: never a violation
         # The "vehicle" coordinate is the full (namespace-prefixed) module
@@ -221,6 +221,14 @@ class CoverageTracker:
             )
             for module in getattr(system, "modules", [])
         ]
+        # The fault axis: every fault site of the scenario's FaultPlane
+        # (node injectors and topic gate states) exposes
+        # ``coverage_sample(now)`` returning a (fault:<site>, kind, window)
+        # key — or None outside/ahead of a decided window.  Recording
+        # those keys alongside the mode/region triples lets the
+        # coverage-guided strategy steer *into* fault activations the
+        # same way it steers into rare modes.
+        self._fault_sites: List[Any] = list(getattr(fault_plane, "fault_sites", ()) or ())
         self._execution = CoverageMap()
 
     # -- the monitor protocol -------------------------------------------- #
@@ -253,11 +261,17 @@ class CoverageTracker:
                 tracked.decision.mode.value,
                 classify_region(tracked.spec, state).value,
             )
+        if self._fault_sites:
+            now = engine.current_time
+            for site in self._fault_sites:
+                key = site.coverage_sample(now)
+                if key is not None:
+                    self._execution.record(*key)
 
     @property
     def tracks_anything(self) -> bool:
-        """False when the system has no RTA modules (nothing to classify)."""
-        return bool(self._modules)
+        """False with no RTA modules and no fault sites (nothing to classify)."""
+        return bool(self._modules) or bool(self._fault_sites)
 
     @property
     def execution_map(self) -> CoverageMap:

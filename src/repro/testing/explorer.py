@@ -30,7 +30,7 @@ from typing import Callable, List, Optional, Sequence
 from ..core.monitor import MonitorSuite, Violation
 from ..core.semantics import SemanticsEngine
 from ..core.system import RTASystem
-from .abstractions import AbstractEnvironment, NondeterministicNode
+from .abstractions import AbstractEnvironment
 from .coverage import CoverageMap, CoverageTracker
 from .scheduler import BoundedAsynchronyScheduler
 from .strategies import (
@@ -77,6 +77,21 @@ class ModelInstance:
         self.monitors.reset()
         if self.environment is not None:
             self.environment.reset()
+
+    @property
+    def fault_plane(self) -> Optional[AbstractEnvironment]:
+        """The instance's fault plane, if its environment is one.
+
+        Scenario builders that declare a fault space wrap the real
+        environment in a :class:`~repro.runtime.faults.FaultPlane`
+        (duck-typing the environment interface), so the testers need no
+        extra hook; this property recognises the wrapper by its
+        ``fault_sites`` attribute so the coverage plane can pick up the
+        fault axis.
+        """
+        if self.environment is not None and hasattr(self.environment, "fault_sites"):
+            return self.environment
+        return None
 
 
 #: Deprecated alias — the class was renamed to :class:`ModelInstance` so that
@@ -339,7 +354,7 @@ class SystematicTester:
         if not self.track_coverage:
             self._tracker = None
             return
-        self._tracker = CoverageTracker(harness.system)
+        self._tracker = CoverageTracker(harness.system, fault_plane=harness.fault_plane)
         harness.monitors.add(self._tracker)
 
     def _order_scheduler(self) -> BoundedAsynchronyScheduler:
@@ -446,9 +461,13 @@ class SystematicTester:
         if harness.environment is not None:
             harness.environment.reset()
             harness.environment.bind_strategy(self.strategy)
+        # Duck-typed: NondeterministicNode and the fault plane's
+        # ChoiceFaultInjector both expose bind_strategy; anything else
+        # with the hook gets the strategy too.
         for node in harness.system.all_nodes():
-            if isinstance(node, NondeterministicNode):
-                node.bind_strategy(self.strategy)
+            bind = getattr(node, "bind_strategy", None)
+            if bind is not None:
+                bind(self.strategy)
 
     # ------------------------------------------------------------------ #
     # exploration loop

@@ -61,7 +61,6 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.monitor import Violation
-from .abstractions import NondeterministicNode
 from .coverage import CoverageMap, CoverageTracker
 from .explorer import ExecutionRecord, ModelInstance, SystematicTester
 from .scheduler import BoundedAsynchronyScheduler
@@ -292,9 +291,12 @@ class PopulationTester(SystematicTester):
         if harness.environment is not None:
             harness.environment.reset()
             harness.environment.bind_strategy(self._router)
+        # Duck-typed like the serial tester: NondeterministicNode and the
+        # fault plane's ChoiceFaultInjector both expose bind_strategy.
         for node in harness.system.all_nodes():
-            if isinstance(node, NondeterministicNode):
-                node.bind_strategy(self._router)
+            bind = getattr(node, "bind_strategy", None)
+            if bind is not None:
+                bind(self._router)
 
     def _order_scheduler(self) -> BoundedAsynchronyScheduler:
         if self._scheduler is None or self._scheduler.strategy is not self._router:

@@ -1,0 +1,85 @@
+"""Edge cases of the probabilistic :class:`FaultInjector`.
+
+The strategy-driven plane (``test_fault_plan.py``) supersedes this
+injector for exploration, but the probabilistic plane stays supported for
+Monte-Carlo style robustness runs — these tests pin down its corner
+semantics: the DROP→STUCK ``_last_outputs`` interplay, the inclusive
+window boundaries, reset determinism, and non-command passthrough.
+"""
+
+import pytest
+
+from repro.core import ConstantNode
+from repro.dynamics import ControlCommand
+from repro.geometry import Vec3
+from repro.runtime import FaultInjector, FaultKind, FaultSpec
+
+
+def _command_node(name="controller"):
+    return ConstantNode(
+        name, {"cmd": ControlCommand(acceleration=Vec3(1.0, 0.0, 0.0))}, period=0.1
+    )
+
+
+class TestFaultInjectorEdges:
+    def test_drop_does_not_refresh_stuck_replay_value(self):
+        # A DROP window must not update _last_outputs: when the spec is
+        # later switched to STUCK semantics the injector replays the last
+        # *delivered* output, not the suppressed one.
+        injector = FaultInjector(
+            _command_node(),
+            FaultSpec(kind=FaultKind.DROP, probability=1.0, start_time=0.5, end_time=1.0),
+        )
+        delivered = injector.step(0.0, {})
+        assert injector.step(0.7, {}) == {}
+        assert injector._last_outputs == dict(delivered)
+
+    def test_window_boundaries_are_inclusive(self):
+        spec = FaultSpec(kind=FaultKind.DROP, probability=1.0, start_time=1.0, end_time=2.0)
+        injector = FaultInjector(_command_node(), spec)
+        assert injector.step(1.0, {}) == {}  # start boundary is inside
+        assert injector.step(2.0, {}) == {}  # end boundary is inside
+        assert injector.step(2.0 + 1e-9, {}) != {}
+
+    def test_degenerate_window_start_equals_now_equals_end(self):
+        spec = FaultSpec(kind=FaultKind.DROP, probability=1.0, start_time=1.0, end_time=1.0)
+        injector = FaultInjector(_command_node(), spec)
+        assert injector.step(0.999, {}) != {}
+        assert injector.step(1.0, {}) == {}  # the single-instant window fires
+        assert injector.step(1.001, {}) != {}
+
+    def test_two_resets_produce_identical_fault_streams(self):
+        injector = FaultInjector(
+            _command_node(),
+            FaultSpec(kind=FaultKind.NOISE, probability=0.5, magnitude=0.4, seed=13),
+        )
+
+        def stream():
+            injector.reset()
+            return [injector.step(t / 10.0, {})["cmd"].acceleration for t in range(20)]
+
+        first, second = stream(), stream()
+        assert injector.injected_faults > 0  # the stream actually faulted
+        assert all(a.almost_equal(b) for a, b in zip(first, second))
+
+    def test_reset_clears_stuck_memory(self):
+        node = _command_node()
+        injector = FaultInjector(
+            node, FaultSpec(kind=FaultKind.STUCK, probability=1.0, start_time=0.5)
+        )
+        injector.step(0.0, {})
+        injector.step(1.0, {})
+        injector.reset()
+        assert injector._last_outputs == {}
+        assert injector.injected_faults == 0
+        # With no pre-fault output recorded, STUCK replays an empty map.
+        assert injector.step(1.0, {}) == {}
+
+    def test_non_command_values_pass_through_every_value_fault(self):
+        for kind in (FaultKind.BIAS, FaultKind.NOISE, FaultKind.INVERT):
+            injector = FaultInjector(
+                ConstantNode("n", {"data": 42}, period=0.1),
+                FaultSpec(kind=kind, probability=1.0, magnitude=2.0),
+            )
+            assert injector.step(0.0, {})["data"] == 42
+            assert injector.injected_faults == 1  # counted, value untouched

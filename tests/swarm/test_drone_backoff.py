@@ -1,0 +1,87 @@
+"""Drone retry discipline: jittered backoff, and no silently dropped results.
+
+Two failure paths used to lose work: ``_finish`` dropped the final
+"done"/result post on a single :class:`SwarmUnavailable` (forfeiting the
+whole shard to the re-lease ladder), and the poll loop slept a fixed
+interval on every failure (a fleet hammering a recovering control plane
+in lockstep).  Both now use capped exponential backoff with per-drone
+deterministic jitter; these tests pin the curve and the retry budget.
+"""
+
+from repro.swarm.drone import Drone, SwarmUnavailable
+
+
+def _drone(**kw):
+    kw.setdefault("drone_id", "backoff-test-0")
+    kw.setdefault("poll_interval", 0.1)
+    kw.setdefault("max_backoff", 2.0)
+    return Drone("http://127.0.0.1:1", **kw)
+
+
+class TestBackoffDelay:
+    def test_curve_is_exponential_capped_and_jittered(self):
+        drone = _drone()
+        for attempt in range(12):
+            uncapped = drone.poll_interval * (2.0 ** attempt)
+            capped = min(drone.max_backoff, uncapped)
+            delay = drone.backoff_delay(attempt)
+            assert 0.5 * capped <= delay <= capped
+            assert delay > 0.0
+        # Deep attempts saturate at the cap (never unbounded sleeps).
+        assert drone.backoff_delay(50) <= drone.max_backoff
+
+    def test_negative_attempt_clamps_to_the_base_interval(self):
+        drone = _drone()
+        assert drone.backoff_delay(-3) <= drone.poll_interval
+
+    def test_jitter_is_deterministic_per_drone_id(self):
+        a = [_drone().backoff_delay(i) for i in range(6)]
+        b = [_drone().backoff_delay(i) for i in range(6)]
+        c = [_drone(drone_id="backoff-test-other").backoff_delay(i) for i in range(6)]
+        assert a == b  # same id, same stream
+        assert a != c  # different drones desynchronise
+
+
+class TestFinishRetries:
+    def _instrumented(self, failures_before_success, **kw):
+        drone = _drone(poll_interval=0.001, max_backoff=0.002, **kw)
+        calls = {"posts": 0, "sleeps": []}
+
+        def fake_post(path, payload):
+            assert path == "/api/v1/result"
+            calls["posts"] += 1
+            if calls["posts"] <= failures_before_success:
+                raise SwarmUnavailable("blip")
+            return {}
+
+        drone._post = fake_post
+        original_wait = drone._stop.wait
+        drone._stop.wait = lambda delay: calls["sleeps"].append(delay) or original_wait(0)
+        return drone, calls
+
+    def test_transient_blips_are_retried_until_the_post_lands(self):
+        drone, calls = self._instrumented(failures_before_success=3)
+        drone._finish("session", 1, done=True)
+        assert calls["posts"] == 4  # 3 failures + the successful post
+        assert len(calls["sleeps"]) == 3
+        # Backoff grows between retries (jitter keeps it within [c/2, c]).
+        assert all(delay > 0 for delay in calls["sleeps"])
+
+    def test_gives_up_after_the_retry_budget(self):
+        drone, calls = self._instrumented(failures_before_success=99, result_retries=2)
+        drone._finish("session", 1, done=True)
+        assert calls["posts"] == 3  # initial attempt + 2 retries
+        assert len(calls["sleeps"]) == 2
+
+    def test_stop_request_aborts_the_retry_loop(self):
+        drone, calls = self._instrumented(failures_before_success=99)
+        drone._stop.set()
+        drone._finish("session", 1, done=True)
+        assert calls["posts"] == 1  # one try, then defer to the lease ladder
+        assert calls["sleeps"] == []
+
+    def test_successful_post_is_sent_exactly_once(self):
+        drone, calls = self._instrumented(failures_before_success=0)
+        drone._finish("session", 1, done=True)
+        assert calls["posts"] == 1
+        assert calls["sleeps"] == []

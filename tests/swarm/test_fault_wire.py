@@ -1,0 +1,76 @@
+"""Fault plans travel the swarm wire: shards carry them by value.
+
+The swarm ships workloads as (scenario name, JSON-safe overrides); a
+:class:`~repro.runtime.faults.FaultPlan`'s ``encode()`` form is nested
+tuples of JSON scalars, so it rides the existing override channel with no
+protocol change.  These tests pin the round trip: JSON turns the tuples
+into lists, ``decode_factory`` re-tuplifies them, ``FaultPlan.coerce``
+rebuilds the identical plan, and the rebuilt factory runs the identical
+fault sweep (plus stays hashable for the drone's warm-tester cache).
+"""
+
+import json
+
+from repro.runtime import FaultPlan, FaultSite
+from repro.swarm import protocol
+from repro.testing import ExhaustiveStrategy, SystematicTester, scenario_factory
+
+
+def _plan():
+    return FaultPlan(
+        sites=(
+            FaultSite(
+                kinds=("substitute", "crash"),
+                windows=((0.25, 1.25), (1.25, 2.5)),
+                node="motionPlanner.faultable",
+            ),
+        )
+    )
+
+
+def _wire_round_trip(factory):
+    encoded = protocol.encode_factory(factory)
+    return protocol.decode_factory(json.loads(json.dumps(encoded)))
+
+
+class TestFaultPlanOnTheWire:
+    def test_encoded_plan_survives_json_and_retuplification(self):
+        plan = _plan()
+        factory = scenario_factory(
+            "fault-injected-planner", protected=False, fault_plan=plan.encode()
+        )
+        decoded = _wire_round_trip(factory)
+        fault_plan = dict(decoded.overrides)["fault_plan"]
+        assert FaultPlan.coerce(fault_plan) == plan
+
+    def test_decoded_factory_is_hashable_for_the_tester_cache(self):
+        factory = scenario_factory(
+            "fault-injected-planner", protected=False, fault_plan=_plan().encode()
+        )
+        decoded = _wire_round_trip(factory)
+        assert hash(decoded) == hash(_wire_round_trip(factory))
+        assert {decoded: "cached"}[_wire_round_trip(factory)] == "cached"
+
+    def test_decoded_factory_runs_the_identical_fault_sweep(self):
+        factory = scenario_factory(
+            "fault-injected-planner", protected=False, fault_plan=_plan().encode()
+        )
+        decoded = _wire_round_trip(factory)
+
+        def sweep(f):
+            strategy = ExhaustiveStrategy(max_depth=64, max_executions=64)
+            report = SystematicTester(f, strategy, max_permuted=1).explore()
+            return [
+                (
+                    record.index,
+                    record.steps,
+                    tuple(record.trail or ()),
+                    tuple((v.time, v.monitor, v.message) for v in record.violations),
+                )
+                for record in report.executions
+            ]
+
+        local, remote = sweep(factory), sweep(decoded)
+        assert local == remote
+        assert len(local) == 9
+        assert any(key[3] for key in local)  # the sweep found violations

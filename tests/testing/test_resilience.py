@@ -1,0 +1,56 @@
+"""The RTA resilience harness: the SOTER guarantee as a regression gate.
+
+This file doubles as the CI fault-resilience smoke job: it runs the full
+protected/unprotected differential on the registered fault scenario and
+pins the harness's own soundness checks (truncation and vacuity are
+errors, not passes).
+"""
+
+import pytest
+
+from repro.testing import (
+    ResilienceError,
+    ResilienceReport,
+    assert_rta_resilient,
+    scenario_factory,
+)
+
+PROTECTED = scenario_factory("fault-injected-planner", protected=True)
+UNPROTECTED = scenario_factory("fault-injected-planner", protected=False)
+
+
+class TestResilienceDifferential:
+    def test_protected_stack_survives_the_exhaustive_fault_sweep(self):
+        report = assert_rta_resilient(PROTECTED, max_executions=256)
+        assert isinstance(report, ResilienceReport)
+        assert report.protected.ok
+        assert report.protected.execution_count == 9
+        assert report.unprotected is None
+
+    def test_full_differential_finds_a_replay_confirmed_counterexample(self):
+        report = assert_rta_resilient(PROTECTED, UNPROTECTED, max_executions=256)
+        assert report.protected.ok
+        assert report.unprotected is not None
+        assert len(report.unprotected.failing) >= 1
+        assert report.counterexample is not None
+        assert report.confirmed
+        summary = report.summary()
+        assert "replay-confirmed" in summary
+        assert "0 violation(s)" in summary
+
+    def test_unprotected_stack_alone_fails_the_guarantee(self):
+        with pytest.raises(ResilienceError, match="violated its monitors"):
+            assert_rta_resilient(UNPROTECTED, max_executions=256)
+
+
+class TestHarnessSoundness:
+    def test_truncated_sweep_is_an_error_not_a_pass(self):
+        # Budget below the 9-execution fault space: the sweep proves nothing.
+        with pytest.raises(ResilienceError, match="did not exhaust"):
+            assert_rta_resilient(PROTECTED, max_executions=4)
+
+    def test_vacuous_fault_plan_is_an_error(self):
+        # A "twin" that also survives every fault: the differential has no
+        # teeth and must say so rather than report success.
+        with pytest.raises(ResilienceError, match="vacuous"):
+            assert_rta_resilient(PROTECTED, PROTECTED, max_executions=256)
