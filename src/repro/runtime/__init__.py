@@ -1,6 +1,11 @@
 """Runtime: executors, scheduling policies, tracing, and fault injection."""
 
-from .executor import ExecutionResult, SimulatedTimeExecutor, WallClockExecutor
+from .executor import (
+    AsyncSimulatedTimeExecutor,
+    ExecutionResult,
+    SimulatedTimeExecutor,
+    WallClockExecutor,
+)
 from .faults import (
     NODE_FAULT_KINDS,
     TOPIC_FAULT_KINDS,
@@ -18,6 +23,7 @@ from .scheduler import JitteryOSScheduler, OverloadScheduler, PerfectScheduler
 from .tracing import ExecutionTrace, FiringEvent, ModeSwitchEvent, SampleEvent
 
 __all__ = [
+    "AsyncSimulatedTimeExecutor",
     "ExecutionResult",
     "SimulatedTimeExecutor",
     "WallClockExecutor",

@@ -2,20 +2,36 @@
 
 The generated C runtime in the paper executes the program "according to
 the program's operational semantics" with OS timers providing the periodic
-behaviour.  The Python runtime offers two equivalents:
+behaviour.  The Python runtime offers three equivalents:
 
 * :class:`SimulatedTimeExecutor` — runs the discrete-event semantics as
   fast as possible in virtual time (used by all tests and benchmarks);
+* :class:`AsyncSimulatedTimeExecutor` — the asyncio twin: the same
+  virtual-time semantics, but the environment hook may be a coroutine so
+  wall-clock-bound work (sensor IO, fleet co-simulation) of many missions
+  can overlap in one event loop;
 * :class:`WallClockExecutor` — paces the same semantics against the wall
   clock (a thin demonstration of on-line execution; not used by the
   benchmarks).
+
+Re-entrancy
+-----------
+Every executor's :meth:`run` resets its monitor suite before driving the
+engine, so one executor (and one shared suite) can serve many missions
+back to back without the second run inheriting the first run's recorded
+violations or pending batched samples.  Note that the suite object is
+shared across runs: a previously returned :class:`ExecutionResult` reads
+whatever the suite currently holds, so snapshot violations before
+re-running if you need the old run's verdicts.
 """
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..core.monitor import MonitorSuite
 from ..core.semantics import SchedulingPolicy, SemanticsEngine
@@ -23,6 +39,8 @@ from ..core.system import RTASystem
 from .tracing import ExecutionTrace
 
 EnvironmentHook = Callable[[SemanticsEngine, float], None]
+#: An async-capable hook: may return ``None`` (plain call) or an awaitable.
+AsyncEnvironmentHook = Callable[[SemanticsEngine, float], Any]
 StopCondition = Callable[[SemanticsEngine], bool]
 
 
@@ -79,7 +97,13 @@ class SimulatedTimeExecutor:
         environment: Optional[EnvironmentHook] = None,
         stop_when: Optional[StopCondition] = None,
     ) -> ExecutionResult:
-        """Execute for ``duration`` seconds of virtual time."""
+        """Execute for ``duration`` seconds of virtual time.
+
+        The monitor suite is reset first, so repeated ``run()`` calls on
+        one executor produce independent verdicts (no violations or
+        pending batched samples inherited from an earlier mission).
+        """
+        self.monitors.reset()
         trace = ExecutionTrace()
         engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
         started = _time.perf_counter()
@@ -100,6 +124,102 @@ class SimulatedTimeExecutor:
                 next_monitor_time += self.monitor_period
 
         engine.run_until(duration, environment=hook, stop_when=stop_when)
+        if batched:
+            self.monitors.flush()
+        wall = _time.perf_counter() - started
+        return ExecutionResult(
+            engine=engine,
+            trace=trace,
+            monitors=self.monitors,
+            wall_time=wall,
+            end_time=engine.current_time,
+        )
+
+
+class AsyncSimulatedTimeExecutor:
+    """The asyncio twin of :class:`SimulatedTimeExecutor`.
+
+    Drives the identical virtual-time semantics — same step order, same
+    monitor cadence, same batched-window behaviour — but the environment
+    hook may be a coroutine function (or return an awaitable), so hooks
+    that perform IO or co-simulate a remote fleet suspend the mission at
+    well-defined points and let other missions of the same event loop
+    make progress.  With a plain synchronous hook (or none) the execution
+    is step-for-step identical to the synchronous executor: the engine
+    never observes the event loop.
+
+    ``yield_every`` optionally inserts an ``await asyncio.sleep(0)``
+    every that many discrete steps, so a long hook-free mission still
+    cooperates with its loop neighbours; ``0`` (the default) never yields
+    and relies on the hook's own awaits.
+    """
+
+    def __init__(
+        self,
+        system: RTASystem,
+        scheduler: Optional[SchedulingPolicy] = None,
+        monitors: Optional[MonitorSuite] = None,
+        monitor_period: float = 0.05,
+        monitor_batch: int = 1,
+        yield_every: int = 0,
+    ) -> None:
+        if monitor_period <= 0.0:
+            raise ValueError("monitor_period must be positive")
+        if monitor_batch < 1:
+            raise ValueError("monitor_batch must be at least 1")
+        if yield_every < 0:
+            raise ValueError("yield_every must be non-negative")
+        self.system = system
+        self.scheduler = scheduler
+        self.monitors = monitors or MonitorSuite()
+        self.monitor_period = monitor_period
+        self.monitor_batch = monitor_batch
+        self.yield_every = yield_every
+
+    async def run(
+        self,
+        duration: float,
+        environment: Optional[AsyncEnvironmentHook] = None,
+        stop_when: Optional[StopCondition] = None,
+    ) -> ExecutionResult:
+        """Execute for ``duration`` seconds of virtual time (awaitable).
+
+        Mirrors :meth:`SimulatedTimeExecutor.run` exactly: monitors are
+        reset first (re-entrancy), the environment hook and the monitor
+        cadence run before each discrete step, and a final flush delivers
+        any pending batched samples.  Awaitables returned by the hook are
+        awaited in place — the only points where the mission can suspend
+        besides the optional ``yield_every`` heartbeat.
+        """
+        self.monitors.reset()
+        trace = ExecutionTrace()
+        engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
+        started = _time.perf_counter()
+        next_monitor_time = 0.0
+        batched = self.monitor_batch > 1
+        steps = 0
+        while True:
+            next_time = engine.peek_next_time()
+            if next_time is None or next_time > duration + 1e-12:
+                break
+            if environment is not None:
+                pending = environment(engine, next_time)
+                if inspect.isawaitable(pending):
+                    await pending
+            while next_monitor_time <= next_time + 1e-12:
+                if batched:
+                    self.monitors.capture_all(engine)
+                    if self.monitors.pending_samples >= self.monitor_batch:
+                        self.monitors.flush()
+                else:
+                    self.monitors.check_all(engine)
+                next_monitor_time += self.monitor_period
+            engine.step()
+            steps += 1
+            if self.yield_every and steps % self.yield_every == 0:
+                await asyncio.sleep(0)
+            if stop_when is not None and stop_when(engine):
+                break
         if batched:
             self.monitors.flush()
         wall = _time.perf_counter() - started
@@ -145,7 +265,9 @@ class WallClockExecutor:
         Monitors passed to the constructor are checked on the same
         ``monitor_period`` schedule the :class:`SimulatedTimeExecutor`
         uses, right before each discrete step whose time they precede.
+        The suite is reset first, so repeated runs stay independent.
         """
+        self.monitors.reset()
         trace = ExecutionTrace()
         engine = SemanticsEngine(self.system, scheduler=self.scheduler, listeners=[trace])
         start_wall = _time.perf_counter()

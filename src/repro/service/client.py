@@ -1,0 +1,168 @@
+"""The mission client: submit, stream, and collect final reports.
+
+Pure standard library, like the rest of the stack.  The streaming
+iterator reads the chunked JSON-lines response incrementally (one
+``readline`` per event), so records arrive as the fleet produces them;
+a dropped stream resumes from the last seen ``seq`` without replaying
+or losing events.
+
+>>> from repro.service import MissionServer
+>>> from repro.testing import RandomStrategy
+>>> with MissionServer(fleet=2) as server:
+...     client = MissionClient(server.url)
+...     mission_id = client.submit(
+...         "toy-closed-loop", strategy=RandomStrategy(seed=0, max_executions=4),
+...         overrides={"broken_ttf": True})
+...     events = list(client.events(mission_id))
+...     report = client.result(mission_id)
+>>> events[-1]["type"], report["ok"], report["all_confirmed"]
+('finished', False, True)
+>>> len(report["records"])
+4
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..swarm import protocol
+from ..swarm.drone import get_json, post_json
+from ..testing.parallel import ReplayConfirmation
+
+
+class MissionClient:
+    """A blocking HTTP client for one :class:`~repro.service.MissionServer`."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        scenario: str,
+        *,
+        strategy: Any,
+        overrides: Optional[dict] = None,
+        shards: Optional[int] = None,
+        population_size: Optional[int] = None,
+        track_coverage: bool = False,
+        stop_at_first_violation: bool = False,
+        confirm: bool = True,
+    ) -> str:
+        """Submit a mission; returns its id immediately (work is async)."""
+        spec: Dict[str, Any] = {
+            "scenario": scenario,
+            "strategy": protocol.encode_strategy(strategy)
+            if not isinstance(strategy, dict)
+            else strategy,
+            "track_coverage": track_coverage,
+            "stop_at_first_violation": stop_at_first_violation,
+            "confirm": confirm,
+        }
+        if overrides:
+            spec["overrides"] = overrides
+        if shards is not None:
+            spec["shards"] = shards
+        if population_size is not None:
+            spec["population_size"] = population_size
+        created = post_json(
+            self.base_url, "/api/v1/mission", spec, timeout=self.timeout
+        )
+        return created["mission"]
+
+    def status(self, mission_id: str) -> Dict[str, Any]:
+        return get_json(
+            self.base_url, f"/api/v1/mission/{mission_id}", timeout=self.timeout
+        )
+
+    def result(self, mission_id: str) -> Dict[str, Any]:
+        """The final report (wire form); raises while still running."""
+        return get_json(
+            self.base_url, f"/api/v1/mission/{mission_id}/result", timeout=self.timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def events(self, mission_id: str, since: int = 0) -> Iterator[Dict[str, Any]]:
+        """Iterate the mission's events from cursor ``since`` to the end.
+
+        Each yielded event is a dict with monotonically increasing
+        ``seq``; the final event has ``type == "finished"``.  The HTTP
+        response is chunked JSON lines, decoded incrementally — events
+        arrive as the fleet produces them, not when the mission ends.
+        """
+        url = f"{self.base_url}/api/v1/mission/{mission_id}/events?since={int(since)}"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                detail = protocol.loads(body).get(
+                    "error", body.decode("utf-8", "replace")
+                )
+            except protocol.ProtocolError:
+                detail = body.decode("utf-8", "replace")
+            raise protocol.ProtocolError(
+                f"event stream rejected: {detail}"
+            ) from None
+        with response:
+            if response.status != 200:
+                raise protocol.ProtocolError(
+                    f"event stream rejected: HTTP {response.status}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def run(
+        self, scenario: str, *, strategy: Any, **options: Any
+    ) -> Dict[str, Any]:
+        """Submit, drain the stream, and return the final report."""
+        mission_id = self.submit(scenario, strategy=strategy, **options)
+        finished: Optional[Dict[str, Any]] = None
+        for event in self.events(mission_id):
+            if event["type"] == "finished":
+                finished = event
+        if finished is None or finished.get("error"):
+            detail = finished.get("error") if finished else "stream ended early"
+            raise RuntimeError(f"mission {mission_id} failed: {detail}")
+        return self.result(mission_id)
+
+
+# --------------------------------------------------------------------- #
+# decoding helpers (wire report -> testing-layer objects)
+# --------------------------------------------------------------------- #
+
+
+def decode_report_records(report: Dict[str, Any]) -> List[Any]:
+    """The final report's records as :class:`ExecutionRecord` objects."""
+    return [protocol.decode_record(data) for data in report["records"]]
+
+
+def decode_report_coverage(report: Dict[str, Any]) -> Any:
+    """The final report's cumulative coverage as a :class:`CoverageMap`."""
+    return protocol.decode_coverage(report.get("coverage") or None)
+
+
+def decode_report_confirmations(report: Dict[str, Any]) -> List[ReplayConfirmation]:
+    """The final report's replay confirmations as testing-layer objects."""
+    return [
+        ReplayConfirmation(
+            trail=list(item["trail"]),
+            replayed=protocol.decode_record(item["replayed"]),
+            confirmed=bool(item["confirmed"]),
+        )
+        for item in report["confirmations"]
+    ]

@@ -114,6 +114,7 @@ class Session:
     stopping: bool = False
     failed: Optional[str] = None
     events: List[str] = field(default_factory=list)
+    finish_notified: bool = False
 
     @property
     def finished(self) -> bool:
@@ -153,12 +154,55 @@ class ControlPlane:
         self.split_lagging_after = split_lagging_after
         self._clock = clock
         self._lock = threading.RLock()
+        #: Notified whenever a shard enters the queue (session creation,
+        #: expiry requeue, adaptive split) so idle lease long-polls wake
+        #: immediately instead of busy-waiting.
+        self._work = threading.Condition(self._lock)
         self._sessions: Dict[str, Session] = {}
         self._drones: Dict[str, DroneState] = {}
         self._leases: Dict[int, Lease] = {}  # active leases only
         self._session_ids = itertools.count(1)
         self._lease_ids = itertools.count(1)
         self._shard_ids = itertools.count(1)
+        self._listeners: List[Any] = []
+
+    # ------------------------------------------------------------------ #
+    # listeners (the mission service's streaming hook)
+    # ------------------------------------------------------------------ #
+    def add_listener(self, listener: Any) -> None:
+        """Register an observer of session progress.
+
+        Listeners may implement ``record_accepted(session_id, record,
+        coverage)`` (called once per *accepted* record — duplicates never
+        reach listeners) and ``session_finished(session_id)`` (called
+        exactly once when a session reaches its final state).  Callbacks
+        run under the plane lock: they must be quick and must never call
+        back into the plane's public methods from another thread they
+        block on (one-way lock ordering: plane -> listener).
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _notify_record(
+        self, session_id: str, record: Dict[str, Any], coverage: Any
+    ) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, "record_accepted", None)
+            if hook is not None:
+                hook(session_id, record, coverage)
+
+    def _notify_finish_transitions(self) -> None:
+        # Call with the lock held.  A session "finishes" on whichever
+        # request tips its last shard (ingest, expiry, failure) — detect
+        # the transition here so every path reports it exactly once.
+        for session in self._sessions.values():
+            if session.finish_notified or not session.finished:
+                continue
+            session.finish_notified = True
+            for listener in self._listeners:
+                hook = getattr(listener, "session_finished", None)
+                if hook is not None:
+                    hook(session.session_id)
 
     # ------------------------------------------------------------------ #
     # sessions
@@ -188,6 +232,7 @@ class ControlPlane:
                 created_at=self._clock(),
                 label=label,
             )
+            self._work.notify_all()
             return session_id
 
     def _session(self, session_id: str) -> Session:
@@ -223,6 +268,7 @@ class ControlPlane:
                         f"{lease.shard_id} (lease {lease.lease_id})",
                     )
             self._fail_orphaned_sessions()
+            self._notify_finish_transitions()
 
     def _expire_lease(self, lease: Lease, now: float) -> None:
         session = self._sessions.get(lease.session_id)
@@ -250,6 +296,7 @@ class ControlPlane:
                                 f"{shard.attempts} lease attempt(s)")
             return
         shard.status = "queued"
+        self._work.notify_all()
         self._event(
             lease.session_id,
             f"re-lease: shard {shard.shard_id} requeued (attempt {shard.attempts + 1}) "
@@ -311,6 +358,22 @@ class ControlPlane:
             )
             return grant
 
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until new work may be queued (or ``timeout`` elapses).
+
+        The HTTP long-poll's replacement for its old 20 ms busy-wait: the
+        underlying condition is notified whenever a shard enters the
+        queue, so an idle drone's poll wakes the instant a session is
+        created (or a shard is requeued/split) instead of on the next
+        spin.  Returns True on a wake-up, False on timeout.  Callers
+        should keep ``timeout`` bounded (the long-poll uses short slices)
+        so quiet fleets still sweep the healing ladder periodically.
+        """
+        if timeout <= 0:
+            return False
+        with self._work:
+            return self._work.wait(timeout)
+
     def _grant(self, drone: DroneState, now: float) -> Optional[Dict[str, Any]]:
         for session in self._sessions.values():
             if session.failed is not None or session.stopping:
@@ -369,6 +432,7 @@ class ControlPlane:
                 data={**shard.data, "prefixes": stolen},
             )
             session.shards.append(new_shard)
+            self._work.notify_all()
             self._event(
                 session.session_id,
                 f"split: shard {shard.shard_id} lagging on drone {lease.drone_id}; "
@@ -468,6 +532,7 @@ class ControlPlane:
                         session.coverage_rows[triple] = (
                             session.coverage_rows.get(triple, 0) + int(count)
                         )
+                self._notify_record(session_id, record, coverage)
                 if record.get("violations") and session.stop_at_first_violation:
                     self._begin_stop(session)
             if error is not None:
@@ -478,6 +543,7 @@ class ControlPlane:
                     shard.status = "done" if done else "cancelled"
                     shard.lease_id = None
                 self._release(lease, shard, completed=done)
+            self._notify_finish_transitions()
             return self._directives(session, lease)
 
     def _find_shard_of_lease(self, session: Session, lease_id: int) -> Optional[ShardState]:
@@ -511,6 +577,43 @@ class ControlPlane:
     # ------------------------------------------------------------------ #
     # reading results and status
     # ------------------------------------------------------------------ #
+    def session_status(self, session_id: str) -> Dict[str, Any]:
+        """A lightweight liveness poll: counters only, no record bodies.
+
+        The facade polls this while a session runs (and fetches the full
+        :meth:`session_report` exactly once at the end), so waiting on a
+        large sweep no longer re-serializes every accumulated record on
+        each poll tick.
+        """
+        self.sweep()
+        with self._lock:
+            session = self._session(session_id)
+            return {
+                "session": session.session_id,
+                "finished": session.finished,
+                "failed": session.failed,
+                "stopping": session.stopping,
+                "records": len(session.records),
+                "duplicates": session.duplicates,
+                "shards": {
+                    status: sum(1 for s in session.shards if s.status == status)
+                    for status in ("queued", "leased", "done", "cancelled")
+                },
+            }
+
+    def drop_session(self, session_id: str) -> None:
+        """Forget a finished session (frees its records for a long-lived service)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                return
+            for lease_id in [
+                lease.lease_id
+                for lease in self._leases.values()
+                if lease.session_id == session_id
+            ]:
+                del self._leases[lease_id]
+
     def session_report(self, session_id: str) -> Dict[str, Any]:
         """Everything the facade needs to build a report (wire form)."""
         self.sweep()
@@ -622,6 +725,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path.startswith("/api/v1/session/") and self.path.endswith("/report"):
                 session_id = self.path[len("/api/v1/session/") : -len("/report")]
                 self._reply(self.plane.session_report(session_id))
+            elif self.path.startswith("/api/v1/session/") and self.path.endswith("/status"):
+                session_id = self.path[len("/api/v1/session/") : -len("/status")]
+                self._reply(self.plane.session_status(session_id))
             else:
                 self._error(f"unknown endpoint {self.path!r}", status=404)
         except protocol.ProtocolError as error:
@@ -674,7 +780,10 @@ class _Handler(BaseHTTPRequestHandler):
             grant = self.plane.request_lease(payload["drone"])
             if grant is not None or time.monotonic() >= deadline:
                 return {"lease": grant}
-            time.sleep(0.02)
+            # Condition-based wait, not a busy spin: woken the instant a
+            # shard is queued.  Bounded slices keep the healing sweep
+            # (run by request_lease above) ticking on quiet fleets.
+            self.plane.wait_for_work(min(0.25, deadline - time.monotonic()))
 
 
 class _QuietThreadingHTTPServer(ThreadingHTTPServer):
@@ -695,7 +804,14 @@ class ControlPlaneServer:
     ``port=0`` (the default) binds an ephemeral port; read the resolved
     address from :attr:`url`.  Use as a context manager or call
     :meth:`start`/:meth:`stop`.
+
+    Subclasses (``repro.service.MissionServer``) extend the HTTP surface
+    by overriding :attr:`handler_base` (a ``_Handler`` subclass with the
+    extra routes) and :meth:`_handler_attributes` (the class attributes
+    bound onto the per-server handler type).
     """
+
+    handler_base = _Handler
 
     def __init__(
         self,
@@ -708,10 +824,13 @@ class ControlPlaneServer:
         if plane is not None and plane_options:
             raise ValueError("pass either a ControlPlane or its options, not both")
         self.plane = plane if plane is not None else ControlPlane(**plane_options)
-        handler = type("BoundHandler", (_Handler,), {"plane": self.plane})
+        handler = type("BoundHandler", (self.handler_base,), self._handler_attributes())
         self._server = _QuietThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+
+    def _handler_attributes(self) -> Dict[str, Any]:
+        return {"plane": self.plane}
 
     @property
     def url(self) -> str:

@@ -167,7 +167,9 @@ class Drone:
                 idle_since = idle_since if idle_since is not None else now
                 if self.exit_when_idle and now - idle_since >= self.idle_timeout:
                     break
-                time.sleep(self.poll_interval)
+                # Interruptible idle wait: stop() during an idle stretch
+                # must return promptly, not after a full poll interval.
+                self._stop.wait(self.poll_interval)
                 continue
             idle_since = None
             self._run_lease(lease)

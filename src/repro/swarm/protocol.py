@@ -40,6 +40,7 @@ from ..testing.coverage import CoverageMap
 from ..testing.explorer import ExecutionRecord
 from ..testing.parallel import _ExhaustiveShard, _RandomShard
 from ..testing.scenarios import ScenarioFactory, scenario_factory
+from ..testing.strategies import ExhaustiveStrategy, RandomStrategy
 
 #: Version of the wire format.  Bumped on any incompatible change; both
 #: ends reject mismatched envelopes eagerly.
@@ -221,6 +222,47 @@ def decode_shard(data: Dict[str, Any]) -> Any:
 def shard_prefixes(shard: Any) -> Tuple[Tuple[int, ...], ...]:
     """The exhaustive shard's prefixes (empty for random shards)."""
     return getattr(shard, "prefixes", ())
+
+
+# --------------------------------------------------------------------- #
+# strategies (the mission service's client-facing budget description)
+# --------------------------------------------------------------------- #
+
+
+def encode_strategy(strategy: Any) -> Dict[str, Any]:
+    """Serialise a shardable choice strategy (random or exhaustive)."""
+    if isinstance(strategy, RandomStrategy):
+        return {
+            "kind": "random",
+            "seed": strategy.seed,
+            "max_executions": strategy.max_executions,
+        }
+    if isinstance(strategy, ExhaustiveStrategy):
+        return {
+            "kind": "exhaustive",
+            "max_depth": strategy.max_depth,
+            "max_executions": strategy.max_executions,
+        }
+    raise ProtocolError(f"unshardable strategy type: {type(strategy).__name__}")
+
+
+def decode_strategy(data: Dict[str, Any]) -> Any:
+    """Rebuild a strategy from its wire form."""
+    try:
+        kind = data["kind"]
+        if kind == "random":
+            return RandomStrategy(
+                seed=int(data.get("seed", 0)),
+                max_executions=int(data["max_executions"]),
+            )
+        if kind == "exhaustive":
+            return ExhaustiveStrategy(
+                max_depth=int(data.get("max_depth", 32)),
+                max_executions=int(data["max_executions"]),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed strategy: {error}") from None
+    raise ProtocolError(f"unknown strategy kind: {kind!r}")
 
 
 # --------------------------------------------------------------------- #

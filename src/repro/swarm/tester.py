@@ -175,8 +175,24 @@ class SwarmTester(ParallelTester):
         if fleet is not None:
             fleet.start()
         deadline = time.monotonic() + self.deadline
+        # Poll the lightweight status endpoint (counters only) while the
+        # session runs, with capped exponential backoff, and fetch the
+        # full record stream exactly once at the end — the old loop
+        # re-serialized every accumulated record on each 50 ms tick,
+        # making the wait quadratic in session size.
+        poll = 0.01
+        use_status = True
         while True:
-            summary = get_json(url, f"/api/v1/session/{session_id}/report")
+            if use_status:
+                try:
+                    summary = get_json(url, f"/api/v1/session/{session_id}/status")
+                except protocol.ProtocolError:
+                    # A legacy control plane without the status route:
+                    # degrade to polling the full report as before.
+                    use_status = False
+                    continue
+            else:
+                summary = get_json(url, f"/api/v1/session/{session_id}/report")
             if summary["finished"]:
                 break
             if time.monotonic() >= deadline:
@@ -184,11 +200,13 @@ class SwarmTester(ParallelTester):
                     f"swarm session {session_id} missed its {self.deadline:.0f}s "
                     f"deadline; last status: {summary['shards']}"
                 )
-            time.sleep(0.05)
-        self._ingest_report(summary, report)
-        if summary["failed"] is not None:
+            time.sleep(poll)
+            poll = min(poll * 2.0, 0.25)
+        full = get_json(url, f"/api/v1/session/{session_id}/report")
+        self._ingest_report(full, report)
+        if full["failed"] is not None:
             raise RuntimeError(
-                f"parallel exploration failed in a worker:\n{summary['failed']}"
+                f"parallel exploration failed in a worker:\n{full['failed']}"
             )
 
     def _ingest_report(self, summary: Dict[str, Any], report: ParallelReport) -> None:

@@ -31,9 +31,15 @@ def _doc_ids(paths):
 class TestDocs:
     def test_docs_exist_and_are_linked_from_readme(self):
         names = {path.name for path in DOCS}
-        assert {"architecture.md", "exploration.md", "scenarios.md", "swarm.md"} <= names
+        assert {
+            "architecture.md", "exploration.md", "scenarios.md", "swarm.md",
+            "service.md",
+        } <= names
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for name in ("architecture.md", "exploration.md", "scenarios.md", "swarm.md"):
+        for name in (
+            "architecture.md", "exploration.md", "scenarios.md", "swarm.md",
+            "service.md",
+        ):
             assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
     @pytest.mark.parametrize("path", DOCS, ids=_doc_ids(DOCS))

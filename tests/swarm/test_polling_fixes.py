@@ -1,0 +1,194 @@
+"""Regression pins for the PR 9 polling fixes.
+
+Three latent polling bugs surfaced when the swarm became a long-running
+service:
+
+* the drone's idle path slept with ``time.sleep`` — deaf to ``stop()``,
+  delaying shutdown by up to a full poll interval;
+* ``SwarmTester._run_session`` fetched the *full* report (all records
+  serialized server-side) on every 50 ms poll tick — quadratic in
+  session size;
+* the control plane's lease long-poll busy-spun on ``time.sleep(0.02)``
+  per handler thread instead of waiting on a condition notified when
+  work is queued.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.swarm import controlplane as controlplane_module
+from repro.swarm.controlplane import ControlPlane, ControlPlaneServer
+from repro.swarm.drone import Drone, post_json
+from repro.swarm.tester import SwarmTester
+from repro.testing import RandomStrategy
+from repro.testing.parallel import ParallelTester
+
+
+def _shard():
+    return {"kind": "random", "seed": 0, "indices": [0], "max_executions": 1}
+
+
+class TestDroneIdleStop:
+    def test_stop_during_idle_wait_returns_promptly(self):
+        # A huge poll interval: if the idle path still used time.sleep,
+        # run() could not return before it elapsed.
+        drone = Drone(
+            "http://127.0.0.1:1",
+            drone_id="idle-stop-test",
+            poll_interval=30.0,
+            exit_when_idle=False,
+        )
+        drone._post = lambda path, payload: {"lease": None}
+
+        finished = threading.Event()
+
+        def run():
+            drone.run()
+            finished.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let the drone reach the idle wait
+        started = time.monotonic()
+        drone.stop()
+        assert finished.wait(timeout=5.0)
+        assert time.monotonic() - started < 1.0
+        thread.join(timeout=1.0)
+
+
+class TestSessionStatusPolling:
+    def test_report_is_fetched_exactly_once(self, monkeypatch):
+        calls = {"status": 0, "report": 0}
+        real_get = controlplane_module.protocol  # anchor module import
+        assert real_get is not None
+
+        import repro.swarm.tester as tester_module
+
+        original_get_json = tester_module.get_json
+
+        def counting_get_json(url, path, **kw):
+            if path.endswith("/status"):
+                calls["status"] += 1
+            elif path.endswith("/report"):
+                calls["report"] += 1
+            return original_get_json(url, path, **kw)
+
+        monkeypatch.setattr(tester_module, "get_json", counting_get_json)
+        tester = SwarmTester(
+            "toy-closed-loop",
+            strategy=RandomStrategy(seed=0, max_executions=4),
+            drones=1,
+        )
+        report = tester.explore()
+        assert len(report.executions) == 4
+        assert calls["report"] == 1  # the old loop fetched it every tick
+        assert calls["status"] >= 1
+
+    def test_swarm_still_matches_the_pool(self):
+        swarm = SwarmTester(
+            "toy-closed-loop",
+            strategy=RandomStrategy(seed=3, max_executions=6),
+            drones=2,
+        ).explore()
+        pool = ParallelTester(
+            "toy-closed-loop",
+            strategy=RandomStrategy(seed=3, max_executions=6),
+            workers=2,
+        ).explore()
+        assert [r.trail for r in swarm.executions] == [r.trail for r in pool.executions]
+        assert [
+            [(v.time, v.monitor, v.message) for v in r.violations]
+            for r in swarm.executions
+        ] == [
+            [(v.time, v.monitor, v.message) for v in r.violations]
+            for r in pool.executions
+        ]
+
+
+class TestLeaseLongPollCondition:
+    def test_idle_poll_wakes_when_a_session_is_created(self):
+        # An idle lease long-poll with a generous budget must be granted
+        # work almost immediately after the session appears — not after
+        # the next spin of a sleep loop (and with zero grants in between).
+        with ControlPlaneServer() as server:
+            result = {}
+
+            def poll():
+                started = time.monotonic()
+                response = post_json(
+                    server.url, "/api/v1/lease", {"drone": "d1", "poll": 2.0}
+                )
+                result["elapsed"] = time.monotonic() - started
+                result["grant"] = response["lease"]
+
+            thread = threading.Thread(target=poll, daemon=True)
+            thread.start()
+            time.sleep(0.3)  # the poll is now parked on the condition
+            post_json(server.url, "/api/v1/session", {"shards": [_shard()]})
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert result["grant"] is not None
+            # Granted well before the 2 s poll budget expired.
+            assert result["elapsed"] < 1.5
+
+    def test_wait_for_work_wakes_on_requeue(self):
+        clock = {"now": 0.0}
+        plane = ControlPlane(heartbeat_timeout=1.0, clock=lambda: clock["now"])
+        plane.create_session([_shard()])
+        grant = plane.request_lease("d1")
+        assert grant is not None
+        clock["now"] = 5.0  # the lease is now expired
+
+        woken = threading.Event()
+
+        def waiter():
+            if plane.wait_for_work(5.0):
+                woken.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        plane.sweep()  # expiry requeues the shard -> notify
+        assert woken.wait(timeout=2.0)
+        thread.join(timeout=1.0)
+
+    def test_wait_for_work_times_out_quietly(self):
+        plane = ControlPlane()
+        started = time.monotonic()
+        assert plane.wait_for_work(0.05) is False
+        assert plane.wait_for_work(0.0) is False
+        assert time.monotonic() - started < 1.0
+
+
+class TestSessionStatusEndpoint:
+    def test_status_is_lightweight_and_tracks_the_report(self):
+        plane = ControlPlane()
+        session_id = plane.create_session([_shard()])
+        status = plane.session_status(session_id)
+        assert status["finished"] is False
+        assert status["records"] == 0
+        assert status["shards"]["queued"] == 1
+        assert "events" not in status  # counters only, no bodies
+
+        grant = plane.request_lease("d1")
+        record = {"index": 0, "steps": 1, "violations": [], "trail": [0], "worker": 0}
+        plane.ingest(
+            session_id,
+            grant["lease"],
+            results=[{"record": record, "coverage": None}],
+            done=True,
+        )
+        status = plane.session_status(session_id)
+        assert status["finished"] is True
+        assert status["records"] == 1
+        report = plane.session_report(session_id)
+        assert len(report["records"]) == status["records"]
+
+    def test_unknown_session_raises(self):
+        plane = ControlPlane()
+        from repro.swarm import protocol
+
+        with pytest.raises(protocol.ProtocolError):
+            plane.session_status("nope")
