@@ -3,19 +3,23 @@
 The population tester answers duplicate trails from its radix trie and
 resumes live runs from shared-prefix snapshots, so a random sweep whose
 trail space is smaller than its execution budget collapses to a fraction
-of the serial engine work.  This benchmark measures that on the
-``drone-surveillance`` scenario (1 s horizon, no schedule permutation,
-2048 executions, seed 11) and holds the population plane to two bars:
+of the serial engine work.  Two benchmarks hold the plane to explicit,
+machine-relative bars (both sides always measured in the same process):
 
-* **equivalence** — the population report (indices, steps, trails,
-  violations) and coverage must equal the serial reset-and-reuse sweep's,
-  byte for byte; a fast wrong answer is worthless;
-* **throughput** — ≥ 5x the serial reset-and-reuse sweep measured in the
-  same process (machine-relative, so the bar travels to any hardware; the
-  serial baseline corresponds to ``reset-reuse/explorer-reset``, the
-  ~870 exec/s reference recorded at 0.1334 s / 120 executions).
+* **snapshot sweep** (``drone-surveillance``, 1 s horizon, no schedule
+  permutation, 2048 executions, seed 11) — the delta-snapshot path
+  (copy-on-write dirty tracking, the default) must beat the serial
+  reset-and-reuse sweep by ≥ 8x, and the legacy whole-pickle path by
+  construction still ≥ 5x, with reports and coverage byte-equal to the
+  serial oracle; a fast wrong answer is worthless;
+* **vectorized sweep** (``plant-surveillance``, 12 vehicles, unsafe
+  start) — the row-group matrix plant (one ``apply_batch`` per physics
+  substep across the fleet) must beat the scalar per-plant loop inside
+  the same population tester, again with identical reports.
 
-Both wall times feed the benchmark regression gate.
+All wall times feed the benchmark regression gate
+(``population/serial-sweep``, ``population/population-sweep``,
+``population/delta-snapshot``, ``population/vectorized-sweep``).
 """
 
 from __future__ import annotations
@@ -31,7 +35,14 @@ SWEEP_HORIZON = 1.0
 SWEEP_SEED = 11
 SWEEP_MAX_PERMUTED = 1
 SWEEP_REPEATS = 2
-SPEEDUP_BAR = 5.0
+LEGACY_SPEEDUP_BAR = 5.0
+DELTA_SPEEDUP_BAR = 8.0
+
+VEC_DRONES = 12
+VEC_EXECUTIONS = 48
+VEC_SEED = 4
+VEC_REPEATS = 2
+VEC_SPEEDUP_BAR = 1.1
 
 
 def _factory():
@@ -57,41 +68,57 @@ def _report_keys(tester, report):
     )
 
 
-def _serial_sweep():
-    tester = SystematicTester(
-        _factory(), _strategy(), max_permuted=SWEEP_MAX_PERMUTED, reuse_instances=True
-    )
+def _timed(tester, executions):
     started = time.perf_counter()
     report = tester.explore()
     elapsed = time.perf_counter() - started
-    assert report.execution_count == SWEEP_EXECUTIONS
+    assert report.execution_count == executions
     return elapsed, _report_keys(tester, report)
 
 
-def _population_sweep():
-    tester = PopulationTester(_factory(), _strategy(), max_permuted=SWEEP_MAX_PERMUTED)
-    started = time.perf_counter()
-    report = tester.explore()
-    elapsed = time.perf_counter() - started
-    assert report.execution_count == SWEEP_EXECUTIONS
-    return elapsed, _report_keys(tester, report), tester.stats
+def _serial_sweep():
+    return _timed(
+        SystematicTester(
+            _factory(), _strategy(), max_permuted=SWEEP_MAX_PERMUTED, reuse_instances=True
+        ),
+        SWEEP_EXECUTIONS,
+    )
+
+
+def _population_sweep(use_delta_snapshots):
+    tester = PopulationTester(
+        _factory(),
+        _strategy(),
+        max_permuted=SWEEP_MAX_PERMUTED,
+        use_delta_snapshots=use_delta_snapshots,
+    )
+    elapsed, keys = _timed(tester, SWEEP_EXECUTIONS)
+    return elapsed, keys, tester.stats
 
 
 @pytest.mark.benchmark(group="population")
 def test_population_sweep_throughput(table_printer, benchmark_gate):
-    """Population plane ≥ 5x serial reset-reuse, with identical reports."""
+    """Delta snapshots ≥ 8x serial (legacy pickling ≥ 5x), identical reports."""
     _serial_sweep()  # warm the per-process world/clearance memos once
-    serial_keys = population_keys = stats = None
-    serial = population = float("inf")
+    serial_keys = legacy_keys = delta_keys = None
+    legacy_stats = delta_stats = None
+    serial = legacy = delta = float("inf")
     for _ in range(SWEEP_REPEATS):
         elapsed, serial_keys = _serial_sweep()
         serial = min(serial, elapsed)
-        elapsed, population_keys, stats = _population_sweep()
-        population = min(population, elapsed)
-    assert population_keys == serial_keys, (
-        "population report/coverage diverged from the serial sweep"
+        elapsed, legacy_keys, legacy_stats = _population_sweep(use_delta_snapshots=False)
+        legacy = min(legacy, elapsed)
+        elapsed, delta_keys, delta_stats = _population_sweep(use_delta_snapshots=True)
+        delta = min(delta, elapsed)
+    assert legacy_keys == serial_keys, (
+        "legacy-snapshot population report/coverage diverged from the serial sweep"
     )
-    speedup = serial / population
+    assert delta_keys == serial_keys, (
+        "delta-snapshot population report/coverage diverged from the serial sweep"
+    )
+    assert delta_stats.delta_restores > 0 and delta_stats.pickle_fallbacks == 0
+    legacy_speedup = serial / legacy
+    delta_speedup = serial / delta
     table_printer(
         f"Population plane: {SWEEP_EXECUTIONS}-execution 'drone-surveillance' sweep "
         f"(horizon {SWEEP_HORIZON:.0f} s, max_permuted={SWEEP_MAX_PERMUTED})",
@@ -99,18 +126,73 @@ def test_population_sweep_throughput(table_printer, benchmark_gate):
         [
             ["serial reset-and-reuse", f"{serial:.3f}",
              f"{SWEEP_EXECUTIONS / serial:.0f}", "1.00x"],
-            ["population (compaction + shared prefixes)", f"{population:.3f}",
-             f"{SWEEP_EXECUTIONS / population:.0f}", f"{speedup:.2f}x"],
-            [f"  compacted {stats.compacted}/{stats.executions} rows, "
-             f"{stats.restores} snapshot restores", "", "", ""],
+            ["population, whole-pickle snapshots", f"{legacy:.3f}",
+             f"{SWEEP_EXECUTIONS / legacy:.0f}", f"{legacy_speedup:.2f}x"],
+            ["population, delta snapshots (default)", f"{delta:.3f}",
+             f"{SWEEP_EXECUTIONS / delta:.0f}", f"{delta_speedup:.2f}x"],
+            [f"  compacted {delta_stats.compacted}/{delta_stats.executions} rows, "
+             f"{delta_stats.delta_restores} delta restores, "
+             f"{delta_stats.pickle_fallbacks} pickle fallbacks", "", "", ""],
         ],
     )
     benchmark_gate("population/serial-sweep", serial)
-    benchmark_gate("population/population-sweep", population)
-    # Machine-relative bar: both sides were measured in this process, so
-    # the assertion is meaningful on any hardware, including reference
+    benchmark_gate("population/population-sweep", legacy)
+    benchmark_gate("population/delta-snapshot", delta)
+    # Machine-relative bars: every side was measured in this process, so
+    # the assertions are meaningful on any hardware, including reference
     # re-recording runs.
-    assert speedup >= SPEEDUP_BAR, (
-        f"expected >= {SPEEDUP_BAR:.0f}x over the serial reset-reuse sweep, "
-        f"measured {speedup:.2f}x ({SWEEP_EXECUTIONS / population:.0f} exec/s)"
+    assert legacy_speedup >= LEGACY_SPEEDUP_BAR, (
+        f"expected >= {LEGACY_SPEEDUP_BAR:.0f}x over the serial reset-reuse sweep, "
+        f"measured {legacy_speedup:.2f}x ({SWEEP_EXECUTIONS / legacy:.0f} exec/s)"
+    )
+    assert delta_speedup >= DELTA_SPEEDUP_BAR, (
+        f"expected >= {DELTA_SPEEDUP_BAR:.0f}x over the serial reset-reuse sweep, "
+        f"measured {delta_speedup:.2f}x ({SWEEP_EXECUTIONS / delta:.0f} exec/s)"
+    )
+
+
+def _vectorized_sweep(use_batch_plant):
+    tester = PopulationTester(
+        scenario_factory(
+            "plant-surveillance", drones=VEC_DRONES, unsafe_start=True
+        ),
+        RandomStrategy(seed=VEC_SEED, max_executions=VEC_EXECUTIONS),
+        max_permuted=1,
+        use_batch_plant=use_batch_plant,
+    )
+    elapsed, keys = _timed(tester, VEC_EXECUTIONS)
+    return elapsed, keys, tester.stats
+
+
+@pytest.mark.benchmark(group="population")
+def test_vectorized_plant_sweep(table_printer, benchmark_gate):
+    """The (K,…) matrix plant beats the scalar loop at fleet scale."""
+    _vectorized_sweep(True)  # warm the shared-world memos once
+    batch_keys = scalar_keys = batch_stats = None
+    batch = scalar = float("inf")
+    for _ in range(VEC_REPEATS):
+        elapsed, batch_keys, batch_stats = _vectorized_sweep(use_batch_plant=True)
+        batch = min(batch, elapsed)
+        elapsed, scalar_keys, _ = _vectorized_sweep(use_batch_plant=False)
+        scalar = min(scalar, elapsed)
+    assert batch_keys == scalar_keys, (
+        "row-group matrix plant diverged from the scalar per-plant loop"
+    )
+    assert batch_stats.executions == VEC_EXECUTIONS
+    speedup = scalar / batch
+    table_printer(
+        f"Vectorized live rows: {VEC_EXECUTIONS}-execution 'plant-surveillance' sweep "
+        f"({VEC_DRONES} vehicles, unsafe start)",
+        ["integration path", "wall time [s]", "executions/s", "speedup"],
+        [
+            ["scalar per-plant loop", f"{scalar:.3f}",
+             f"{VEC_EXECUTIONS / scalar:.0f}", "1.00x"],
+            [f"row-group matrix plant (K={VEC_DRONES})", f"{batch:.3f}",
+             f"{VEC_EXECUTIONS / batch:.0f}", f"{speedup:.2f}x"],
+        ],
+    )
+    benchmark_gate("population/vectorized-sweep", batch)
+    assert speedup >= VEC_SPEEDUP_BAR, (
+        f"expected the matrix plant >= {VEC_SPEEDUP_BAR:.2f}x over the scalar "
+        f"loop at {VEC_DRONES} vehicles, measured {speedup:.2f}x"
     )

@@ -103,6 +103,25 @@ class SurveillanceNode(Node):
             self._rng, margin=self.goal_margin, altitude_range=(self.altitude, self.altitude)
         )
 
+    # Delta-snapshot hooks (see repro.core.resettable): the RNG state and
+    # goal tuples are immutable values, so references are already copies.
+    def capture_delta_state(self) -> tuple:
+        return (
+            self._rng.getstate(),
+            tuple(self.goals),
+            self.index,
+            self.goals_visited,
+            self.mission_complete,
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        rng_state, goals, index, visited, complete = state
+        self._rng.setstate(rng_state)
+        self.goals = list(goals)
+        self.index = index
+        self.goals_visited = visited
+        self.mission_complete = complete
+
     @property
     def current_goal(self) -> Optional[Vec3]:
         if self.mission_complete:
@@ -196,6 +215,23 @@ class PlannerNode(Node):
             return True
         return (now - self._current_plan.created_at) >= self.replan_interval
 
+    # Delta-snapshot hooks: goals and plans are immutable values.
+    def capture_delta_state(self) -> tuple:
+        return (
+            self._current_goal,
+            self._current_plan,
+            self.plans_produced,
+            self.failed_queries,
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        (
+            self._current_goal,
+            self._current_plan,
+            self.plans_produced,
+            self.failed_queries,
+        ) = state
+
 
 class PlanForwardNode(Node):
     """The battery module's advanced controller: forwards the motion plan unchanged.
@@ -271,3 +307,10 @@ class SafeLandingPlannerNode(Node):
         assert self._plan is not None
         start = self._plan.waypoints[0]
         return state.position.horizontal_distance_to(start) > self.refresh_distance
+
+    # Delta-snapshot hooks: plans are immutable values.
+    def capture_delta_state(self) -> Optional[Plan]:
+        return self._plan
+
+    def restore_delta_state(self, state: Optional[Plan]) -> None:
+        self._plan = state

@@ -50,7 +50,9 @@ from ..planning import GridAStarPlanner, Plan
 from ..planning.validation import PlanValidator
 from ..runtime.faults import ChoiceFaultInjector, FaultPlan, FaultPlane, FaultSite
 from ..simulation import MissionWorld, surveillance_city
-from ..simulation.drone import BatteryStatus
+from ..simulation.drone import BatteryStatus, DronePlant
+from ..simulation.plantenv import PlantChannel, PlantEnvironment
+from ..simulation.sensors import BatterySensor, StateEstimator
 from ..testing.abstractions import AbstractEnvironment, NondeterministicNode, constant_environment
 from ..testing.explorer import ModelInstance
 from ..testing.scenarios import register_scenario
@@ -690,6 +692,103 @@ def build_multi_drone_crossing(
         for vehicle, path in zip(fleet.vehicles, (east_west, north_south))
     }
     environment = AbstractEnvironment(menus=menus, period=environment_period)
+    return ModelInstance(
+        system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
+    )
+
+
+@register_scenario(
+    "plant-surveillance",
+    description=(
+        "The RTA-protected surveillance stack closed through a real plant: a "
+        "PlantEnvironment integrates one DronePlant per vehicle under the "
+        "commands the stack publishes and feeds estimator/battery readings "
+        "back, with a per-period wind-gust menu as the only nondeterminism.  "
+        "Strong gusts can push a drone off the street grid, which φ_obs "
+        "flags; drones>1 composes namespaced stacks whose plants share one "
+        "airspace.  The population tester steps all vehicles through the "
+        "(K, …) matrix plant (bit-identical to the scalar path)."
+    ),
+    tags=("drone", "stack", "plant"),
+)
+def build_plant_surveillance(
+    drones: int = 1,
+    gust_strength: float = 30.0,
+    unsafe_start: bool = False,
+    horizon: float = 1.0,
+    environment_period: float = 0.25,
+    physics_dt: float = 0.05,
+    seed: int = 0,
+    use_query_cache: bool = True,
+    min_separation: float = 2.0,
+) -> ModelInstance:
+    if drones < 1:
+        raise ValueError("the fleet needs at least one drone")
+    world = _shared_world() if use_query_cache else surveillance_city()
+    base = _fleet_base_config(world, seed, use_query_cache)
+    if unsafe_start:
+        # Vehicle 0 hovers half a metre west of the first building: two
+        # consecutive +x gust windows out-accelerate the clamped control
+        # authority and blow the plant through the wall (φ_obs + a real
+        # collision latch), so counterexamples are findable by default.
+        building = world.workspace.obstacles[0]
+        base = replace(
+            base,
+            start_position=Vec3(
+                building.lo.x - 0.5,
+                (building.lo.y + building.hi.y) / 2.0,
+                world.cruise_altitude,
+            ),
+        )
+    fleet = FleetConfig(
+        vehicles=fleet_configs(drones, base),
+        name="plant-surveillance",
+        min_separation=min_separation,
+    )
+    model = build_fleet_discrete_model(fleet)
+    # The row-group matrix path requires one shared dynamics/battery model
+    # across all plant rows (both are stateless here); vehicle 0's
+    # instances carry the fleet-wide parameters.
+    shared_dynamics = model.vehicles[0].model
+    shared_battery = model.vehicles[0].battery_model
+    channels: List[PlantChannel] = []
+    for index, vehicle in enumerate(model.vehicles):
+        vehicle_config = vehicle.config
+        ns = vehicle_config.namespace
+        start = vehicle_config.start_position or vehicle_config.world.home
+        plant = DronePlant(
+            model=shared_dynamics,
+            workspace=vehicle_config.world.workspace,
+            battery_model=shared_battery,
+            initial_state=DroneState(position=start),
+            initial_charge=vehicle_config.initial_charge,
+            collision_margin=0.0,
+        )
+        channels.append(
+            PlantChannel(
+                plant=plant,
+                estimator=StateEstimator(
+                    position_noise=vehicle_config.estimator_noise,
+                    velocity_noise=vehicle_config.estimator_noise,
+                    seed=vehicle_config.seed,
+                ),
+                battery_sensor=BatterySensor(seed=vehicle_config.seed + 1),
+                command_topic=ns.command,
+                position_topic=ns.position,
+                battery_topic=ns.battery,
+                label=ns.prefix.rstrip("/") if ns.prefix else f"drone{index}",
+            )
+        )
+    environment = PlantEnvironment(
+        channels=channels,
+        gust_menu=[
+            Vec3.zero(),
+            Vec3(gust_strength, 0.0, 0.0),
+            Vec3(0.0, -gust_strength, 0.0),
+        ],
+        period=environment_period,
+        physics_dt=physics_dt,
+    )
     return ModelInstance(
         system=model.system, monitors=model.monitors, environment=environment, horizon=horizon
     )

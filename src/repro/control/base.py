@@ -39,6 +39,18 @@ class WaypointTracker(abc.ABC):
     def reset(self) -> None:
         """Clear any internal state between missions (default: nothing to clear)."""
 
+    # -- delta-snapshot hooks (see repro.core.resettable) -------------- #
+    # Most trackers are pure control laws whose only instance state is
+    # memo caches of deterministic sub-queries — semantics-neutral warm
+    # state that snapshots deliberately leave alone.  Stateful trackers
+    # (the learned tracker's RNG, the safe tracker's reference) override.
+    def capture_delta_state(self) -> object:
+        """Everything that evolves during a mission, as plain values."""
+        return None
+
+    def restore_delta_state(self, state: object) -> None:
+        """Rewind to a :meth:`capture_delta_state` point, in place."""
+
     def command_batch(
         self,
         positions: np.ndarray,

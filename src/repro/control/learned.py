@@ -58,6 +58,22 @@ class LearnedTracker(WaypointTracker):
         self._glitch_direction = Vec3.zero()
         self.glitch_count = 0
 
+    # -- delta-snapshot hooks (see repro.core.resettable) -------------- #
+    def capture_delta_state(self) -> tuple:
+        return (
+            self._rng.getstate(),
+            self._glitch_until,
+            self._glitch_direction,
+            self.glitch_count,
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        rng_state, until, direction, count = state
+        self._rng.setstate(rng_state)
+        self._glitch_until = until
+        self._glitch_direction = direction
+        self.glitch_count = count
+
     def command(self, state: DroneState, target: Vec3, now: float) -> ControlCommand:
         nominal = pd_acceleration(
             state,

@@ -103,6 +103,20 @@ class SafeWaypointTracker(WaypointTracker):
         # The away-direction memo only depends on the immutable workspace;
         # keeping it warm across resets is the point of instance reuse.
 
+    # -- delta-snapshot hooks (see repro.core.resettable) -------------- #
+    def capture_delta_state(self) -> object:
+        # The reference trajectory is the tracker's only semantic state;
+        # plans are immutable, so a reference suffices.
+        return self._reference
+
+    def restore_delta_state(self, state: object) -> None:
+        if self._reference is not state:
+            # The carrot/command memos are keyed by position only — they
+            # are valid for exactly one reference polyline (see set_plan).
+            self._reference = state
+            self._carrot_memo.clear()
+            self._command_memo.clear()
+
     # ------------------------------------------------------------------ #
     # control law
     # ------------------------------------------------------------------ #

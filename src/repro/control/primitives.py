@@ -62,6 +62,25 @@ class MotionPrimitiveNode(Node):
         self.tracker.reset()
         self.progress = PrimitiveProgress()
 
+    # Delta-snapshot hooks (see repro.core.resettable): progress scalars
+    # plus whatever mission state the tracker declares.
+    def capture_delta_state(self) -> tuple:
+        progress = self.progress
+        return (
+            progress.plan_id,
+            progress.waypoint_index,
+            progress.waypoints_reached,
+            self.tracker.capture_delta_state(),
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        plan_id, waypoint_index, waypoints_reached, tracker_state = state
+        progress = self.progress
+        progress.plan_id = plan_id
+        progress.waypoint_index = waypoint_index
+        progress.waypoints_reached = waypoints_reached
+        self.tracker.restore_delta_state(tracker_state)
+
     # ------------------------------------------------------------------ #
     # the read → compute → publish step
     # ------------------------------------------------------------------ #

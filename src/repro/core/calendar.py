@@ -43,8 +43,17 @@ class Calendar:
         self._offsets: Dict[str, float] = {}
         self._nominal_next: Dict[str, float] = {}
         self._effective_next: Dict[str, float] = {}
+        # Dirty tracking for incremental snapshots (repro.core.resettable):
+        # a unique id per schedule state; the clock never rewinds.
+        self._delta_clock: int = 0
+        self.delta_version: int = 0
         for node in nodes:
             self.add_node(node)
+
+    def _touch(self) -> None:
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock
 
     def add_node(self, node: Node) -> None:
         """Register a node's periodic time-table."""
@@ -54,6 +63,7 @@ class Calendar:
         self._offsets[node.name] = node.offset
         self._nominal_next[node.name] = node.offset
         self._effective_next[node.name] = node.offset
+        self._touch()
 
     def reset(self) -> None:
         """Restore every node's schedule to its construction-time offset.
@@ -66,6 +76,7 @@ class Calendar:
         for name, offset in self._offsets.items():
             self._nominal_next[name] = offset
             self._effective_next[name] = offset
+        self._touch()
 
     def __contains__(self, node_name: str) -> bool:
         return node_name in self._periods
@@ -141,12 +152,30 @@ class Calendar:
             nominal += period
         self._nominal_next[node_name] = nominal
         self._effective_next[node_name] = nominal + jitter
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock
 
     def apply_jitter(self, node_name: str, jitter: float) -> None:
         """Apply release jitter to the node's *current* pending firing."""
         if jitter < 0.0:
             raise SchedulingError("release jitter must be non-negative")
         self._effective_next[node_name] = self._nominal_next[node_name] + jitter
+        self._touch()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """The mutable half of the time-table (nominal + effective times)."""
+        return dict(self._nominal_next), dict(self._effective_next)
+
+    def restore_delta_state(self, state: Tuple[Dict[str, float], Dict[str, float]]) -> None:
+        """Rewind the schedule in place (dict identities preserved)."""
+        nominal, effective = state
+        self._nominal_next.clear()
+        self._nominal_next.update(nominal)
+        self._effective_next.clear()
+        self._effective_next.update(effective)
+        self._touch()
 
     def entries_until(self, horizon: float) -> List[CalendarEntry]:
         """All nominal calendar entries up to ``horizon`` (for inspection/tests)."""

@@ -76,6 +76,23 @@ class DecisionModule(Node):
         self.evaluations = 0
         self.missing_state_evaluations = 0
 
+    # Delta-snapshot hooks (see repro.core.resettable): recorded switches
+    # are immutable events, so a tuple of references is already a copy.
+    def capture_delta_state(self) -> tuple:
+        return (
+            self.mode,
+            tuple(self.switches),
+            self.evaluations,
+            self.missing_state_evaluations,
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        mode, switches, evaluations, missing = state
+        self.mode = mode
+        self.switches[:] = switches
+        self.evaluations = evaluations
+        self.missing_state_evaluations = missing
+
     # ------------------------------------------------------------------ #
     # the switching logic of Figure 9
     # ------------------------------------------------------------------ #

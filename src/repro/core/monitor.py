@@ -47,6 +47,14 @@ class Violation:
     message: str
     state: Any = None
 
+    # Recorded event, never mutated after creation: copying returns the
+    # object itself, which keeps snapshot paths cheap.
+    def __copy__(self) -> "Violation":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Violation":
+        return self
+
 
 @dataclass
 class MonitorResult:
@@ -89,6 +97,15 @@ class TopicSafetyMonitor:
         """Forget recorded violations and pending samples (Resettable)."""
         self.result.clear()
         self._pending.clear()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> tuple:
+        return (tuple(self.result.violations), tuple(self._pending))
+
+    def restore_delta_state(self, state: tuple) -> None:
+        violations, pending = state
+        self.result.violations[:] = violations
+        self._pending[:] = pending
 
     def check(self, engine: SemanticsEngine) -> Optional[Violation]:
         """Evaluate the property on the current topic value; record any violation."""
@@ -183,6 +200,22 @@ class DeadlineMonitor:
         self._pending.clear()
         self._bad_since = None
         self._reported = False
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> tuple:
+        return (
+            tuple(self.result.violations),
+            tuple(self._pending),
+            self._bad_since,
+            self._reported,
+        )
+
+    def restore_delta_state(self, state: tuple) -> None:
+        violations, pending, bad_since, reported = state
+        self.result.violations[:] = violations
+        self._pending[:] = pending
+        self._bad_since = bad_since
+        self._reported = reported
 
     def _observe(self, time: float, value: Any) -> Optional[Violation]:
         """Advance the streak state machine by one sample."""
@@ -284,6 +317,15 @@ class SeparationMonitor:
         """Forget recorded violations and pending samples (Resettable)."""
         self.result.clear()
         self._pending.clear()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> tuple:
+        return (tuple(self.result.violations), tuple(self._pending))
+
+    def restore_delta_state(self, state: tuple) -> None:
+        violations, pending = state
+        self.result.violations[:] = violations
+        self._pending[:] = pending
 
     # -- shared scalar/batch pieces -------------------------------------- #
     def _read_all(self, engine: SemanticsEngine) -> Tuple[Any, ...]:
@@ -398,6 +440,16 @@ class InvariantMonitor:
         self.samples = 0
         self._pending.clear()
 
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> tuple:
+        return (tuple(self.result.violations), tuple(self._pending), self.samples)
+
+    def restore_delta_state(self, state: tuple) -> None:
+        violations, pending, samples = state
+        self.result.violations[:] = violations
+        self._pending[:] = pending
+        self.samples = samples
+
     def holds(self, mode: Mode, state: Any) -> bool:
         """Evaluate φ_Inv on a (mode, state) pair."""
         if state is None:
@@ -502,6 +554,17 @@ class MonitorSuite:
             result = getattr(monitor, "result", None)
             if result is not None:
                 result.violations.clear()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    # The suite's own state is just the sample serial and the immediate
+    # queue; the monitors are separate snapshot components.
+    def capture_delta_state(self) -> tuple:
+        return (self._serial, tuple(self._immediate))
+
+    def restore_delta_state(self, state: tuple) -> None:
+        serial, immediate = state
+        self._serial = serial
+        self._immediate[:] = immediate
 
     def check_all(self, engine: SemanticsEngine) -> List[Violation]:
         """Run every monitor once; returns the new violations."""

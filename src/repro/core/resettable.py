@@ -31,11 +31,40 @@ fresh-build execution.
 New components opt in by implementing ``reset()``; :func:`is_resettable`
 and :func:`reset_all` are small helpers for callers that deal with
 heterogeneous collections (e.g. monitor suites).
+
+Delta state (incremental snapshots)
+-----------------------------------
+The population tester extends reset-and-reuse with *copy-on-write
+snapshots*: instead of pickling the whole model at a trie boundary it
+captures, per component, only the state that changed since the parent
+snapshot.  Components opt in to cheap capture with two optional hooks:
+
+``capture_delta_state() -> state``
+    Return every per-execution mutable value as plain (copied or
+    immutable) data.  The returned object is retained by the caller and
+    must stay valid however far the live object advances afterwards.
+
+``restore_delta_state(state) -> None``
+    Rewind the object *in place* to a previously captured state.  In
+    place matters: other components hold references to this object, and
+    a restore must not change its identity.
+
+Objects without the hooks are captured generically — a ``deepcopy`` of
+their ``__dict__`` (against a memo that pins shared structure) and an
+in-place ``clear()``/``update()`` on restore — via :func:`capture_state`
+and :func:`restore_state`.
+
+Components that additionally expose a ``delta_version`` attribute let
+the snapshotter skip them entirely: the version is a *unique id of a
+state point* — bump it from a private monotonic clock on every mutation
+(never reuse an id, even after a restore rewinds ``delta_version`` to an
+older value), and equal versions prove equal state.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Protocol, runtime_checkable
+import copy
+from typing import Any, Dict, Iterable, Optional, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -57,3 +86,33 @@ def reset_all(objects: Iterable[Any]) -> None:
         reset = getattr(obj, "reset", None)
         if callable(reset):
             reset()
+
+
+def capture_state(obj: Any, memo: Optional[Dict[int, Any]] = None) -> Any:
+    """Capture one component's per-execution state.
+
+    Components with a ``capture_delta_state`` hook return their own
+    compact representation; everything else falls back to a deep copy of
+    ``__dict__`` against ``memo`` (a deepcopy memo pre-seeded with every
+    shared object that must be kept by reference, not copied).
+    """
+    hook = getattr(obj, "capture_delta_state", None)
+    if hook is not None:
+        return hook()
+    return copy.deepcopy(obj.__dict__, memo if memo is not None else {})
+
+
+def restore_state(obj: Any, state: Any, memo: Optional[Dict[int, Any]] = None) -> None:
+    """Rewind one component, in place, to a :func:`capture_state` point.
+
+    The stored ``state`` stays pristine (the generic path deep-copies it
+    again on the way back in), so one capture supports arbitrarily many
+    restores.
+    """
+    hook = getattr(obj, "restore_delta_state", None)
+    if hook is not None:
+        hook(state)
+        return
+    attributes = obj.__dict__
+    attributes.clear()
+    attributes.update(copy.deepcopy(state, memo if memo is not None else {}))

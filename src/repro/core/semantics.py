@@ -104,6 +104,13 @@ class SemanticsEngine:
             module.decision.name: module.decision for module in system.modules
         }
         self.output_enabled: Dict[str, bool] = {}
+        # Per-node state versions for incremental snapshots (see
+        # repro.core.resettable): node local state L only changes when the
+        # node fires (or resets), so bumping an id per firing gives the
+        # snapshotter a sound "unchanged since" test.  The clock never
+        # rewinds — ids stay unique across snapshot restores.
+        self._delta_clock: int = 0
+        self.node_versions: Dict[str, int] = {}
         self.reset()
 
     def reset(self) -> None:
@@ -131,8 +138,13 @@ class SemanticsEngine:
         for module in self.system.modules:
             self.output_enabled[module.spec.advanced.name] = False
             self.output_enabled[module.spec.safe.name] = True
+        clock = self._delta_clock
+        node_versions = self.node_versions
         for node in self.system.all_nodes():
             node.reset()
+            clock += 1
+            node_versions[node.name] = clock
+        self._delta_clock = clock
 
     # ------------------------------------------------------------------ #
     # ENVIRONMENT-INPUT
@@ -203,6 +215,8 @@ class SemanticsEngine:
         output_enabled = self.output_enabled
         now = self.current_time
         board_values = board.values
+        node_versions = self.node_versions
+        clock = self._delta_clock
         fired: List[str] = []
         for name in ordering:
             node = nodes[name]
@@ -213,6 +227,8 @@ class SemanticsEngine:
                     self._reschedule(node)
                     continue
             # -- the read → step → publish body of _fire, inlined -------- #
+            clock += 1
+            node_versions[name] = clock
             inputs = {topic: board_values.get(topic) for topic in node.subscribes}
             outputs = node.step(now, inputs)
             if outputs:
@@ -238,6 +254,7 @@ class SemanticsEngine:
                 calendar.reschedule(name, jitter=0.0, not_before=now)
             else:
                 self._reschedule(node)
+        self._delta_clock = clock
         return fired
 
     def _reschedule(self, node: Node) -> None:
@@ -246,6 +263,8 @@ class SemanticsEngine:
 
     def _fire(self, node: Node) -> None:
         inputs = self.board.read_many(node.subscribes)
+        self._delta_clock += 1
+        self.node_versions[node.name] = self._delta_clock
         outputs = validate_outputs(node, node.step(self.current_time, inputs) or {})
         self.stats.node_firings += 1
         if isinstance(node, DecisionModule):
@@ -273,6 +292,30 @@ class SemanticsEngine:
                 listener.on_mode_switch(
                     self.current_time, switch.module, switch.previous, switch.new, switch.reason
                 )
+
+    # ------------------------------------------------------------------ #
+    # delta-snapshot hooks (see repro.core.resettable)
+    # ------------------------------------------------------------------ #
+    def capture_delta_state(self) -> Tuple[float, Dict[str, int], Dict[str, bool]]:
+        """The engine's own scalars: time, statistics, the OE map.
+
+        Board, calendar and node local state are separate snapshot
+        components with their own hooks/versions; this covers what the
+        engine object itself mutates during execution.
+        """
+        return (
+            self.current_time,
+            dict(self.stats.__dict__),
+            dict(self.output_enabled),
+        )
+
+    def restore_delta_state(self, state: Tuple[float, Dict[str, int], Dict[str, bool]]) -> None:
+        """Rewind the engine scalars in place (``stats``/``OE`` identities kept)."""
+        current_time, stats, output_enabled = state
+        self.current_time = current_time
+        self.stats.__dict__.update(stats)
+        self.output_enabled.clear()
+        self.output_enabled.update(output_enabled)
 
     # ------------------------------------------------------------------ #
     # convenience drivers

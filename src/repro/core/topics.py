@@ -106,6 +106,11 @@ class TopicBoard:
         # every publish funnels through here, so a single hook covers the
         # whole topic plane. None (the default) costs one attribute read.
         self._gate: Optional[Any] = None
+        # Dirty tracking for incremental snapshots (repro.core.resettable):
+        # ``delta_version`` identifies the current state point; the private
+        # clock never rewinds, so ids stay unique across restores.
+        self._delta_clock: int = 0
+        self.delta_version: int = 0
 
     def reset(self) -> None:
         """Restore the construction-time valuation (declared defaults plus
@@ -115,7 +120,11 @@ class TopicBoard:
         a reused semantics engine resets the board between executions
         instead of building a new one.
         """
-        self.values = dict(self._initial_values)
+        self.values.clear()
+        self.values.update(self._initial_values)
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock
 
     def read(self, name: str) -> Any:
         """Current value of a topic (None if never published)."""
@@ -141,6 +150,9 @@ class TopicBoard:
                 f"value of type {type(value).__name__} is not admissible "
                 f"for topic {name!r} (expects {topic.value_type.__name__})"
             )
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock
         self.values[name] = value
 
     def publish_many(self, outputs: Mapping[str, Any]) -> None:
@@ -151,3 +163,21 @@ class TopicBoard:
     def snapshot(self) -> Dict[str, Any]:
         """A shallow copy of the current valuation."""
         return dict(self.values)
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> Dict[str, Any]:
+        """The current valuation as a shallow copy.
+
+        Topic values are replaced wholesale on publish (never mutated in
+        place — the publish contract), so a shallow copy freezes the
+        valuation.
+        """
+        return dict(self.values)
+
+    def restore_delta_state(self, state: Dict[str, Any]) -> None:
+        """Rewind the valuation in place (``values`` identity preserved)."""
+        self.values.clear()
+        self.values.update(state)
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock

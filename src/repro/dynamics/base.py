@@ -25,6 +25,14 @@ class DroneState:
     position: Vec3 = field(default_factory=Vec3)
     velocity: Vec3 = field(default_factory=Vec3)
 
+    # Immutable value: copying returns the object itself, which keeps the
+    # snapshot paths of the testing engine cheap.
+    def __copy__(self) -> "DroneState":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "DroneState":
+        return self
+
     @property
     def speed(self) -> float:
         """Current speed (velocity magnitude)."""
@@ -72,6 +80,13 @@ class ControlCommand:
 
     acceleration: Vec3 = field(default_factory=Vec3)
     yaw_rate: float = 0.0
+
+    # Immutable value: copying returns the object itself (cheap snapshots).
+    def __copy__(self) -> "ControlCommand":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "ControlCommand":
+        return self
 
     @staticmethod
     def hover() -> "ControlCommand":

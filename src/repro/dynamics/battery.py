@@ -56,6 +56,13 @@ class BatteryState:
         if not 0.0 <= self.charge <= 1.0:
             raise ValueError("battery charge must lie in [0, 1]")
 
+    # Immutable value: copying returns the object itself (cheap snapshots).
+    def __copy__(self) -> "BatteryState":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "BatteryState":
+        return self
+
     @property
     def depleted(self) -> bool:
         """True if the battery is empty."""

@@ -23,6 +23,15 @@ class Vec3:
     y: float = 0.0
     z: float = 0.0
 
+    # Immutable value: copying returns the object itself, which keeps the
+    # snapshot/deepcopy paths of the testing engine from churning through
+    # millions of pointless three-field reconstructions.
+    def __copy__(self) -> "Vec3":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Vec3":
+        return self
+
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #

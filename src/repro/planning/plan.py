@@ -37,6 +37,14 @@ class Plan:
     def __len__(self) -> int:
         return len(self.waypoints)
 
+    # Immutable value (see the module docstring): copying returns the
+    # object itself, so snapshots of nodes holding plans stay cheap.
+    def __copy__(self) -> "Plan":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Plan":
+        return self
+
     @property
     def final_waypoint(self) -> Vec3:
         return self.waypoints[-1]

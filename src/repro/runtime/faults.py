@@ -545,6 +545,26 @@ class TopicFaultGate:
         for state in self._by_topic.values():
             state.reset()
 
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> Any:
+        """Clock, pending delayed writes, and every site's window decisions."""
+        return (
+            self.now,
+            tuple(self._pending),
+            self.injected_faults,
+            tuple(tuple(state._decisions) for state in self._by_topic.values()),
+        )
+
+    def restore_delta_state(self, state: Any) -> None:
+        """Rewind the gate in place (identity preserved — the board keeps
+        pointing at the installed gate)."""
+        now, pending, injected, decisions = state
+        self.now = now
+        self._pending[:] = pending
+        self.injected_faults = injected
+        for site_state, row in zip(self._by_topic.values(), decisions):
+            site_state._decisions = list(row)
+
     def advance(self, now: float) -> None:
         """Move the gate clock and deliver every delayed write now due."""
         self.now = now
@@ -630,6 +650,29 @@ class FaultPlane:
         self.gate.reset()
         if self.environment is not None:
             self.environment.reset()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    # The plane has no ``delta_version``, so snapshotters treat it as
+    # always-dirty; the capture is small (gate clock + window decisions +
+    # the inner environment's own compact state).  Injectors are nodes —
+    # their state is covered by the per-node snapshot components.
+    def capture_delta_state(self) -> Any:
+        inner: Any = None
+        if self.environment is not None:
+            hook = getattr(self.environment, "capture_delta_state", None)
+            if hook is None:
+                raise TypeError(
+                    "FaultPlane delta snapshots need an inner environment "
+                    "with capture_delta_state/restore_delta_state hooks"
+                )
+            inner = hook()
+        return self.gate.capture_delta_state(), inner
+
+    def restore_delta_state(self, state: Any) -> None:
+        gate_state, inner = state
+        self.gate.restore_delta_state(gate_state)
+        if self.environment is not None:
+            self.environment.restore_delta_state(inner)
 
     def apply(self, engine: Any, upcoming_time: float) -> None:
         board = engine.board

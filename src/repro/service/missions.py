@@ -298,6 +298,7 @@ class MissionService:
             ],
             "duplicates": report.duplicates,
             "events": list(report.events),
+            "population_stats": dict(report.population_stats),
             "workers": report.workers,
             "wall_time": report.wall_time,
         }

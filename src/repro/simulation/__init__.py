@@ -8,6 +8,7 @@ from .fleet import (
     FleetSimulationConfig,
     VehicleChannels,
 )
+from .plantenv import PlantChannel, PlantEnvironment, RowGroupPlant
 from .population import PopulationSimulation, PopulationStatus
 from .sensors import (
     SENSOR_FAULT_MODES,
@@ -31,6 +32,9 @@ __all__ = [
     "ConstantWind",
     "GustyWind",
     "NoWind",
+    "PlantChannel",
+    "PlantEnvironment",
+    "RowGroupPlant",
     "PopulationSimulation",
     "PopulationStatus",
     "SENSOR_FAULT_MODES",

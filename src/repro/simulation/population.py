@@ -25,9 +25,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..control.base import WaypointTracker
-from ..dynamics import BatteryModel, DynamicsModel
+from ..dynamics import BatteryModel, BatteryState, DroneState, DynamicsModel
 from ..geometry import Vec3, Workspace
 from ..geometry.vec import row_norms
+from .drone import DronePlant
 
 
 @dataclass
@@ -85,7 +86,7 @@ class PopulationSimulation:
         self,
         model: DynamicsModel,
         workspace: Workspace,
-        tracker: WaypointTracker,
+        tracker: Optional[WaypointTracker],
         waypoints: np.ndarray,
         initial_positions: np.ndarray,
         initial_velocities: Optional[np.ndarray] = None,
@@ -144,6 +145,7 @@ class PopulationSimulation:
         self.battery_failed = np.zeros(self.size, dtype=bool)
         self.distance_flown = np.zeros(self.size)
         self.waypoint_index = np.zeros(self.size, dtype=int)
+        self.collision_positions = np.full((self.size, 3), np.nan)
         self.min_clearance = self.workspace.clearance_batch(self.positions)
         self.model.begin_batch(self.size)
 
@@ -177,19 +179,55 @@ class PopulationSimulation:
         """
         if dt < 0.0:
             raise ValueError("dt must be non-negative")
+        if self.tracker is None:
+            raise ValueError(
+                "step() needs a tracker; command-driven callers use apply_batch()"
+            )
         self._advance_waypoints()
         commands = self.tracker.command_batch(
             self.positions, self.velocities, self.current_targets(), self.time
         )
+        if disturbance.norm() > 0.0:
+            disturbances: Optional[np.ndarray] = np.broadcast_to(
+                np.asarray(disturbance.as_tuple(), dtype=float), (self.size, 3)
+            )
+        else:
+            disturbances = None
+        self.apply_batch(commands, dt, disturbances)
+
+    def apply_batch(
+        self,
+        commands: np.ndarray,
+        dt: float,
+        disturbances: Optional[np.ndarray] = None,
+    ) -> None:
+        """Advance every row by ``dt`` under explicit per-row commands.
+
+        The command-driven twin of :meth:`DronePlant.apply`: ``commands``
+        is a ``(K, 3)`` acceleration matrix (one row per mission; a hover
+        is all zeros) and ``disturbances`` an optional ``(K, 3)`` additive
+        gust matrix.  Rows whose disturbance is exactly zero skip the add,
+        matching the scalar plant's ``norm() > 0`` guard bit for bit.
+        :meth:`step` derives its commands from the waypoint tracker and
+        delegates here; the testing plane's row-group adapter calls this
+        directly with the commands each execution's discrete stack
+        published.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
         self.time += dt
         active = ~self.collided
         if not active.any():
             return
         accelerations = np.array(commands, dtype=float, copy=True)
-        if disturbance.norm() > 0.0:
-            accelerations = accelerations + np.asarray(
-                disturbance.as_tuple(), dtype=float
-            )
+        if accelerations.shape != (self.size, 3):
+            raise ValueError("commands must be a (K, 3) acceleration matrix")
+        if disturbances is not None:
+            gusts = np.asarray(disturbances, dtype=float)
+            if gusts.shape != (self.size, 3):
+                raise ValueError("disturbances must be a (K, 3) matrix")
+            gusty = row_norms(gusts) > 0.0
+            accelerations[gusty] = accelerations[gusty] + gusts[gusty]
         # Pre-step depletion while airborne: the drone free-falls.
         airborne_pre = self.positions[:, 2] > self.ground_altitude
         freefall = (self.charges <= 0.0) & airborne_pre
@@ -214,6 +252,8 @@ class PopulationSimulation:
             | ~self.workspace.segments_free_batch(previous, new_positions)
         )
         new_velocities[hit] = 0.0
+        newly_collided = active & hit
+        self.collision_positions[newly_collided] = new_positions[newly_collided]
         clearances = self.workspace.clearance_batch(new_positions)
         # Masked commit: frozen rows keep every field; rows colliding this
         # tick keep their post-step position (frozen from the next tick on)
@@ -241,6 +281,71 @@ class PopulationSimulation:
             self.step(step)
             remaining -= step
         return self.status()
+
+    # ------------------------------------------------------------------ #
+    # scalar-plant row exchange (the testing plane's row-group adapter)
+    # ------------------------------------------------------------------ #
+    def load_rows(self, plants: Sequence[DronePlant]) -> None:
+        """Adopt the live state of ``K`` scalar plants as the ``(K, …)`` rows.
+
+        The plants must share one mission clock (row groups advance in
+        lock-step).  Stateful dynamics models restart their per-row batch
+        state here (``begin_batch``), so groups should be loaded at points
+        where that state is at rest — mission start or a snapshot boundary
+        — exactly as the scalar path's shared-model usage assumes.
+        """
+        if len(plants) != self.size:
+            raise ValueError("need exactly one plant per population row")
+        for index, plant in enumerate(plants):
+            self.positions[index] = plant.state.position.as_tuple()
+            self.velocities[index] = plant.state.velocity.as_tuple()
+            self.charges[index] = plant.battery.charge
+            self.collided[index] = plant.collided
+            self.battery_failed[index] = plant.battery_failed
+            self.distance_flown[index] = plant.distance_flown
+            self.min_clearance[index] = plant.min_clearance
+            if plant.collision_position is not None:
+                self.collision_positions[index] = plant.collision_position.as_tuple()
+            else:
+                self.collision_positions[index] = np.nan
+        self.time = float(plants[0].time)
+        self.model.begin_batch(self.size)
+
+    def store_rows(self, plants: Sequence[DronePlant]) -> None:
+        """Scatter the ``(K, …)`` rows back into ``K`` scalar plants.
+
+        The inverse of :meth:`load_rows`; every scalar field round-trips
+        bit-exactly (``float`` of a float64 cell is the cell).
+        """
+        if len(plants) != self.size:
+            raise ValueError("need exactly one plant per population row")
+        for index, plant in enumerate(plants):
+            plant.state = DroneState(
+                position=Vec3(
+                    float(self.positions[index, 0]),
+                    float(self.positions[index, 1]),
+                    float(self.positions[index, 2]),
+                ),
+                velocity=Vec3(
+                    float(self.velocities[index, 0]),
+                    float(self.velocities[index, 1]),
+                    float(self.velocities[index, 2]),
+                ),
+            )
+            plant.battery = BatteryState(charge=float(self.charges[index]))
+            plant.collided = bool(self.collided[index])
+            plant.battery_failed = bool(self.battery_failed[index])
+            plant.distance_flown = float(self.distance_flown[index])
+            plant.min_clearance = float(self.min_clearance[index])
+            plant.time = float(self.time)
+            if plant.collided and np.isfinite(self.collision_positions[index]).all():
+                plant.collision_position = Vec3(
+                    float(self.collision_positions[index, 0]),
+                    float(self.collision_positions[index, 1]),
+                    float(self.collision_positions[index, 2]),
+                )
+            else:
+                plant.collision_position = None
 
     # ------------------------------------------------------------------ #
     # derived observations

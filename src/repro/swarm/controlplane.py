@@ -110,6 +110,11 @@ class Session:
     records: List[Dict[str, Any]] = field(default_factory=list)
     record_keys: set = field(default_factory=set)
     coverage_rows: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    #: Summed per-lease PopulationTester counter deltas (empty when no
+    #: shard ran the population plane).  Counts work *performed* by the
+    #: fleet: a zombie/re-lease race that redundantly re-runs a shard
+    #: shows up here even though its records dedupe away.
+    population_stats: Dict[str, int] = field(default_factory=dict)
     duplicates: int = 0
     stopping: bool = False
     failed: Optional[str] = None
@@ -490,6 +495,7 @@ class ControlPlane:
         done: bool = False,
         released: bool = False,
         error: Optional[str] = None,
+        population_stats: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Fold a drone's streamed results into the session.
 
@@ -500,7 +506,8 @@ class ControlPlane:
         fully enumerated; ``released`` returns it unfinished (stop
         drain); ``error`` fails the session with the drone's traceback —
         executions are deterministic, so the error would reproduce on any
-        drone.
+        drone.  ``population_stats`` is the lease's PopulationTester
+        counter delta, summed into the session's running totals.
         """
         self.sweep()
         with self._lock:
@@ -535,6 +542,13 @@ class ControlPlane:
                 self._notify_record(session_id, record, coverage)
                 if record.get("violations") and session.stop_at_first_violation:
                     self._begin_stop(session)
+            if population_stats:
+                for key, value in protocol.decode_population_stats(
+                    population_stats
+                ).items():
+                    session.population_stats[key] = (
+                        session.population_stats.get(key, 0) + value
+                    )
             if error is not None:
                 self._fail(session, error)
                 self._release(lease, shard, completed=False)
@@ -630,6 +644,7 @@ class ControlPlane:
                     for (vehicle, mode, region), count in sorted(session.coverage_rows.items())
                 ],
                 "duplicates": session.duplicates,
+                "population_stats": dict(session.population_stats),
                 "events": list(session.events),
                 "shards": [
                     {"shard_id": shard.shard_id, "status": shard.status,
@@ -763,6 +778,7 @@ class _Handler(BaseHTTPRequestHandler):
                         done=payload.get("done", False),
                         released=payload.get("released", False),
                         error=payload.get("error"),
+                        population_stats=payload.get("population_stats"),
                     )
                 )
             else:

@@ -195,11 +195,20 @@ class Drone:
         )
         heartbeat.start()
         try:
+            # Warm (or build) the shard's tester up front so the lease's
+            # population-stats delta brackets exactly this lease's work —
+            # the tester is cached, so _run_* below get the same instance.
+            tester = self._tester(shard)
+            stats_before = protocol.snapshot_population_stats(tester)
             if isinstance(shard, _RandomShard):
                 completed = self._run_random(session_id, lease_id, shard, state)
             else:
                 completed = self._run_exhaustive(session_id, lease_id, shard, state)
-            self._finish(session_id, lease_id, done=completed, released=not completed)
+            flags: Dict[str, Any] = {"done": completed, "released": not completed}
+            stats_delta = protocol.population_stats_delta(tester, stats_before)
+            if stats_delta is not None:
+                flags["population_stats"] = stats_delta
+            self._finish(session_id, lease_id, **flags)
         except SwarmUnavailable:
             pass  # lease will expire and be re-leased; results so far are ingested
         except Exception:

@@ -339,6 +339,60 @@ def decode_coverage(data: Optional[List[List[Any]]]) -> Optional[CoverageMap]:
 
 
 # --------------------------------------------------------------------- #
+# population statistics (the vectorized plane's bookkeeping)
+# --------------------------------------------------------------------- #
+
+
+def snapshot_population_stats(tester: Any) -> Optional[Dict[str, int]]:
+    """The current counter values of a tester's ``PopulationStats``.
+
+    Returns ``None`` for testers without a ``stats`` attribute (the plain
+    serial :class:`~repro.testing.explorer.SystematicTester`), so callers
+    can treat "no population plane" and "nothing to report" uniformly.
+    """
+    stats = getattr(tester, "stats", None)
+    if stats is None:
+        return None
+    return {
+        key: value
+        for key, value in vars(stats).items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+
+
+def population_stats_delta(
+    tester: Any, before: Optional[Dict[str, int]]
+) -> Optional[Dict[str, int]]:
+    """Counter movement on ``tester`` since a :func:`snapshot_population_stats`.
+
+    Drones report per-lease *deltas*, not absolute counters: a warm drone
+    reuses one tester across consecutive leases of the same workload, so
+    absolute values would double-count every counter from the second
+    lease on.  Deltas sum correctly on the control plane no matter how
+    leases land.  Returns ``None`` when there is no population plane or
+    nothing moved.
+    """
+    if before is None:
+        return None
+    after = snapshot_population_stats(tester)
+    if after is None:
+        return None
+    delta = {key: value - before.get(key, 0) for key, value in after.items()}
+    return delta if any(delta.values()) else None
+
+
+def decode_population_stats(data: Any) -> Dict[str, int]:
+    """Validate a wire-form population-stats delta (string -> int)."""
+    if not isinstance(data, dict):
+        raise ProtocolError(f"population stats must be an object, got {data!r}")
+    try:
+        return {_require_str(key, "population stats"): int(value)
+                for key, value in data.items()}
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed population stats: {error}") from None
+
+
+# --------------------------------------------------------------------- #
 # execution identity (what makes result ingestion idempotent)
 # --------------------------------------------------------------------- #
 

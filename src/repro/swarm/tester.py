@@ -57,6 +57,10 @@ class SwarmReport(ParallelReport):
     #: The session's self-healing event log (warnings, re-leases, splits,
     #: drone deaths) — the report-side view of the escalation ladder.
     events: List[str] = field(default_factory=list)
+    #: Fleet-wide :class:`~repro.testing.population.PopulationStats`
+    #: counters, summed from every lease's per-drone delta (empty when
+    #: no shard ran the population plane).
+    population_stats: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         base = super().summary()
@@ -221,6 +225,8 @@ class SwarmTester(ParallelTester):
         if isinstance(report, SwarmReport):
             report.duplicates = summary["duplicates"]
             report.events = list(summary["events"])
+            # .get: a legacy control plane's report has no stats section.
+            report.population_stats = dict(summary.get("population_stats") or {})
         report.invalidate_caches()
 
 

@@ -85,15 +85,25 @@ class AbstractEnvironment:
         self.period = period
         self.strategy: ChoiceStrategy | None = None
         self._next_time = 0.0
+        # Dirty tracking for incremental snapshots (repro.core.resettable).
+        self._delta_clock = 0
+        self.delta_version = 0
 
     def bind_strategy(self, strategy: ChoiceStrategy) -> None:
         self.strategy = strategy
 
+    def _touch(self) -> None:
+        clock = self._delta_clock + 1
+        self._delta_clock = clock
+        self.delta_version = clock
+
     def reset(self) -> None:
         self._next_time = 0.0
+        self._touch()
 
     def apply(self, engine, upcoming_time: float) -> None:
         """Inject chosen values for every input topic due before ``upcoming_time``."""
+        advanced = False
         while self._next_time <= upcoming_time + 1e-12:
             for topic, options in self.menus.items():
                 if self.strategy is None:
@@ -102,6 +112,18 @@ class AbstractEnvironment:
                     index = self.strategy.choose(len(options), label=f"env:{topic}")
                 engine.set_input(topic, options[index])
             self._next_time += self.period
+            advanced = True
+        if advanced:
+            self._touch()
+
+    # -- delta-snapshot hooks (see repro.core.resettable) --------------- #
+    def capture_delta_state(self) -> float:
+        """The injection clock is the environment's only mutable state."""
+        return self._next_time
+
+    def restore_delta_state(self, state: float) -> None:
+        self._next_time = state
+        self._touch()
 
 
 def constant_environment(values: Mapping[str, Any], period: float = 0.1) -> AbstractEnvironment:

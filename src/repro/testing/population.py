@@ -36,13 +36,36 @@ contract of :mod:`repro.testing.strategies`), so
    the strategy — the same split the serial execution makes implicitly.
 
 Prefix sharing is made cheap with *lazy snapshots*: trie nodes on
-repeatedly re-run prefixes capture a deep copy of the (instance, engine)
-pair at a step boundary; later executions diverging below that node
-restore the copy instead of re-executing the prefix.  Static geometry
-(workspaces, clearance fields with their dense grids) is pinned out of
-the copy, so snapshots stay small.  Snapshots are a pure optimisation:
+repeatedly re-run prefixes capture the model state at a step boundary;
+later executions diverging below that node restore the capture instead
+of re-executing the prefix.  Snapshots are a pure optimisation:
 restoring one lands on exactly the state the replayed prefix would have
 recomputed.
+
+Two snapshot representations exist:
+
+* **delta snapshots** (default): the model is decomposed into
+  *components* — the engine scalars, topic board, calendar, each node's
+  local state, the monitors, and the environment — and a snapshot
+  records only the components whose state changed since the parent
+  snapshot, detected through the dirty-tracking version ids of
+  :mod:`repro.core.resettable` (``TopicBoard``/``Calendar``/environment
+  hooks, the engine's per-node fire clock).  A restore resolves each
+  component against the delta chain up to the deepest full snapshot and
+  rewinds the **live** instance in place, skipping components whose
+  version already matches — no pickling, no object-graph rebuild, and
+  capture cost proportional to what actually changed.
+* **whole-state snapshots** (fallback, and ``use_delta_snapshots=False``):
+  a pickle of the (instance, engine) pair with static geometry pinned
+  out via persistent ids; models whose state graphs resist pickling fall
+  back once more to held deep copies (``PopulationStats.pickle_fallbacks``
+  counts the flip).
+
+Snapshot *scheduling* is adaptive: ``snapshot_after`` caps how many
+boundary visits a node needs before it earns a snapshot, and the
+effective threshold anneals toward eager capture while live runs keep
+replaying long prefixes (measured re-run depth), back toward lazy when
+restores land exactly on the divergence point.
 
 ``population_size`` bounds the number of retained snapshots — the
 working set of materialised row-group states (the (K, …) matrices of the
@@ -61,6 +84,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.monitor import Violation
+from ..core.resettable import capture_state, restore_state
 from .coverage import CoverageMap, CoverageTracker
 from .explorer import ExecutionRecord, ModelInstance, SystematicTester
 from .scheduler import BoundedAsynchronyScheduler
@@ -90,13 +114,17 @@ class _Leaf:
 class _Snapshot:
     """A row-group state captured at a step boundary of a shared prefix.
 
-    The captured ``(instance, engine)`` pair is the model mid-execution
-    with exactly ``position`` choices consumed — the values on the trie
-    path to the node holding this snapshot.  Preferred representation is
-    a pickle byte string with static geometry pinned out via persistent
-    ids (dumped once, restored arbitrarily many times through the C
-    unpickler); models whose state graphs resist pickling fall back to a
-    held deep copy that each restore re-copies.
+    The capture is the model mid-execution with exactly ``position``
+    choices consumed — the values on the trie path to the node holding
+    this snapshot.  Preferred representation is an incremental component
+    *delta*: ``vector`` maps component keys to captured states for the
+    components that changed since ``parent`` (a full vector when
+    ``parent`` is None), and ``versions`` records every component's
+    dirty-tracking id at capture time so restores can skip components
+    already in the right state.  The whole-state fallbacks are a pickle
+    byte string with static geometry pinned out via persistent ids, or —
+    for models whose state graphs resist pickling — a held deep copy
+    that each restore re-copies.
     """
 
     steps: int
@@ -104,6 +132,10 @@ class _Snapshot:
     position: int
     data: Optional[bytes] = None
     pair: Optional[Tuple[ModelInstance, Any]] = None
+    vector: Optional[Dict[str, Any]] = None
+    versions: Optional[Dict[str, Optional[int]]] = None
+    parent: Optional["_Snapshot"] = None
+    depth: int = 0
 
 
 class _TrieNode:
@@ -189,6 +221,9 @@ class PopulationStats:
     snapshots_retained: int = 0
     replayed_choices: int = 0  # choices answered from the trie during live runs
     live_choices: int = 0
+    delta_snapshots: int = 0  # incremental (non-full) component captures
+    delta_restores: int = 0  # restores applied in place from a delta chain
+    pickle_fallbacks: int = 0  # times the pickle path gave way to deep copies
 
     @property
     def compaction_rate(self) -> float:
@@ -227,6 +262,16 @@ class PopulationTester(SystematicTester):
             must see before it earns a snapshot (the laziness knob:
             1 snapshots eagerly, higher values only snapshot prefixes
             that keep being re-run).
+        use_delta_snapshots: capture incremental component deltas instead
+            of whole-state pickles (automatic fallback to the pickle /
+            deep-copy path if a component resists the delta protocol).
+        use_batch_plant: let plant-in-the-loop environments step their
+            vehicles through the (K, …) matrix plant
+            (:class:`~repro.simulation.plantenv.RowGroupPlant`).
+        delta_chain_limit: force a full component vector every this many
+            chained deltas (bounds restore-time chain walks).
+        adaptive_snapshots: anneal the effective ``snapshot_after`` from
+            measured re-run depth.
 
     >>> from repro.testing import RandomStrategy, scenario_factory
     >>> tester = PopulationTester(
@@ -251,6 +296,10 @@ class PopulationTester(SystematicTester):
         share_prefixes: bool = True,
         snapshot_after: int = 3,
         snapshot_min_steps: int = 6,
+        use_delta_snapshots: bool = True,
+        use_batch_plant: bool = True,
+        delta_chain_limit: int = 8,
+        adaptive_snapshots: bool = True,
     ) -> None:
         if not reuse_instances:
             raise ValueError(
@@ -269,10 +318,16 @@ class PopulationTester(SystematicTester):
             reuse_instances=True,
             track_coverage=track_coverage,
         )
+        if delta_chain_limit < 1:
+            raise ValueError("delta_chain_limit must be at least 1")
         self.population_size = population_size
         self.share_prefixes = share_prefixes
         self.snapshot_after = snapshot_after
         self.snapshot_min_steps = snapshot_min_steps
+        self.use_delta_snapshots = use_delta_snapshots
+        self.use_batch_plant = use_batch_plant
+        self.delta_chain_limit = delta_chain_limit
+        self.adaptive_snapshots = adaptive_snapshots
         self.stats = PopulationStats()
         self._router = _TrailRouter(self)
         self._root = _TrieNode()
@@ -283,6 +338,18 @@ class PopulationTester(SystematicTester):
         self._pin_objects: List[Any] = []
         self._pin_index: Dict[int, int] = {}
         self._pickle_snapshots = True  # flips off after the first failure
+        # Delta-snapshot bookkeeping: the component decomposition of the
+        # reused instance, the extra pins that keep cross-component
+        # references live, and the version vector of the state point the
+        # live graph last synchronised with (None right after a reset —
+        # the next capture must be a full vector).
+        self._delta_ok = use_delta_snapshots  # flips off after the first failure
+        self._components: Optional[List[Tuple[str, Any]]] = None
+        self._components_engine: Optional[Any] = None
+        self._component_pins: List[Any] = []
+        self._delta_baseline: Optional[Dict[str, Optional[int]]] = None
+        self._delta_parent: Optional[_Snapshot] = None
+        self._effective_after = snapshot_after
 
     # ------------------------------------------------------------------ #
     # strategy binding: the model talks to the router, never the strategy
@@ -291,6 +358,12 @@ class PopulationTester(SystematicTester):
         if harness.environment is not None:
             harness.environment.reset()
             harness.environment.bind_strategy(self._router)
+            # Plant-in-the-loop environments can step their vehicles as one
+            # (K, …) matrix plant (see repro.simulation.plantenv) — enable
+            # the bit-identical batch path when the environment offers it.
+            enable_batch = getattr(harness.environment, "set_batch_plant", None)
+            if enable_batch is not None:
+                enable_batch(self.use_batch_plant)
         # Duck-typed like the serial tester: NondeterministicNode and the
         # fault plane's ChoiceFaultInjector both expose bind_strategy.
         for node in harness.system.all_nodes():
@@ -376,20 +449,30 @@ class PopulationTester(SystematicTester):
             # has consumed exactly the values leading to it.
             for j in range(len(path_nodes) - 1, 0, -1):
                 snap = path_nodes[j].snapshot
-                if snap is not None:
+                if snap is not None and self._snapshot_usable(snap):
                     snapshot = snap
                     restore_position = j
                     break
+        self._delta_baseline = None
+        self._delta_parent = None
         if snapshot is not None:
             self.stats.restores += 1
-            if snapshot.data is not None:
-                instance, engine = self._unpickle_state(snapshot.data)
+            if snapshot.vector is not None:
+                # Delta restore rewinds the live instance in place — no
+                # new objects, no tracker rebinding.
+                self._restore_delta(snapshot)
+                self.stats.delta_restores += 1
+                instance = self._instance
+                engine = self._engine
             else:
-                memo = self._pin_memo()
-                instance, engine = copy.deepcopy(snapshot.pair, memo)
-            self._instance = instance
-            self._engine = engine
-            self._rebind_tracker(instance)
+                if snapshot.data is not None:
+                    instance, engine = self._unpickle_state(snapshot.data)
+                else:
+                    memo = self._pin_memo()
+                    instance, engine = copy.deepcopy(snapshot.pair, memo)
+                self._instance = instance
+                self._engine = engine
+                self._rebind_tracker(instance)
             start_steps = snapshot.steps
             base_violations = snapshot.violations
             harness = instance
@@ -398,7 +481,18 @@ class PopulationTester(SystematicTester):
             harness, engine = self._acquire()
             self._bind_strategy(harness)
         router.arm(values, path_nodes, restore_position)
-        self.stats.replayed_choices += len(values) - restore_position
+        replayed = len(values) - restore_position
+        self.stats.replayed_choices += replayed
+        if self.adaptive_snapshots and self.share_prefixes:
+            # Anneal the snapshot threshold from measured re-run depth:
+            # long replayed prefixes mean capture is being under-spent on
+            # the paths restores actually resume from; exact landings mean
+            # the current laziness suffices.
+            if replayed > 2:
+                if self._effective_after > 1:
+                    self._effective_after -= 1
+            elif replayed == 0 and self._effective_after < self.snapshot_after:
+                self._effective_after += 1
         scheduler = self._order_scheduler()
         steps = start_steps
         windowed = self.monitor_window > 1
@@ -414,7 +508,7 @@ class PopulationTester(SystematicTester):
         population = self.stats
         share = self.share_prefixes
         n_path = len(path_nodes)
-        snapshot_after = self.snapshot_after
+        snapshot_after = self._effective_after
         while True:
             if share:
                 # Lazy snapshot policy: a step boundary inside the walked
@@ -550,6 +644,16 @@ class PopulationTester(SystematicTester):
     def _take_snapshot(
         self, steps: int, violations: List[Violation], position: int
     ) -> _Snapshot:
+        if self._delta_ok:
+            try:
+                return self._take_delta_snapshot(steps, violations, position)
+            except Exception:
+                # Some component of this model resists the delta protocol
+                # (e.g. un-deepcopyable state); fall through to the
+                # whole-state representations from now on.
+                self._delta_ok = False
+                self._delta_baseline = None
+                self._delta_parent = None
         state = (self._instance, self._engine)
         if self._pickle_snapshots:
             try:
@@ -563,6 +667,7 @@ class PopulationTester(SystematicTester):
                 # Some object in this model's state graph resists pickling;
                 # remember that and hold deep copies instead from now on.
                 self._pickle_snapshots = False
+                self.stats.pickle_fallbacks += 1
         memo = self._pin_memo()
         return _Snapshot(
             steps=steps,
@@ -570,6 +675,149 @@ class PopulationTester(SystematicTester):
             position=position,
             pair=copy.deepcopy(state, memo),
         )
+
+    # ------------------------------------------------------------------ #
+    # delta snapshots: component decomposition, capture, restore
+    # ------------------------------------------------------------------ #
+    def _ensure_components(self) -> None:
+        """Decompose the reused instance into snapshot components.
+
+        Component keys are stable across the sweep (the reuse contract
+        fixes the node set and monitor roster after the first acquire).
+        Every component object — plus the system wiring it hangs from —
+        is pinned into capture/restore memos, so a component's captured
+        state holds cross-component *references*, never clones: each
+        component's state always comes from its own snapshot entry.
+        """
+        engine = self._engine
+        instance = self._instance
+        assert engine is not None and instance is not None
+        components: List[Tuple[str, Any]] = [
+            ("engine", engine),
+            ("board", engine.board),
+            ("calendar", engine.calendar),
+        ]
+        for name, node in engine._nodes.items():
+            components.append(("node:" + name, node))
+        suite = instance.monitors
+        components.append(("monitors", suite))
+        for index, monitor in enumerate(suite.monitors):
+            components.append((f"monitor:{index}", monitor))
+        if instance.environment is not None:
+            components.append(("environment", instance.environment))
+        pins: List[Any] = [obj for _, obj in components]
+        pins.extend([instance, engine.system])
+        for module in getattr(engine.system, "modules", ()):
+            pins.extend([module, module.spec])
+        self._components = components
+        self._component_pins = pins
+        self._components_engine = engine
+
+    def _snapshot_usable(self, snapshot: _Snapshot) -> bool:
+        """Whole-state snapshots always restore; a delta snapshot only onto
+        the same live object graph it was captured from (a whole-state
+        restore in mixed mode replaces the graph, stranding older deltas)."""
+        if snapshot.vector is None:
+            return True
+        return (
+            self._components is not None
+            and getattr(self, "_components_engine", None) is self._engine
+        )
+
+    def _component_memo(self) -> Dict[int, Any]:
+        """Deepcopy memo for one capture/restore event: geometry pins, the
+        router, and every component (kept by reference, restored via its
+        own entry)."""
+        memo = self._pin_memo()
+        for obj in self._component_pins:
+            memo[id(obj)] = obj
+        return memo
+
+    def _take_delta_snapshot(
+        self, steps: int, violations: List[Violation], position: int
+    ) -> _Snapshot:
+        if (
+            self._components is None
+            or getattr(self, "_components_engine", None) is not self._engine
+        ):
+            self._ensure_components()
+            self._delta_baseline = None
+            self._delta_parent = None
+        engine = self._engine
+        node_versions = engine.node_versions
+        baseline = self._delta_baseline
+        parent = self._delta_parent
+        full = (
+            baseline is None
+            or parent is None
+            or parent.depth + 1 >= self.delta_chain_limit
+        )
+        if full:
+            parent = None
+        memo = self._component_memo()
+        vector: Dict[str, Any] = {}
+        versions: Dict[str, Optional[int]] = {}
+        for key, obj in self._components:
+            if key.startswith("node:"):
+                version: Optional[int] = node_versions.get(key[5:], 0)
+            else:
+                version = getattr(obj, "delta_version", None)
+            versions[key] = version
+            if full or version is None or baseline.get(key) != version:
+                vector[key] = capture_state(obj, memo)
+        snapshot = _Snapshot(
+            steps=steps,
+            violations=tuple(violations),
+            position=position,
+            vector=vector,
+            versions=versions,
+            parent=parent,
+            depth=0 if parent is None else parent.depth + 1,
+        )
+        if parent is not None:
+            self.stats.delta_snapshots += 1
+        self._delta_baseline = versions
+        self._delta_parent = snapshot
+        return snapshot
+
+    def _restore_delta(self, snapshot: _Snapshot) -> None:
+        """Rewind the live instance, in place, to a delta snapshot.
+
+        Each component's target state is its shallowest occurrence on the
+        parent chain (the full root vector covers every component);
+        components whose live version id already equals the target are
+        provably unchanged and skipped.
+        """
+        resolved: Dict[str, Any] = {}
+        chain: Optional[_Snapshot] = snapshot
+        while chain is not None:
+            vector = chain.vector
+            assert vector is not None
+            for key, state in vector.items():
+                if key not in resolved:
+                    resolved[key] = state
+            chain = chain.parent
+        memo = self._component_memo()
+        engine = self._engine
+        node_versions = engine.node_versions
+        versions = snapshot.versions
+        assert versions is not None and self._components is not None
+        for key, obj in self._components:
+            target = versions[key]
+            if key.startswith("node:"):
+                name = key[5:]
+                if node_versions.get(name, 0) == target:
+                    continue
+                restore_state(obj, resolved[key], memo)
+                node_versions[name] = target  # type: ignore[assignment]
+            else:
+                if target is not None and getattr(obj, "delta_version", None) == target:
+                    continue
+                restore_state(obj, resolved[key], memo)
+                if target is not None:
+                    obj.delta_version = target
+        self._delta_baseline = versions
+        self._delta_parent = snapshot
 
     def _pickle_state(self, state: Tuple[ModelInstance, Any]) -> bytes:
         """Serialise (instance, engine) with shared objects pinned out.

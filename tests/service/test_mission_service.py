@@ -194,6 +194,43 @@ class TestConcurrentMissions:
         assert report["ok"] is True
 
 
+class TestPopulationMissions:
+    def test_population_mission_matches_serial_and_surfaces_stats(self, client):
+        report = client.run(
+            "drone-surveillance",
+            strategy=RandomStrategy(seed=6, max_executions=20),
+            overrides={"include_unsafe_position": True},
+            population_size=32,
+            track_coverage=True,
+        )
+        serial = _serial(
+            "drone-surveillance",
+            RandomStrategy(seed=6, max_executions=20),
+            overrides={"include_unsafe_position": True},
+            track_coverage=True,
+        )
+        assert _record_keys(decode_report_records(report)) == _record_keys(
+            serial.executions
+        )
+        assert decode_report_coverage(report).counts == serial.coverage.counts
+        # The population plane's fleet-wide counters ride the report.
+        stats = report["population_stats"]
+        assert stats["executions"] == 20
+        assert stats["live_runs"] + stats["compacted"] == stats["executions"]
+        assert stats["pickle_fallbacks"] == 0
+        # The full PopulationStats counter set crosses the wire, so
+        # clients can see how the work was elided (or that it wasn't).
+        for key in ("snapshots_taken", "restores", "delta_snapshots",
+                    "delta_restores", "replayed_choices", "live_choices"):
+            assert key in stats
+
+    def test_plain_missions_report_empty_population_stats(self, client):
+        report = client.run(
+            "toy-closed-loop", strategy=RandomStrategy(seed=1, max_executions=3)
+        )
+        assert report["population_stats"] == {}
+
+
 class TestErrorPaths:
     def test_unknown_scenario_fails_at_submission(self, client):
         with pytest.raises(protocol.ProtocolError, match="bad mission workload"):

@@ -1,0 +1,226 @@
+"""``RowGroupPlant``/``PlantEnvironment`` vs the scalar plant loop.
+
+The vectorized live-row path promises per-row *bit-identity* with the
+scalar path: :meth:`RowGroupPlant.step_window` must leave every plant in
+exactly the state K independent ``apply`` loops would, and a
+:class:`PlantEnvironment` integrating through the row-group matrix plant
+must publish the same readings as its scalar twin.  The oracle is the
+literal scalar plant, compared with ``==`` after many windows that
+exercise gusts, collisions and battery discharge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import BatteryModel, BoundedDoubleIntegrator, ControlCommand, DroneState
+from repro.geometry import Vec3
+from repro.simulation import (
+    BatterySensor,
+    DronePlant,
+    PlantChannel,
+    PlantEnvironment,
+    RowGroupPlant,
+    StateEstimator,
+    surveillance_city,
+)
+
+
+def _plants(workspace, K, seed=0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform([2, 2, 1.0], [20, 20, 6.0], size=(K, 3))
+    charges = rng.uniform(0.05, 1.0, size=K)
+    model = BoundedDoubleIntegrator()
+    battery = BatteryModel()
+    return [
+        DronePlant(
+            model,
+            workspace,
+            battery_model=battery,
+            initial_state=DroneState(position=Vec3(*row)),
+            initial_charge=charge,
+        )
+        for row, charge in zip(starts, charges)
+    ]
+
+
+def _plant_fields(plant):
+    return (
+        plant.time,
+        plant.state,
+        plant.battery,
+        plant.collided,
+        plant.collision_position,
+        plant.battery_failed,
+        plant.distance_flown,
+        plant.min_clearance,
+    )
+
+
+class TestRowGroupPlant:
+    @pytest.mark.parametrize("K", [1, 3, 32])
+    def test_step_window_bit_identical_to_scalar_loops(self, K):
+        workspace = surveillance_city().workspace
+        batch_plants = _plants(workspace, K, seed=7)
+        scalar_plants = _plants(workspace, K, seed=7)
+        group = RowGroupPlant(batch_plants)
+        rng = np.random.default_rng(11)
+        dt = 0.05
+        for window in range(40):
+            duration = float(rng.choice([0.25, 0.1, 0.3]))
+            commands = rng.uniform(-8.0, 8.0, size=(K, 3))
+            gusts = rng.uniform(-20.0, 20.0, size=(K, 3))
+            group.step_window(commands, duration, dt, gusts)
+            # The scalar oracle: the same per-substep loop, plant by plant.
+            remaining = duration
+            while remaining > 1e-12:
+                step = min(dt, remaining)
+                for k, plant in enumerate(scalar_plants):
+                    command = ControlCommand(acceleration=Vec3(*commands[k]))
+                    plant.apply(command, step, Vec3(*gusts[k]))
+                remaining -= step
+            for batch, scalar in zip(batch_plants, scalar_plants):
+                assert _plant_fields(batch) == _plant_fields(scalar)
+        assert group.batched_substeps > 0
+
+    def test_requires_shared_models(self):
+        workspace = surveillance_city().workspace
+        battery = BatteryModel()
+        model = BoundedDoubleIntegrator()
+        plants = [
+            DronePlant(model, workspace, battery_model=battery) for _ in range(2)
+        ]
+        RowGroupPlant(plants)  # shared dynamics/battery instances: fine
+        mismatched = [
+            DronePlant(model, workspace, battery_model=battery),
+            DronePlant(model, workspace, battery_model=BatteryModel()),
+        ]
+        with pytest.raises(ValueError, match="share"):
+            RowGroupPlant(mismatched)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RowGroupPlant([])
+
+
+class _ScriptedStrategy:
+    """Deterministic gust picker: cycles through the menu."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def choose(self, count, label=None):
+        index = self.calls % count
+        self.calls += 1
+        return index
+
+
+class _StubEngine:
+    """Just enough of the engine surface for PlantEnvironment.apply."""
+
+    def __init__(self, commands):
+        self._commands = commands
+        self.inputs = []
+
+    def read_topic(self, topic):
+        return self._commands.get(topic)
+
+    def set_input(self, topic, value):
+        self.inputs.append((topic, value))
+
+
+def _environment(workspace, K, seed=0):
+    plants = _plants(workspace, K, seed=seed)
+    channels = [
+        PlantChannel(
+            plant=plant,
+            estimator=StateEstimator(position_noise=0.05, velocity_noise=0.05, seed=k),
+            battery_sensor=BatterySensor(seed=k + 1),
+            command_topic=f"cmd{k}",
+            position_topic=f"pos{k}",
+            battery_topic=f"bat{k}",
+            label=f"drone{k}",
+        )
+        for k, plant in enumerate(plants)
+    ]
+    return PlantEnvironment(
+        channels=channels,
+        gust_menu=[Vec3.zero(), Vec3(25.0, 0.0, 0.0), Vec3(0.0, -25.0, 0.0)],
+        period=0.25,
+        physics_dt=0.05,
+    )
+
+
+class TestPlantEnvironment:
+    def test_batch_path_identical_to_scalar_path(self):
+        workspace = surveillance_city().workspace
+        K = 3
+        scalar_env = _environment(workspace, K, seed=5)
+        batch_env = _environment(workspace, K, seed=5)
+        batch_env.set_batch_plant(True, min_rows=1)  # force past the economic gate
+        assert batch_env.batch_plant_active
+        scalar_env.bind_strategy(_ScriptedStrategy())
+        batch_env.bind_strategy(_ScriptedStrategy())
+        commands = {f"cmd{k}": ControlCommand(acceleration=Vec3(2.0, -1.0, 0.5)) for k in range(K)}
+        scalar_engine = _StubEngine(commands)
+        batch_engine = _StubEngine(commands)
+        for tick in range(12):
+            until = 0.25 * tick
+            scalar_env.apply(scalar_engine, until)
+            batch_env.apply(batch_engine, until)
+            for s_channel, b_channel in zip(scalar_env.channels, batch_env.channels):
+                assert _plant_fields(s_channel.plant) == _plant_fields(b_channel.plant)
+        # Published readings (noisy estimates included) must agree exactly.
+        # (Value equality on float64 is bit-equality; the scalar oracle may
+        # carry numpy scalars where the matrix path stores plain floats.)
+        assert scalar_engine.inputs == batch_engine.inputs
+
+    def test_batch_plant_gate_is_economic(self):
+        # Below BATCH_PLANT_MIN_ROWS the matrix path loses to the memoized
+        # scalar loop, so a plain enable keeps the scalar path; a large
+        # enough fleet (or an explicit min_rows) engages the row group.
+        workspace = surveillance_city().workspace
+        small = _environment(workspace, 3, seed=1)
+        small.set_batch_plant(True)
+        assert not small.batch_plant_active
+        small.set_batch_plant(True, min_rows=1)
+        assert small.batch_plant_active
+        small.set_batch_plant(False)
+        assert not small.batch_plant_active
+        from repro.simulation.plantenv import BATCH_PLANT_MIN_ROWS
+
+        large = _environment(workspace, BATCH_PLANT_MIN_ROWS, seed=1)
+        large.set_batch_plant(True)
+        assert large.batch_plant_active
+
+    def test_reset_is_deterministic(self):
+        workspace = surveillance_city().workspace
+        env = _environment(workspace, 2, seed=9)
+        env.bind_strategy(_ScriptedStrategy())
+        initial = [_plant_fields(channel.plant) for channel in env.channels]
+        engine = _StubEngine({"cmd0": ControlCommand(acceleration=Vec3(3.0, 0.0, 0.0))})
+        env.apply(engine, 1.0)
+        moved = [_plant_fields(channel.plant) for channel in env.channels]
+        assert moved != initial
+        env.reset()
+        assert [_plant_fields(channel.plant) for channel in env.channels] == initial
+
+    def test_delta_round_trip_restores_trajectory(self):
+        workspace = surveillance_city().workspace
+        env = _environment(workspace, 2, seed=3)
+        env.bind_strategy(_ScriptedStrategy())
+        commands = {f"cmd{k}": ControlCommand(acceleration=Vec3(1.5, 1.0, 0.0)) for k in range(2)}
+        engine = _StubEngine(commands)
+        env.apply(engine, 0.5)
+        mark = env.capture_delta_state()
+        version = env.delta_version
+        # Diverge, then rewind: the replayed continuation must be identical.
+        env.apply(engine, 2.0)
+        first = [_plant_fields(channel.plant) for channel in env.channels]
+        first_inputs = [(t, repr(v)) for t, v in engine.inputs]
+        env.restore_delta_state(mark)
+        assert env.delta_version != version  # restore is itself a mutation
+        engine.inputs.clear()
+        env.apply(engine, 2.0)
+        assert [_plant_fields(channel.plant) for channel in env.channels] == first
+        replay_inputs = [(t, repr(v)) for t, v in engine.inputs]
+        assert replay_inputs == first_inputs[-len(replay_inputs):]

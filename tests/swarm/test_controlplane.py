@@ -135,6 +135,44 @@ class TestIdempotentIngestion:
         assert len(report["records"]) == 1
 
 
+class TestPopulationStatsIngestion:
+    def test_per_lease_deltas_sum_into_the_session(self):
+        clock = FakeClock()
+        plane = make_plane(clock)
+        session = plane.create_session([random_shard_wire((0,)), random_shard_wire((1,))])
+        first = plane.request_lease("d0")
+        second = plane.request_lease("d1")
+        plane.ingest(session, first["lease"], results=[result(wire_record(0))],
+                     done=True,
+                     population_stats={"executions": 1, "live_runs": 1,
+                                       "delta_restores": 3})
+        plane.ingest(session, second["lease"], results=[result(wire_record(1))],
+                     done=True,
+                     population_stats={"executions": 1, "compacted": 1,
+                                       "delta_restores": 2})
+        report = plane.session_report(session)
+        assert report["population_stats"] == {
+            "executions": 2, "live_runs": 1, "compacted": 1, "delta_restores": 5,
+        }
+
+    def test_sessions_without_population_shards_report_empty_stats(self):
+        clock = FakeClock()
+        plane = make_plane(clock)
+        session = plane.create_session([random_shard_wire((0,))])
+        grant = plane.request_lease("d0")
+        plane.ingest(session, grant["lease"], results=[result(wire_record(0))],
+                     done=True)
+        assert plane.session_report(session)["population_stats"] == {}
+
+    def test_malformed_stats_rejected(self):
+        clock = FakeClock()
+        plane = make_plane(clock)
+        session = plane.create_session([random_shard_wire((0,))])
+        grant = plane.request_lease("d0")
+        with pytest.raises(protocol.ProtocolError, match="population stats"):
+            plane.ingest(session, grant["lease"], population_stats=["not", "a", "dict"])
+
+
 class TestEscalationLadder:
     def test_warn_then_expire_then_requeue(self):
         clock = FakeClock()

@@ -163,3 +163,41 @@ class TestExecutionKey:
             ExecutionRecord(index=0, steps=3, violations=[], trail=[1, 1]))
         assert protocol.execution_key("exhaustive", other) != \
             protocol.execution_key("exhaustive", thief)
+
+
+class TestPopulationStats:
+    def test_snapshot_and_delta_bracket_a_run(self):
+        from repro.testing import PopulationTester, RandomStrategy
+
+        tester = PopulationTester(
+            scenario_factory("toy-closed-loop", broken_ttf=True),
+            RandomStrategy(seed=0, max_executions=6),
+        )
+        before = protocol.snapshot_population_stats(tester)
+        assert before is not None and before["executions"] == 0
+        tester.explore()
+        delta = protocol.population_stats_delta(tester, before)
+        assert delta is not None
+        assert delta["executions"] == 6
+        assert set(delta) == set(before)  # the full counter set travels
+        # Nothing moved since the sweep: the delta collapses to None.
+        assert protocol.population_stats_delta(
+            tester, protocol.snapshot_population_stats(tester)
+        ) is None
+
+    def test_serial_testers_have_no_stats(self):
+        from repro.testing import RandomStrategy, SystematicTester
+
+        tester = SystematicTester(
+            scenario_factory("toy-closed-loop"),
+            RandomStrategy(seed=0, max_executions=1),
+        )
+        assert protocol.snapshot_population_stats(tester) is None
+        assert protocol.population_stats_delta(tester, None) is None
+
+    def test_decode_validates(self):
+        assert protocol.decode_population_stats({"executions": 3}) == {"executions": 3}
+        with pytest.raises(protocol.ProtocolError, match="population stats"):
+            protocol.decode_population_stats([1, 2])
+        with pytest.raises(protocol.ProtocolError, match="population stats"):
+            protocol.decode_population_stats({"executions": "many"})

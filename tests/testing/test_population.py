@@ -34,6 +34,13 @@ SCENARIOS = [
     ("multi-drone-crossing", {}),
     ("rare-branch-geofence", {"include_breach": True}),
     ("deep-menu-surveillance", {"include_unsafe_position": True}),
+    ("fault-injected-planner", {"protected": False}),
+    ("fault-injected-surveillance", {}),
+    # Plant-in-the-loop: the population side additionally runs the
+    # row-group matrix plant, so these rows double as the vectorized
+    # live-row equivalence proof.
+    ("plant-surveillance", {"unsafe_start": True}),
+    ("plant-surveillance", {"unsafe_start": True, "drones": 2}),
 ]
 
 
@@ -55,7 +62,11 @@ def _report_keys(report):
 
 class TestPopulationVsSerialEquivalence:
     @pytest.mark.parametrize("share", [True, False], ids=["shared", "compact-only"])
-    @pytest.mark.parametrize("name,overrides", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    @pytest.mark.parametrize(
+        "name,overrides",
+        SCENARIOS,
+        ids=[f"{s[0]}-{s[1]['drones']}d" if "drones" in s[1] else s[0] for s in SCENARIOS],
+    )
     def test_random_sweep_identical(self, name, overrides, share):
         factory = scenario_factory(name, **overrides)
         serial = SystematicTester(
@@ -74,11 +85,17 @@ class TestPopulationVsSerialEquivalence:
         assert _report_keys(population_report) == _report_keys(serial_report)
         assert population.coverage.counts == serial.coverage.counts
         assert population.stats.executions == 14
-        if name != "toy-closed-loop":
+        # fault-injected-surveillance is safe by construction; the toy
+        # scenario only violates under broken_ttf-specific trails.
+        if name not in ("toy-closed-loop", "fault-injected-surveillance"):
             assert not population_report.ok
 
     @pytest.mark.parametrize("share", [True, False], ids=["shared", "compact-only"])
-    @pytest.mark.parametrize("name,overrides", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+    @pytest.mark.parametrize(
+        "name,overrides",
+        SCENARIOS,
+        ids=[f"{s[0]}-{s[1]['drones']}d" if "drones" in s[1] else s[0] for s in SCENARIOS],
+    )
     def test_exhaustive_enumeration_identical(self, name, overrides, share):
         factory = scenario_factory(name, **overrides)
         serial = SystematicTester(
@@ -156,6 +173,75 @@ class TestPopulationVsSerialEquivalence:
             assert _record_key(population.run_single(index)) == _record_key(
                 serial.run_single(index)
             )
+
+
+class _Unpicklable:
+    """Deep-copyable but pickle-resistant payload (e.g. a C handle)."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def __reduce__(self):
+        import pickle
+
+        raise pickle.PicklingError("opaque native handle")
+
+    def __deepcopy__(self, memo):
+        clone = _Unpicklable()
+        clone.ticks = self.ticks
+        return clone
+
+
+class TestSnapshotFallback:
+    """Pin the snapshot robustness ladder: delta → pickle → deep copies.
+
+    A model whose node state holds a pickle-resistant (but deep-copyable)
+    object must still be swept correctly: the whole-state path flips from
+    pickling to held deep copies on the first failure, records the flip in
+    ``PopulationStats.pickle_fallbacks``, and the resulting report stays
+    byte-equal to the serial sweep.
+    """
+
+    @staticmethod
+    def _factory():
+        from repro.testing import build_scenario
+
+        instance = build_scenario("toy-closed-loop", broken_ttf=True)
+        # Plant the opaque object inside a node the snapshots must carry.
+        instance.system.modules[0].decision.opaque_handle = _Unpicklable()
+        return instance
+
+    def _sweep(self, **kwargs):
+        factory = self._factory
+        serial = SystematicTester(
+            factory, RandomStrategy(seed=4, max_executions=40), reuse_instances=True
+        )
+        population = PopulationTester(
+            factory,
+            RandomStrategy(seed=4, max_executions=40),
+            snapshot_after=1,
+            snapshot_min_steps=1,
+            **kwargs,
+        )
+        serial_report = serial.explore()
+        population_report = population.explore()
+        assert _report_keys(population_report) == _report_keys(serial_report)
+        assert population.coverage.counts == serial.coverage.counts
+        return population
+
+    def test_whole_state_path_falls_back_to_deep_copies(self):
+        population = self._sweep(use_delta_snapshots=False)
+        stats = population.stats
+        assert stats.pickle_fallbacks >= 1
+        assert stats.snapshots_taken > 0
+        assert stats.restores > 0
+        assert stats.delta_snapshots == 0
+
+    def test_delta_path_shrugs_off_unpicklable_state(self):
+        # Delta capture never pickles, so the opaque object costs nothing.
+        population = self._sweep(use_delta_snapshots=True)
+        assert population.stats.pickle_fallbacks == 0
+        assert population.stats.delta_restores > 0
 
 
 class TestPopulationValidation:
